@@ -1,0 +1,103 @@
+// Ablation study of the paper's systems techniques, each toggled
+// individually against the same baseline (RANDOM advertise x UNIQUE-PATH
+// lookup, mobile network):
+//   - RW salvation (§6.2)            : walk survives broken hops
+//   - reply-path reduction (§7.2)    : shorter replies
+//   - reply-path local repair (§6.2) : replies survive mobility
+//   - early halting (§7.1)           : cheaper hits
+//   - bystander caching (§7.1)       : popular keys answered en route
+//   - overhearing (§7.2)             : neighbors answer walks they hear
+//   - serial RANDOM lookups (§8.2)   : early halting for RANDOM
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace pqs;
+using core::StrategyKind;
+
+namespace {
+
+struct Variant {
+    const char* name;
+    std::function<void(core::ScenarioParams&)> apply;
+};
+
+void report(const char* name, const core::ScenarioResult& r) {
+    std::printf("%-28s %8.3f %12.3f %12.3f %14.1f %14.1f\n", name,
+                r.hit_ratio, r.intersect_ratio, r.reply_drop_ratio,
+                r.msgs_per_lookup, r.routing_per_lookup);
+}
+
+}  // namespace
+
+int main() {
+    bench::banner("Ablations", "systems techniques toggled one at a time");
+    const std::size_t n = bench::big_n();
+    const double rtn = std::sqrt(static_cast<double>(n));
+
+    const auto baseline = [&](std::uint64_t seed) {
+        core::ScenarioParams p = bench::base_scenario(n, seed);
+        bench::make_mobile(p, 0.5, 10.0);  // fast enough to stress repairs
+        p.spec.advertise.kind = StrategyKind::kRandom;
+        p.spec.advertise.quorum_size =
+            static_cast<std::size_t>(std::lround(2.0 * rtn));
+        p.spec.lookup.kind = StrategyKind::kUniquePath;
+        p.spec.lookup.quorum_size =
+            static_cast<std::size_t>(std::lround(1.15 * rtn));
+        return p;
+    };
+
+    std::printf("\nbaseline: RANDOM x UNIQUE-PATH, mobile 0.5-10 m/s, "
+                "n=%zu\n", n);
+    std::printf("%-28s %8s %12s %12s %14s %14s\n", "variant", "hit",
+                "intersection", "reply drops", "msgs/lookup", "routing/lkp");
+
+    const Variant variants[] = {
+        {"baseline (all on)", [](core::ScenarioParams&) {}},
+        {"- RW salvation",
+         [](core::ScenarioParams& p) { p.spec.lookup.salvage_retries = 0; }},
+        {"- reply path reduction",
+         [](core::ScenarioParams& p) {
+             p.spec.lookup.reply_path_reduction = false;
+         }},
+        {"- reply local repair",
+         [](core::ScenarioParams& p) {
+             p.spec.lookup.reply_local_repair = false;
+             p.spec.lookup.reply_global_repair_fallback = false;
+         }},
+        {"- early halting",
+         [](core::ScenarioParams& p) { p.spec.lookup.early_halt = false; }},
+        {"+ bystander caching",
+         [](core::ScenarioParams& p) { p.spec.lookup.cache_replies = true; }},
+        {"+ overhearing",
+         [](core::ScenarioParams& p) {
+             p.spec.lookup.overhearing = true;
+             p.world.abstract_link.promiscuous = true;
+         }},
+    };
+    for (const Variant& v : variants) {
+        core::ScenarioParams p = baseline(170);
+        v.apply(p);
+        report(v.name, core::run_scenario_averaged(p, bench::runs(), 170));
+    }
+
+    std::printf("\nserial vs parallel RANDOM lookup (static, §8.2):\n");
+    std::printf("%-28s %8s %12s %12s %14s %14s\n", "variant", "hit",
+                "intersection", "reply drops", "msgs/lookup", "routing/lkp");
+    for (const bool serial : {false, true}) {
+        core::ScenarioParams p = bench::base_scenario(n, 171);
+        p.spec.advertise.kind = StrategyKind::kRandom;
+        p.spec.advertise.quorum_size =
+            static_cast<std::size_t>(std::lround(2.0 * rtn));
+        p.spec.lookup.kind = StrategyKind::kRandom;
+        p.spec.lookup.quorum_size =
+            static_cast<std::size_t>(std::lround(1.15 * rtn));
+        p.spec.lookup.serial = serial;
+        report(serial ? "RANDOM serial (early halt)" : "RANDOM parallel",
+               core::run_scenario_averaged(p, bench::runs(), 171));
+    }
+    std::printf("\n(paper: serial access halves the contacted lookup nodes "
+                "at the cost of latency, §8.2)\n");
+    return 0;
+}

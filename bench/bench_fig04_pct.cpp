@@ -1,0 +1,120 @@
+// Figure 4: random-walk partial cover time. Reproduces all four panels:
+//  (a) steps-per-unique-node vs #unique for PATH and UNIQUE-PATH across
+//      network sizes (d_avg = 10);
+//  (b) the same across densities (n = 400);
+//  (c) PCT(sqrt(n)) / sqrt(n) — the "1.7 sqrt(n)" constant of §4.2;
+//  (d) PCT at larger coverage fractions (e.g. n/2).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "geom/random_walk.h"
+#include "geom/rgg.h"
+#include "util/stats.h"
+
+using namespace pqs;
+
+namespace {
+
+// Average steps to reach each unique-count target, over sources and runs.
+std::vector<double> mean_pct(const geom::Graph& g, geom::WalkKind kind,
+                             const std::vector<std::size_t>& targets,
+                             int trials, util::Rng& rng) {
+    std::vector<util::Accumulator> acc(targets.size());
+    for (int t = 0; t < trials; ++t) {
+        const auto start =
+            static_cast<util::NodeId>(rng.index(g.node_count()));
+        const auto res = geom::partial_cover_steps(g, start, kind, targets,
+                                                   2000000, rng);
+        for (std::size_t i = 0; i < targets.size(); ++i) {
+            if (res[i]) {
+                acc[i].add(static_cast<double>(*res[i]));
+            }
+        }
+    }
+    std::vector<double> out;
+    for (auto& a : acc) {
+        out.push_back(a.empty() ? -1.0 : a.mean());
+    }
+    return out;
+}
+
+std::vector<std::size_t> targets_for(std::size_t n) {
+    std::vector<std::size_t> t;
+    for (std::size_t u = 5; u <= n / 2; u += std::max<std::size_t>(5, n / 40)) {
+        t.push_back(u);
+    }
+    return t;
+}
+
+}  // namespace
+
+int main() {
+    bench::banner("Figure 4", "random-walk partial cover time on RGGs");
+    util::Rng rng(4242);
+    const int trials = bench::runs() * 15;
+
+    util::CsvWriter series = bench::csv(
+        "fig04_pct", {"n", "unique", "path_steps_per_unique",
+                      "unique_path_steps_per_unique"});
+    std::printf("\n(a/c) steps per unique node vs #unique, d_avg=10 "
+                "(PATH=simple RW, UP=self-avoiding):\n");
+    std::printf("%6s %8s %12s %12s\n", "n", "unique", "PATH", "UNIQUE-PATH");
+    for (const std::size_t n : bench::node_counts()) {
+        const geom::Rgg rgg =
+            geom::make_connected_rgg({n, 200.0, 10.0}, rng);
+        const auto targets = targets_for(n);
+        const auto simple =
+            mean_pct(rgg.graph, geom::WalkKind::kSimple, targets, trials, rng);
+        const auto unique = mean_pct(rgg.graph, geom::WalkKind::kSelfAvoiding,
+                                     targets, trials, rng);
+        for (std::size_t i = 0; i < targets.size(); ++i) {
+            const double path_ratio =
+                simple[i] / static_cast<double>(targets[i]);
+            const double up_ratio =
+                unique[i] / static_cast<double>(targets[i]);
+            std::printf("%6zu %8zu %12.2f %12.2f\n", n, targets[i],
+                        path_ratio, up_ratio);
+            series.row({static_cast<double>(n),
+                        static_cast<double>(targets[i]), path_ratio,
+                        up_ratio});
+        }
+    }
+
+    std::printf("\n(b) density sweep at n=400, unique target = 60:\n");
+    std::printf("%8s %12s %12s\n", "d_avg", "PATH", "UNIQUE-PATH");
+    for (const double d : bench::densities()) {
+        const geom::Rgg rgg = geom::make_connected_rgg({400, 200.0, d}, rng);
+        const std::vector<std::size_t> t{60};
+        const auto simple =
+            mean_pct(rgg.graph, geom::WalkKind::kSimple, t, trials, rng);
+        const auto unique = mean_pct(rgg.graph, geom::WalkKind::kSelfAvoiding,
+                                     t, trials, rng);
+        std::printf("%8.0f %12.2f %12.2f\n", d, simple[0] / 60.0,
+                    unique[0] / 60.0);
+    }
+
+    std::printf("\n(c) PCT(sqrt(n)) constant (paper: <= 1.7 at d_avg=10):\n");
+    std::printf("%6s %10s %16s\n", "n", "sqrt(n)", "PCT/sqrt(n)");
+    for (const std::size_t n : bench::node_counts()) {
+        const geom::Rgg rgg =
+            geom::make_connected_rgg({n, 200.0, 10.0}, rng);
+        const auto q = static_cast<std::size_t>(
+            std::lround(std::sqrt(static_cast<double>(n))));
+        const auto pct = mean_pct(rgg.graph, geom::WalkKind::kSimple, {q},
+                                  trials * 2, rng);
+        std::printf("%6zu %10zu %16.2f\n", n, q,
+                    pct[0] / static_cast<double>(q));
+    }
+
+    std::printf("\n(d) PCT(n/2) constant (paper: ~1.3n at n=100):\n");
+    std::printf("%6s %16s\n", "n", "PCT(n/2)/n");
+    for (const std::size_t n : bench::node_counts()) {
+        const geom::Rgg rgg =
+            geom::make_connected_rgg({n, 200.0, 10.0}, rng);
+        const auto pct = mean_pct(rgg.graph, geom::WalkKind::kSimple, {n / 2},
+                                  trials, rng);
+        std::printf("%6zu %16.2f\n", n, pct[0] / static_cast<double>(n));
+    }
+    return 0;
+}

@@ -1,0 +1,131 @@
+// Figure 5: flooding coverage. Panels (a,b): number of nodes covered by a
+// TTL-scoped flood, for varying network sizes (d_avg=10) and varying
+// densities (n=400). Panels (c,d): coverage granularity CG(i) =
+// N_i / N_{i-1}. Coverage under the protocol model equals the number of
+// nodes within TTL hops, measured over random sources and placements.
+// A cross-check runs one real jittered flood on the event-driven stack.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/location_service.h"
+#include "geom/rgg.h"
+#include "membership/oracle_membership.h"
+#include "util/stats.h"
+
+using namespace pqs;
+
+namespace {
+
+// Mean nodes-within-TTL over sources and placements.
+std::vector<double> coverage(std::size_t n, double d_avg, int max_ttl,
+                             int trials, util::Rng& rng) {
+    std::vector<util::Accumulator> acc(max_ttl + 1);
+    for (int t = 0; t < trials; ++t) {
+        // d_avg = 7 is marginal for connectivity (§4.2); be persistent.
+        const geom::Rgg rgg =
+            geom::make_connected_rgg({n, 200.0, d_avg}, rng, 2000);
+        const auto src = static_cast<util::NodeId>(rng.index(n));
+        const auto dist = rgg.graph.bfs_distances(src);
+        std::vector<std::size_t> within(max_ttl + 1, 0);
+        for (const std::size_t d : dist) {
+            if (d <= static_cast<std::size_t>(max_ttl)) {
+                for (int i = static_cast<int>(d); i <= max_ttl; ++i) {
+                    ++within[i];
+                }
+            }
+        }
+        for (int i = 0; i <= max_ttl; ++i) {
+            acc[i].add(static_cast<double>(within[i]));
+        }
+    }
+    std::vector<double> out;
+    for (auto& a : acc) {
+        out.push_back(a.mean());
+    }
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    bench::banner("Figure 5", "flooding coverage and coverage granularity");
+    util::Rng rng(5);
+    const int trials = bench::runs() * 10;
+    const int max_ttl = 8;
+
+    std::printf("\n(a) coverage N(TTL) vs TTL, d_avg=10:\n");
+    std::printf("%6s", "TTL");
+    const auto ns = bench::node_counts();
+    for (const std::size_t n : ns) {
+        std::printf(" %9s%-4zu", "n=", n);
+    }
+    std::printf("\n");
+    std::vector<std::vector<double>> size_cov;
+    for (const std::size_t n : ns) {
+        size_cov.push_back(coverage(n, 10.0, max_ttl, trials, rng));
+    }
+    for (int ttl = 1; ttl <= max_ttl; ++ttl) {
+        std::printf("%6d", ttl);
+        for (std::size_t i = 0; i < ns.size(); ++i) {
+            std::printf(" %13.1f", size_cov[i][ttl]);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\n(c) coverage granularity CG(i)=N_i/N_{i-1}, d_avg=10:\n");
+    std::printf("%6s", "TTL");
+    for (const std::size_t n : ns) {
+        std::printf(" %9s%-4zu", "n=", n);
+    }
+    std::printf("\n");
+    for (int ttl = 2; ttl <= max_ttl; ++ttl) {
+        std::printf("%6d", ttl);
+        for (std::size_t i = 0; i < ns.size(); ++i) {
+            const double cg = size_cov[i][ttl - 1] > 0
+                                  ? size_cov[i][ttl] / size_cov[i][ttl - 1]
+                                  : 0.0;
+            std::printf(" %13.2f", cg);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\n(b,d) density sweep at n=400:\n");
+    std::printf("%8s %6s %12s %8s\n", "d_avg", "TTL", "coverage", "CG");
+    for (const double d : bench::densities()) {
+        const auto cov = coverage(400, d, max_ttl, trials, rng);
+        for (int ttl = 1; ttl <= 6; ++ttl) {
+            const double cg =
+                ttl >= 2 && cov[ttl - 1] > 0 ? cov[ttl] / cov[ttl - 1] : 0.0;
+            std::printf("%8.0f %6d %12.1f %8.2f\n", d, ttl, cov[ttl], cg);
+        }
+    }
+
+    // Cross-check: a real flood on the event-driven stack covers about the
+    // same node count as the BFS prediction.
+    std::printf("\ncross-check: event-driven flood vs BFS (n=%zu, TTL=3):\n",
+                bench::big_n());
+    net::WorldParams wp;
+    wp.n = bench::big_n();
+    wp.seed = 7;
+    wp.oracle_neighbors = true;
+    net::World world(wp);
+    membership::OracleMembership membership(world);
+    core::BiquorumSpec spec;
+    spec.advertise.kind = core::StrategyKind::kRandom;
+    spec.lookup.kind = core::StrategyKind::kFlooding;
+    spec.lookup.flood_ttl = 3;
+    core::LocationService service(world, spec, &membership);
+    world.start();
+    bool done = false;
+    std::size_t covered = 0;
+    service.lookup(0, /*unknown key=*/123456, [&](const core::AccessResult& r) {
+        covered = r.nodes_contacted;
+        done = true;
+    });
+    while (!done && world.simulator().step()) {
+    }
+    const std::size_t bfs = world.snapshot_graph().nodes_within_hops(0, 3);
+    std::printf("  event-driven flood covered %zu, BFS says %zu\n", covered,
+                bfs);
+    return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 14(f): intersection probability under churn. After the advertise
+// phase, a fraction of nodes fail and the same number of fresh nodes join
+// (static network, d_avg=15 to preserve connectivity); the lookup quorum
+// is adjusted to the new network size. The paper reports an "outstanding
+// survivability": 0.95 initial intersection degrades to only ~0.87 at 50%
+// churn. The analytic §6.1 bound is printed alongside.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/theory.h"
+
+using namespace pqs;
+using core::StrategyKind;
+
+int main() {
+    bench::banner("Figure 14(f)", "churn resilience (fail + join)");
+    const std::size_t n = bench::big_n();
+    const double rtn = std::sqrt(static_cast<double>(n));
+    const double eps0 = 0.05;
+    std::printf("n = %zu, d_avg = 15, eps0 = %.2f, lookup adjusted to "
+                "n(t)\n", n, eps0);
+    std::printf("%8s %12s %14s %14s\n", "churn", "hit(sim)",
+                "bound(theory)", "intersection");
+    for (const double f : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+        core::ScenarioParams p = bench::base_scenario(n, 145);
+        p.world.avg_degree = 15.0;
+        p.spec.eps = eps0;
+        p.spec.advertise.kind = StrategyKind::kRandom;
+        p.spec.advertise.quorum_size =
+            static_cast<std::size_t>(std::lround(2.0 * rtn));
+        p.spec.lookup.kind = StrategyKind::kUniquePath;
+        p.fail_fraction = f;
+        p.join_fraction = f;
+        p.adjust_lookup_to_network = true;
+        const auto r = core::run_scenario_averaged(p, bench::runs(), 145);
+        const double bound =
+            1.0 - core::degraded_miss_bound(
+                      core::nonintersection_upper_bound(
+                          r.advertise_quorum, r.lookup_quorum, n),
+                      f, core::ChurnKind::kFailuresAndJoins,
+                      core::LookupSizing::kAdjustedToNetworkSize);
+        std::printf("%8.1f %12.3f %14.3f %14.3f\n", f, r.hit_ratio, bound,
+                    r.intersect_ratio);
+    }
+    std::printf("\n(paper: 0.95 initial intersection degrades to ~0.87 at "
+                "50%% churn — slow, graceful degradation)\n");
+    return 0;
+}

@@ -1,0 +1,81 @@
+// Mix planner: the paper's sizing theory as a command-line tool. Given a
+// network size, a target intersection probability and the expected
+// lookup:advertise ratio, prints the optimal quorum sizes (Lemma 5.6) and
+// the projected message costs of every strategy mix (Figs. 3/6), plus the
+// refresh schedule for a given churn rate (§6.1).
+//
+//   ./mix_planner [n] [eps] [tau] [churn-fraction-per-hour]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/maintenance.h"
+#include "core/theory.h"
+
+using namespace pqs;
+using core::StrategyKind;
+
+int main(int argc, char** argv) {
+    const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 800;
+    const double eps = argc > 2 ? std::atof(argv[2]) : 0.1;
+    const double tau = argc > 3 ? std::atof(argv[3]) : 10.0;
+    const double churn_per_hour = argc > 4 ? std::atof(argv[4]) : 0.05;
+    const double d_avg = 10.0;
+
+    std::printf("probabilistic biquorum planner\n");
+    std::printf("  n=%zu, eps=%.3f (target intersection %.1f%%), "
+                "tau=%.1f lookups per advertise\n\n",
+                n, eps, 100.0 * (1.0 - eps), tau);
+
+    std::printf("Corollary 5.3: |Qa| * |Ql| >= n ln(1/eps) = %.0f\n",
+                core::min_quorum_product(n, eps));
+    const std::size_t sym = core::symmetric_quorum_size(n, eps);
+    std::printf("symmetric sizing: |Qa| = |Ql| = %zu\n\n", sym);
+
+    std::printf("Lemma 5.6 optimal asymmetric sizing per lookup strategy\n");
+    std::printf("(advertise = RANDOM, cost_a = expected route %.1f hops):\n",
+                core::expected_route_hops(n, d_avg));
+    std::printf("%-14s %8s %8s %14s\n", "lookup via", "|Qa|", "|Ql|",
+                "per-day msgs*");
+    for (const StrategyKind lookup :
+         {StrategyKind::kRandom, StrategyKind::kRandomOpt,
+          StrategyKind::kUniquePath, StrategyKind::kFlooding}) {
+        const double cost_l =
+            core::access_cost_messages(lookup, sym, n, d_avg) /
+            static_cast<double>(sym);
+        const core::SizePair sizes = core::optimal_sizes(
+            n, eps, tau, core::expected_route_hops(n, d_avg), cost_l);
+        // Cost model: 1000 lookups/day and 1000/tau advertises/day.
+        const double daily = core::total_access_cost(
+            1000.0 / tau, 1000.0, sizes.advertise, sizes.lookup,
+            core::expected_route_hops(n, d_avg), cost_l);
+        std::printf("%-14s %8zu %8zu %14.0f\n",
+                    core::strategy_name(lookup).c_str(), sizes.advertise,
+                    sizes.lookup, daily);
+    }
+    std::printf("(*1000 lookups/day workload)\n\n");
+
+    std::printf("fault tolerance of a size-%zu quorum system: %zu crashed "
+                "nodes needed to disable it\n",
+                sym, core::fault_tolerance(n, sym));
+
+    const double churn_per_sec = churn_per_hour / 3600.0;
+    std::printf("\nmaintenance (§6.1) at %.1f%%/hour churn "
+                "(fail+join, floor = 2 eps):\n",
+                100.0 * churn_per_hour);
+    const double f_max = core::max_tolerable_churn(
+        eps, 2.0 * eps, core::ChurnKind::kFailuresAndJoins,
+        core::LookupSizing::kFixed);
+    const sim::Time interval = core::refresh_interval(
+        eps, 2.0 * eps, core::ChurnKind::kFailuresAndJoins,
+        core::LookupSizing::kFixed, churn_per_sec);
+    std::printf("  tolerable churn before refresh: %.1f%% of the network\n",
+                100.0 * f_max);
+    if (interval == sim::kTimeNever) {
+        std::printf("  refresh: never needed\n");
+    } else {
+        std::printf("  refresh every item at least every %.1f hours\n",
+                    sim::to_seconds(interval) / 3600.0);
+    }
+    return 0;
+}

@@ -1,0 +1,217 @@
+// Base machinery for quorum access strategies (§4): the shared service
+// context, the strategy interface, the direct-access messages used by
+// RANDOM / RANDOM-OPT, and a small pending-operation table with timeouts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "core/metrics.h"
+#include "core/quorum_spec.h"
+#include "core/reply_path.h"
+#include "core/store.h"
+#include "membership/membership.h"
+#include "net/world.h"
+#include "util/ids.h"
+
+namespace pqs::core {
+
+enum class AccessKind { kAdvertise, kLookup };
+
+// Stores an advertised value, honoring the monotonic (versioned) policy.
+inline void apply_advertise(LocalStore& store, util::Key key, Value value,
+                            bool monotonic) {
+    if (monotonic) {
+        const std::optional<Value> current = store.find(key);
+        if (current && *current >= value) {
+            return;  // never let an older version overwrite a newer one
+        }
+    }
+    store.store_owner(key, value);
+}
+
+// Shared state all strategies operate against. Owned by LocationService.
+struct ServiceContext {
+    net::World& world;
+    membership::MembershipService* membership = nullptr;
+    ReplyPathRouter* reply_router = nullptr;
+    sim::Time op_timeout = 30 * sim::kSecond;
+    std::vector<LocalStore> stores;
+    // §3 "Load": how many quorum requests each node has served (as an
+    // advertise-quorum member storing, or a lookup-quorum member checking).
+    std::vector<std::uint64_t> load;
+
+    explicit ServiceContext(net::World& w) : world(w) {}
+
+    LocalStore& store(util::NodeId id) {
+        if (id >= stores.size()) {
+            stores.resize(id + 1);
+        }
+        return stores[id];
+    }
+
+    void count_load(util::NodeId id) {
+        if (id >= load.size()) {
+            load.resize(id + 1, 0);
+        }
+        ++load[id];
+    }
+};
+
+struct LoadSummary {
+    double mean = 0.0;
+    double max = 0.0;
+    // Coefficient of variation (stddev/mean): 0 = perfectly balanced.
+    double cv = 0.0;
+};
+
+// Load statistics over the currently-alive nodes.
+LoadSummary summarize_load(const ServiceContext& ctx);
+
+// Shared one-bit probe: did this access touch a node holding the key?
+// Written by remote handlers, read by the originator at resolve time
+// (measurement only; mirrors Fig. 13's intersection-vs-reply split).
+struct IntersectionProbe {
+    bool intersected = false;
+};
+
+// Direct quorum access (RANDOM, RANDOM-OPT): ask `target` to store or look
+// up a key; routed over AODV.
+struct QuorumRequestMsg final : net::AppMessage {
+    std::uint32_t strategy_tag = 0;
+    util::AccessId op;
+    AccessKind kind = AccessKind::kLookup;
+    util::Key key = 0;
+    Value value = 0;
+    util::NodeId origin = util::kInvalidNode;
+    bool want_reply = true;       // lookups ask for a routed reply on hit
+    bool want_miss_reply = false; // serial lookups also want negative replies
+    std::shared_ptr<IntersectionProbe> probe;
+
+    std::size_t size_bytes() const override { return 512; }
+};
+
+// Routed lookup reply (RANDOM, RANDOM-OPT).
+struct QuorumReplyMsg final : net::AppMessage {
+    std::uint32_t strategy_tag = 0;
+    util::AccessId op;
+    util::Key key = 0;
+    Value value = 0;
+    bool found = false;
+    util::NodeId responder = util::kInvalidNode;
+
+    std::size_t size_bytes() const override { return 64; }
+};
+
+// Pending operations with timeout and single resolution.
+template <typename State>
+class OpTable {
+public:
+    explicit OpTable(sim::Simulator& simulator) : simulator_(simulator) {}
+
+    struct Entry {
+        State state{};
+        AccessCallback callback;
+        sim::Time started = 0;
+        sim::EventId timer = sim::kInvalidEvent;
+    };
+
+    // Opens an op. On timeout the op resolves with a default result marked
+    // timed_out, after `timeout_fill` (if given) patched in what is known
+    // (e.g. the intersection probe).
+    Entry& open(util::AccessId id, AccessCallback callback, sim::Time timeout,
+                std::function<void(AccessResult&)> timeout_fill = {}) {
+        Entry& entry = ops_[id];
+        entry.callback = std::move(callback);
+        entry.started = simulator_.now();
+        entry.timer = simulator_.schedule_in(
+            timeout, [this, id, fill = std::move(timeout_fill)] {
+                AccessResult result;
+                result.timed_out = true;
+                if (fill) {
+                    fill(result);
+                }
+                resolve(id, result);
+            });
+        return entry;
+    }
+
+    Entry* find(util::AccessId id) {
+        const auto it = ops_.find(id);
+        return it == ops_.end() ? nullptr : &it->second;
+    }
+
+    // Resolves and erases; fills latency. No-op if already resolved.
+    bool resolve(util::AccessId id, AccessResult result) {
+        const auto it = ops_.find(id);
+        if (it == ops_.end()) {
+            return false;
+        }
+        Entry entry = std::move(it->second);
+        ops_.erase(it);
+        if (entry.timer != sim::kInvalidEvent) {
+            simulator_.cancel(entry.timer);
+        }
+        result.latency = simulator_.now() - entry.started;
+        if (entry.callback) {
+            entry.callback(result);
+        }
+        return true;
+    }
+
+    std::size_t size() const { return ops_.size(); }
+
+private:
+    sim::Simulator& simulator_;
+    std::unordered_map<util::AccessId, Entry> ops_;
+};
+
+class AccessStrategy {
+public:
+    AccessStrategy(ServiceContext& ctx, StrategyConfig config,
+                   std::uint32_t tag)
+        : ctx_(ctx), config_(config), tag_(tag) {}
+    virtual ~AccessStrategy() = default;
+    AccessStrategy(const AccessStrategy&) = delete;
+    AccessStrategy& operator=(const AccessStrategy&) = delete;
+
+    virtual std::string name() const = 0;
+
+    // Installs this strategy's handlers on node `id`; called for every
+    // existing node at service construction and for late joiners.
+    virtual void attach_node(util::NodeId id) = 0;
+
+    // Performs one quorum access of the configured kind from `origin`.
+    virtual void access(AccessKind kind, util::NodeId origin, util::Key key,
+                        Value value, AccessCallback done) = 0;
+
+    // Reverse-path reply addressed to one of this strategy's ops.
+    virtual void on_reverse_reply(util::NodeId /*origin*/,
+                                  const ReverseReplyMsg& /*msg*/) {}
+
+    const StrategyConfig& config() const { return config_; }
+    std::uint32_t tag() const { return tag_; }
+
+    // Adapts the target quorum size at runtime (e.g. to a new network-size
+    // estimate, §6.1/§6.3). Affects subsequent accesses only.
+    void set_quorum_size(std::size_t q) { config_.quorum_size = q; }
+
+protected:
+    util::AccessId next_op(util::NodeId origin) {
+        return util::AccessId{origin, next_seq_++};
+    }
+
+    ServiceContext& ctx_;
+    StrategyConfig config_;
+    std::uint32_t tag_;
+    util::SeqNum next_seq_ = 1;
+};
+
+// Instantiates the strategy implementation selected by `config.kind`.
+std::unique_ptr<AccessStrategy> make_strategy(ServiceContext& ctx,
+                                              StrategyConfig config,
+                                              std::uint32_t tag);
+
+}  // namespace pqs::core

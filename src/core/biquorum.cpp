@@ -1,0 +1,82 @@
+#include "core/biquorum.h"
+
+#include "net/node_stack.h"
+
+namespace pqs::core {
+
+namespace {
+constexpr std::uint32_t kAdvertiseTag = 1;
+constexpr std::uint32_t kLookupTag = 2;
+}  // namespace
+
+BiquorumSystem::BiquorumSystem(net::World& world, BiquorumSpec spec,
+                               membership::MembershipService* membership)
+    : spec_(spec), ctx_(world), router_(world) {
+    spec_.resolve_sizes(world.params().n);
+    ctx_.membership = membership;
+    ctx_.reply_router = &router_;
+
+    advertise_ = make_strategy(ctx_, spec_.advertise, kAdvertiseTag);
+    lookup_ = make_strategy(ctx_, spec_.lookup, kLookupTag);
+
+    router_.set_deliver(
+        [this](util::NodeId origin, const ReverseReplyMsg& msg) {
+            if (msg.strategy_tag == kAdvertiseTag) {
+                advertise_->on_reverse_reply(origin, msg);
+            } else if (msg.strategy_tag == kLookupTag) {
+                lookup_->on_reverse_reply(origin, msg);
+            }
+        });
+    // §7.1 caching: reply relays keep bystander copies of mappings.
+    router_.set_cache([this](util::NodeId at, util::Key key, Value value) {
+        ctx_.store(at).store_bystander(key, value);
+    });
+
+    for (util::NodeId id = 0; id < world.node_count(); ++id) {
+        attach_node(id);
+    }
+    world.add_spawn_listener([this](util::NodeId id) { attach_node(id); });
+}
+
+BiquorumSystem::~BiquorumSystem() = default;
+
+void BiquorumSystem::attach_node(util::NodeId id) {
+    router_.attach_node(id);
+    advertise_->attach_node(id);
+    lookup_->attach_node(id);
+    if (spec_.advertise.enroute_cache) {
+        // §7.1: nodes that forward a routed advertise keep a bystander
+        // copy. (Distinct from RANDOM-OPT, whose en-route nodes become
+        // full quorum members.)
+        ctx_.world.stack(id).add_snoop_handler(
+            [this, id](const net::Packet& packet) {
+                const auto req =
+                    std::dynamic_pointer_cast<const QuorumRequestMsg>(
+                        packet.data().app);
+                if (req && req->strategy_tag == kAdvertiseTag &&
+                    req->kind == AccessKind::kAdvertise) {
+                    ctx_.store(id).store_bystander(req->key, req->value);
+                }
+                return false;  // never consumes the packet
+            });
+    }
+}
+
+double BiquorumSystem::intersection_guarantee() const {
+    return 1.0 - nonintersection_upper_bound(spec_.advertise.quorum_size,
+                                             spec_.lookup.quorum_size,
+                                             ctx_.world.params().n);
+}
+
+void BiquorumSystem::advertise(util::NodeId origin, util::Key key,
+                               Value value, AccessCallback done) {
+    advertise_->access(AccessKind::kAdvertise, origin, key, value,
+                       std::move(done));
+}
+
+void BiquorumSystem::lookup(util::NodeId origin, util::Key key,
+                            AccessCallback done) {
+    lookup_->access(AccessKind::kLookup, origin, key, 0, std::move(done));
+}
+
+}  // namespace pqs::core

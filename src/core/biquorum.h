@@ -1,0 +1,55 @@
+// Probabilistic ε-intersecting biquorum system (§2.2, §5): binds an
+// advertise-side and a lookup-side access strategy — possibly different
+// ones, with different quorum sizes (the asymmetric construction enabled
+// by the Mix-and-Match Lemma 5.2) — and exposes generic quorum accesses.
+// The LocationService in location_service.h is the paper's main client.
+#pragma once
+
+#include <memory>
+
+#include "core/access_strategy.h"
+#include "core/quorum_spec.h"
+
+namespace pqs::core {
+
+class BiquorumSystem {
+public:
+    // `membership` may be null when neither strategy is RANDOM-based.
+    // Quorum sizes left at 0 in `spec` are derived from spec.eps via
+    // Corollary 5.3 for the world's node count.
+    BiquorumSystem(net::World& world, BiquorumSpec spec,
+                   membership::MembershipService* membership = nullptr);
+    ~BiquorumSystem();
+    BiquorumSystem(const BiquorumSystem&) = delete;
+    BiquorumSystem& operator=(const BiquorumSystem&) = delete;
+
+    const BiquorumSpec& spec() const { return spec_; }
+    ServiceContext& context() { return ctx_; }
+    AccessStrategy& advertise_strategy() { return *advertise_; }
+    AccessStrategy& lookup_strategy() { return *lookup_; }
+
+    // Analytic intersection guarantee of the configured sizes (Lemma 5.2)
+    // — meaningful when at least one side is RANDOM.
+    double intersection_guarantee() const;
+
+    // One advertise-quorum access (store key -> value at the quorum).
+    void advertise(util::NodeId origin, util::Key key, Value value,
+                   AccessCallback done);
+    // One lookup-quorum access.
+    void lookup(util::NodeId origin, util::Key key, AccessCallback done);
+
+    LocalStore& store(util::NodeId id) { return ctx_.store(id); }
+
+    // Installs handlers on a late-joining node (wired automatically via the
+    // world's spawn listener).
+    void attach_node(util::NodeId id);
+
+private:
+    BiquorumSpec spec_;
+    ServiceContext ctx_;
+    ReplyPathRouter router_;
+    std::unique_ptr<AccessStrategy> advertise_;
+    std::unique_ptr<AccessStrategy> lookup_;
+};
+
+}  // namespace pqs::core

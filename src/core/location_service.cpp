@@ -1,0 +1,40 @@
+#include "core/location_service.h"
+
+namespace pqs::core {
+
+LocationService::LocationService(net::World& world, BiquorumSpec spec,
+                                 membership::MembershipService* membership)
+    : world_(world), biquorum_(world, spec, membership) {
+    published_.resize(world.node_count());
+}
+
+void LocationService::advertise(util::NodeId origin, util::Key key,
+                                Value value, AccessCallback done) {
+    if (origin >= published_.size()) {
+        published_.resize(origin + 1);
+    }
+    published_[origin][key] = value;
+    biquorum_.advertise(origin, key, value, std::move(done));
+}
+
+void LocationService::lookup(util::NodeId origin, util::Key key,
+                             AccessCallback done) {
+    biquorum_.lookup(origin, key, std::move(done));
+}
+
+void LocationService::refresh(util::NodeId origin,
+                              AccessCallback per_key_done) {
+    if (origin >= published_.size()) {
+        return;
+    }
+    for (const auto& [key, value] : published_[origin]) {
+        biquorum_.advertise(origin, key, value, per_key_done);
+    }
+}
+
+const std::unordered_map<util::Key, Value>& LocationService::published(
+    util::NodeId node) const {
+    return node < published_.size() ? published_[node] : empty_;
+}
+
+}  // namespace pqs::core

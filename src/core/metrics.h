@@ -1,0 +1,36 @@
+// Result types for quorum accesses and per-run summaries.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace pqs::core {
+
+// Opaque value stored in the location service (e.g. an encoded location).
+using Value = std::uint64_t;
+
+struct AccessResult {
+    // Advertise: the quorum reached its target size.
+    // Lookup: a hit reply actually arrived at the originator.
+    bool ok = false;
+    // Lookup only: the access touched a node storing the key, whether or
+    // not the reply survived the trip back (Fig. 13(b) vs. 13(a)).
+    bool intersected = false;
+    std::optional<Value> value;
+    // With StrategyConfig::collect_all_replies: every value returned by a
+    // quorum member (used by registers to select the highest version).
+    std::vector<Value> values;
+    // Distinct quorum nodes contacted by this access.
+    std::size_t nodes_contacted = 0;
+    // Virtual time from request to resolution.
+    sim::Time latency = 0;
+    bool timed_out = false;
+};
+
+using AccessCallback = std::function<void(const AccessResult&)>;
+
+}  // namespace pqs::core

@@ -1,0 +1,20 @@
+#include "core/quorum_spec.h"
+
+namespace pqs::core {
+
+void BiquorumSpec::resolve_sizes(std::size_t n) {
+    if (advertise.quorum_size == 0 && lookup.quorum_size == 0) {
+        const std::size_t q = symmetric_quorum_size(n, eps);
+        advertise.quorum_size = q;
+        lookup.quorum_size = q;
+        return;
+    }
+    if (advertise.quorum_size == 0) {
+        advertise.quorum_size = lookup_size_for(lookup.quorum_size, n, eps);
+    }
+    if (lookup.quorum_size == 0) {
+        lookup.quorum_size = lookup_size_for(advertise.quorum_size, n, eps);
+    }
+}
+
+}  // namespace pqs::core

@@ -1,0 +1,183 @@
+#include "core/random_opt_strategy.h"
+
+#include <algorithm>
+
+#include "net/node_stack.h"
+
+namespace pqs::core {
+
+namespace {
+constexpr sim::Time kReplyGrace = 3 * sim::kSecond;
+}
+
+RandomOptStrategy::RandomOptStrategy(ServiceContext& ctx,
+                                     StrategyConfig config, std::uint32_t tag)
+    : AccessStrategy(ctx, config, tag),
+      ops_(ctx.world.simulator()),
+      rng_(ctx.world.rng().fork()) {}
+
+bool RandomOptStrategy::act_on_request(util::NodeId id,
+                                       const QuorumRequestMsg& req) {
+    LocalStore& store = ctx_.store(id);
+    ctx_.count_load(id);
+    if (req.kind == AccessKind::kAdvertise) {
+        // Every traversed node joins the advertise quorum (§4.5).
+        apply_advertise(store, req.key, req.value, config_.monotonic_store);
+        return false;
+    }
+    const std::optional<Value> found = store.find(req.key);
+    if (!found) {
+        return false;
+    }
+    if (req.probe) {
+        req.probe->intersected = true;
+    }
+    auto reply = std::make_shared<QuorumReplyMsg>();
+    reply->strategy_tag = tag_;
+    reply->op = req.op;
+    reply->key = req.key;
+    reply->found = true;
+    reply->value = *found;
+    reply->responder = id;
+    ctx_.world.stack(id).send_routed(req.origin, reply, nullptr);
+    return true;
+}
+
+void RandomOptStrategy::attach_node(util::NodeId id) {
+    net::NodeStack& stack = ctx_.world.stack(id);
+    stack.add_app_handler(
+        [this, id](util::NodeId, util::NodeId, const net::AppMsgPtr& msg) {
+            if (const auto req =
+                    std::dynamic_pointer_cast<const QuorumRequestMsg>(msg);
+                req && req->strategy_tag == tag_) {
+                act_on_request(id, *req);
+                return true;
+            }
+            if (const auto reply =
+                    std::dynamic_pointer_cast<const QuorumReplyMsg>(msg);
+                reply && reply->strategy_tag == tag_) {
+                if (reply->found) {
+                    finish(reply->op, true, reply->value);
+                }
+                return true;
+            }
+            return false;
+        });
+    // The cross-layer hook: inspect data packets this node merely forwards.
+    stack.add_snoop_handler([this, id](const net::Packet& packet) {
+        const auto req = std::dynamic_pointer_cast<const QuorumRequestMsg>(
+            packet.data().app);
+        if (!req || req->strategy_tag != tag_) {
+            return false;
+        }
+        const bool absorbed = act_on_request(id, *req);
+        if (absorbed) {
+            // The request stops here; from the origin's perspective the
+            // send resolved (it reached a quorum member).
+            on_target_resolved(req->op, true);
+        }
+        return absorbed;
+    });
+}
+
+void RandomOptStrategy::access(AccessKind kind, util::NodeId origin,
+                               util::Key key, Value value,
+                               AccessCallback done) {
+    const util::AccessId op = next_op(origin);
+    auto probe = std::make_shared<IntersectionProbe>();
+    auto& entry = ops_.open(op, std::move(done), ctx_.op_timeout,
+                            [probe](AccessResult& r) {
+                                r.intersected = probe->intersected;
+                            });
+    entry.state.kind = kind;
+    entry.state.key = key;
+    entry.state.value = value;
+    entry.state.probe = std::move(probe);
+
+    std::vector<util::NodeId> targets;
+    if (ctx_.membership != nullptr) {
+        targets = ctx_.membership->sample(origin, config_.quorum_size);
+    } else {
+        const std::vector<util::NodeId> alive = ctx_.world.alive_nodes();
+        const std::size_t take =
+            std::min<std::size_t>(config_.quorum_size, alive.size());
+        for (const std::size_t idx :
+             rng_.sample_without_replacement(alive.size(), take)) {
+            targets.push_back(alive[idx]);
+        }
+    }
+    if (targets.empty()) {
+        finish(op, false, 0);
+        return;
+    }
+    entry.state.targets = targets.size();
+    for (const util::NodeId target : targets) {
+        auto msg = std::make_shared<QuorumRequestMsg>();
+        msg->strategy_tag = tag_;
+        msg->op = op;
+        msg->kind = kind;
+        msg->key = key;
+        msg->value = value;
+        msg->origin = origin;
+        msg->want_reply = kind == AccessKind::kLookup;
+        msg->probe = entry.state.probe;
+        ++entry.state.outstanding;
+        ctx_.world.stack(origin).send_routed(
+            target, msg,
+            [this, op](bool delivered) { on_target_resolved(op, delivered); });
+    }
+    if (auto* e = ops_.find(op)) {
+        e->state.all_sent = true;
+        maybe_finish(op);
+    }
+}
+
+void RandomOptStrategy::on_target_resolved(util::AccessId op,
+                                           bool delivered) {
+    auto* entry = ops_.find(op);
+    if (entry == nullptr) {
+        return;
+    }
+    if (entry->state.outstanding > 0) {
+        --entry->state.outstanding;
+    }
+    if (delivered) {
+        ++entry->state.delivered;
+    }
+    maybe_finish(op);
+}
+
+void RandomOptStrategy::maybe_finish(util::AccessId op) {
+    auto* entry = ops_.find(op);
+    if (entry == nullptr || !entry->state.all_sent ||
+        entry->state.outstanding > 0) {
+        return;
+    }
+    OpState& state = entry->state;
+    if (state.kind == AccessKind::kAdvertise) {
+        finish(op, state.delivered == state.targets, 0);
+        return;
+    }
+    if (state.grace_timer == sim::kInvalidEvent) {
+        state.grace_timer = ctx_.world.simulator().schedule_in(
+            kReplyGrace, [this, op] { finish(op, false, 0); });
+    }
+}
+
+void RandomOptStrategy::finish(util::AccessId op, bool hit, Value value) {
+    auto* entry = ops_.find(op);
+    if (entry == nullptr) {
+        return;
+    }
+    const OpState& state = entry->state;
+    AccessResult result;
+    result.ok = hit;
+    result.intersected = hit || (state.probe && state.probe->intersected);
+    if (hit && state.kind == AccessKind::kLookup) {
+        result.value = value;
+    }
+    result.nodes_contacted = state.delivered;
+    ops_.resolve(op, result);
+}
+
+}  // namespace pqs::core

@@ -1,0 +1,75 @@
+// RANDOM access strategy (§4.1): the quorum is a uniformly random node set.
+// Two implementations, as in the paper:
+//  - membership-based: targets come from a membership service view and are
+//    contacted through AODV unicast routing;
+//  - sampling-based: each quorum member is reached by a maximum-degree
+//    random walk of ~mixing-time length (no routing, no membership).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/access_strategy.h"
+
+namespace pqs::core {
+
+class RandomStrategy final : public AccessStrategy {
+public:
+    enum class Mode { kMembership, kSampling };
+
+    RandomStrategy(ServiceContext& ctx, StrategyConfig config,
+                   std::uint32_t tag, Mode mode);
+
+    std::string name() const override;
+    void attach_node(util::NodeId id) override;
+    void access(AccessKind kind, util::NodeId origin, util::Key key,
+                Value value, AccessCallback done) override;
+    void on_reverse_reply(util::NodeId origin,
+                          const ReverseReplyMsg& msg) override;
+
+private:
+    struct OpState {
+        AccessKind kind = AccessKind::kLookup;
+        util::Key key = 0;
+        Value value = 0;
+        std::vector<util::NodeId> targets;
+        std::size_t target_quorum = 0;  // |Q| asked for (targets may grow
+                                        // with §6.2 replacements)
+        std::size_t next_target = 0;   // serial cursor
+        std::size_t outstanding = 0;   // in-flight routed sends
+        std::size_t delivered = 0;
+        bool serial = false;
+        std::shared_ptr<IntersectionProbe> probe;
+        std::vector<Value> collected;  // collect_all_replies mode
+        int replacements_left = 0;     // §6.2 application adaptation
+        bool all_sent = false;
+        std::size_t walks_ended = 0;  // sampling mode
+        sim::EventId grace_timer = sim::kInvalidEvent;
+    };
+
+    std::vector<util::NodeId> pick_targets(util::NodeId origin,
+                                           std::size_t k);
+    void send_to_target(util::AccessId op, util::NodeId origin,
+                        util::NodeId target);
+    void on_target_resolved(util::AccessId op, util::NodeId origin,
+                            bool delivered);
+    void maybe_finish(util::AccessId op);
+    void finish(util::AccessId op, bool hit, Value value);
+
+    // Sampling mode.
+    void launch_sampling_walks(util::AccessId op, util::NodeId origin);
+    struct SamplingWalkMsg;
+    void sampling_visit(util::NodeId at,
+                        std::shared_ptr<const SamplingWalkMsg> msg);
+    void sampling_forward(util::NodeId at,
+                          std::shared_ptr<const SamplingWalkMsg> msg,
+                          int salvage_left);
+    void sampling_terminal(util::NodeId at,
+                           std::shared_ptr<const SamplingWalkMsg> msg);
+
+    Mode mode_;
+    OpTable<OpState> ops_;
+    util::Rng rng_;
+};
+
+}  // namespace pqs::core

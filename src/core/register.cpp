@@ -1,0 +1,71 @@
+#include "core/register.h"
+
+#include <stdexcept>
+
+namespace pqs::core {
+
+RegisterService::RegisterService(BiquorumSystem& biquorum, util::Key key)
+    : biquorum_(biquorum), key_(key) {
+    const BiquorumSpec& spec = biquorum.spec();
+    if (!spec.lookup.collect_all_replies) {
+        throw std::invalid_argument(
+            "RegisterService: lookup side must collect_all_replies so reads "
+            "observe the highest stored version");
+    }
+    if (!spec.advertise.monotonic_store) {
+        throw std::invalid_argument(
+            "RegisterService: advertise side must use monotonic_store so an "
+            "older write cannot overwrite a newer one");
+    }
+}
+
+Versioned RegisterService::max_of(const AccessResult& r) {
+    Value best = 0;
+    for (const Value v : r.values) {
+        best = std::max(best, v);
+    }
+    if (r.value) {
+        best = std::max(best, *r.value);
+    }
+    return unpack(best);
+}
+
+void RegisterService::read(util::NodeId origin, ReadCallback done,
+                           bool write_back) {
+    biquorum_.lookup(origin, key_,
+                     [this, origin, write_back,
+                      done = std::move(done)](const AccessResult& r) {
+                         ReadResult result;
+                         result.ok = r.ok;
+                         result.value = max_of(r);
+                         if (!write_back || !r.ok) {
+                             done(result);
+                             return;
+                         }
+                         // ABD phase 2: propagate what we read so any later
+                         // read intersects a quorum that stores it.
+                         biquorum_.advertise(
+                             origin, key_, pack(result.value),
+                             [result, done](const AccessResult&) {
+                                 done(result);
+                             });
+                     });
+}
+
+void RegisterService::write(util::NodeId origin, std::uint32_t data,
+                            WriteCallback done) {
+    // Phase 1: learn the newest version any lookup-quorum member knows.
+    biquorum_.lookup(
+        origin, key_,
+        [this, origin, data, done = std::move(done)](const AccessResult& r) {
+            const std::uint32_t next_version = max_of(r).version + 1;
+            // Phase 2: store the new version at an advertise quorum.
+            biquorum_.advertise(
+                origin, key_, pack(Versioned{next_version, data}),
+                [next_version, done](const AccessResult& adv) {
+                    done(adv.ok, next_version);
+                });
+        });
+}
+
+}  // namespace pqs::core

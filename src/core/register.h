@@ -1,0 +1,75 @@
+// Probabilistic read/write registers over a biquorum system (§2.5 strict
+// semantics, §10): the classic two-phase quorum register (Attiya-Bar-Noy-
+// Dolev style) on top of probabilistic quorums, yielding *probabilistic
+// linearizability* — every operation behaves atomically with probability
+// >= the quorum intersection guarantee.
+//
+//  write(v):  phase 1 — read the current version from a lookup quorum;
+//             phase 2 — store (version+1, v) at an advertise quorum.
+//  read():    phase 1 — query a lookup quorum and take the highest
+//             version; phase 2 (optional write-back) — re-advertise that
+//             value so later reads cannot see an older one.
+//
+// Requirements on the biquorum spec (checked at construction):
+//  - the lookup side collects all replies (collect_all_replies), so reads
+//    see the highest version present in the quorum, not the first reply;
+//  - the advertise side stores monotonically (monotonic_store), so an old
+//    write can never clobber a newer one at a shared quorum member.
+#pragma once
+
+#include <cstdint>
+
+#include "core/biquorum.h"
+
+namespace pqs::core {
+
+// A register value: 32-bit version in the high bits, 32-bit payload in the
+// low bits — numeric order == version order, which is exactly what the
+// monotonic store compares.
+struct Versioned {
+    std::uint32_t version = 0;
+    std::uint32_t data = 0;
+
+    friend bool operator==(const Versioned&, const Versioned&) = default;
+};
+
+constexpr Value pack(Versioned v) {
+    return (static_cast<Value>(v.version) << 32) | v.data;
+}
+
+constexpr Versioned unpack(Value value) {
+    return Versioned{static_cast<std::uint32_t>(value >> 32),
+                     static_cast<std::uint32_t>(value & 0xffffffffULL)};
+}
+
+class RegisterService {
+public:
+    // `key` names the register inside the shared biquorum system. Throws
+    // std::invalid_argument if the spec lacks collect_all_replies /
+    // monotonic_store (see above).
+    RegisterService(BiquorumSystem& biquorum, util::Key key);
+
+    struct ReadResult {
+        bool ok = false;  // a quorum member held the register
+        Versioned value;
+    };
+    using ReadCallback = std::function<void(const ReadResult&)>;
+    // `write_back` re-advertises the value read (the ABD second phase);
+    // costs one advertise access but makes reads atomic, not just regular.
+    void read(util::NodeId origin, ReadCallback done,
+              bool write_back = false);
+
+    using WriteCallback =
+        std::function<void(bool ok, std::uint32_t version)>;
+    void write(util::NodeId origin, std::uint32_t data, WriteCallback done);
+
+    util::Key key() const { return key_; }
+
+private:
+    static Versioned max_of(const AccessResult& r);
+
+    BiquorumSystem& biquorum_;
+    util::Key key_;
+};
+
+}  // namespace pqs::core

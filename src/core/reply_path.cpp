@@ -1,0 +1,172 @@
+#include "core/reply_path.h"
+
+#include <algorithm>
+
+#include "net/node_stack.h"
+
+namespace pqs::core {
+
+void ReplyPathRouter::attach_node(util::NodeId id) {
+    world_.stack(id).add_app_handler(
+        [this, id](util::NodeId, util::NodeId, const net::AppMsgPtr& msg) {
+            const auto reply =
+                std::dynamic_pointer_cast<const ReverseReplyMsg>(msg);
+            if (!reply) {
+                return false;
+            }
+            forward(id, reply);
+            return true;
+        });
+}
+
+void ReplyPathRouter::start_reply(util::NodeId at, std::uint32_t strategy_tag,
+                                  util::AccessId op, util::Key key,
+                                  Value value,
+                                  const std::vector<util::NodeId>& forward_path,
+                                  ReplyOptions options,
+                                  std::shared_ptr<ReplyTracker> tracker) {
+    auto msg = std::make_shared<ReverseReplyMsg>();
+    msg->strategy_tag = strategy_tag;
+    msg->op = op;
+    msg->key = key;
+    msg->value = value;
+    msg->options = options;
+    msg->tracker = std::move(tracker);
+    // Reverse the forward path and strip the current node from its front;
+    // the remaining sequence ends at the origin.
+    msg->hops.assign(forward_path.rbegin(), forward_path.rend());
+    while (!msg->hops.empty() && msg->hops.front() == at) {
+        msg->hops.erase(msg->hops.begin());
+    }
+    forward(at, std::move(msg));
+}
+
+void ReplyPathRouter::forward(util::NodeId at,
+                              std::shared_ptr<const ReverseReplyMsg> msg) {
+    if (msg->options.cache_at_relays && cache_) {
+        cache_(at, msg->key, msg->value);
+    }
+    if (msg->hops.empty()) {
+        // `at` is the origin.
+        if (msg->tracker) {
+            msg->tracker->delivered = true;
+        }
+        if (deliver_) {
+            deliver_(at, *msg);
+        }
+        return;
+    }
+    if (!world_.alive(at)) {
+        if (msg->tracker) {
+            msg->tracker->mark_dropped();
+        }
+        return;
+    }
+    net::NodeStack& stack = world_.stack(at);
+
+    std::size_t next_index = 0;
+    if (msg->options.path_reduction) {
+        // §7.2: jump to the furthest path node that is currently a direct
+        // neighbor (the origin itself included).
+        for (std::size_t j = msg->hops.size(); j-- > 0;) {
+            if (stack.is_neighbor(msg->hops[j])) {
+                next_index = j;
+                break;
+            }
+        }
+    }
+
+    auto next_msg = std::make_shared<ReverseReplyMsg>(*msg);
+    next_msg->hops.erase(next_msg->hops.begin(),
+                         next_msg->hops.begin() +
+                             static_cast<std::ptrdiff_t>(next_index));
+    const util::NodeId next_hop = next_msg->hops.front();
+    next_msg->hops.erase(next_msg->hops.begin());
+
+    std::shared_ptr<const ReverseReplyMsg> out = next_msg;
+    stack.send_unicast(next_hop, out, [this, at, out, next_hop](bool ok) {
+        if (ok) {
+            return;
+        }
+        // The next hop moved away or died.
+        if (!out->options.local_repair) {
+            if (out->tracker) {
+                out->tracker->mark_dropped();
+            }
+            return;
+        }
+        if (out->hops.empty()) {
+            // The failed hop was the origin itself: unrestricted routing is
+            // the only option left (§6.2).
+            if (!out->options.global_fallback) {
+                if (out->tracker) {
+                    out->tracker->mark_dropped();
+                }
+                return;
+            }
+            if (out->tracker) {
+                ++out->tracker->repairs;
+            }
+            world_.stack(at).send_routed(
+                next_hop, out,
+                [out](bool delivered) {
+                    if (!delivered && out->tracker) {
+                        out->tracker->mark_dropped();
+                    }
+                },
+                net::RouteSendOptions{});
+            return;
+        }
+        // Try successive path nodes via TTL-scoped routing (§6.2).
+        repair(at, out, 0);
+    });
+}
+
+void ReplyPathRouter::repair(util::NodeId at,
+                             std::shared_ptr<const ReverseReplyMsg> msg,
+                             std::size_t hop_index) {
+    // msg->hops already excludes the hop whose unicast failed... except it
+    // does include all *remaining* nodes after that hop: hops[hop_index] is
+    // the next candidate target.
+    if (!world_.alive(at)) {
+        if (msg->tracker) {
+            msg->tracker->mark_dropped();
+        }
+        return;
+    }
+    if (hop_index >= msg->hops.size()) {
+        // All intermediate candidates failed; last resort is the origin.
+        if (msg->tracker) {
+            msg->tracker->mark_dropped();
+        }
+        return;
+    }
+    const bool last = hop_index + 1 == msg->hops.size();  // origin itself
+    const util::NodeId target = msg->hops[hop_index];
+
+    auto fwd = std::make_shared<ReverseReplyMsg>(*msg);
+    fwd->hops.erase(fwd->hops.begin(),
+                    fwd->hops.begin() +
+                        static_cast<std::ptrdiff_t>(hop_index + 1));
+    if (fwd->tracker) {
+        ++fwd->tracker->repairs;
+    }
+    net::RouteSendOptions opts;
+    opts.max_discovery_ttl = msg->options.repair_ttl;
+    if (last && msg->options.global_fallback) {
+        // §6.2: if the final hop cannot be found within TTL-3 either, fall
+        // back to unrestricted routing rather than dropping the reply.
+        opts.max_discovery_ttl = -1;
+    }
+    world_.stack(at).send_routed(
+        target, fwd,
+        [this, at, msg, hop_index](bool delivered) {
+            if (delivered) {
+                return;  // the reply continues from `target` on arrival
+            }
+            repair(at, msg, hop_index + 1);
+        },
+        opts);
+}
+
+}  // namespace pqs::core

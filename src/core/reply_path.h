@@ -1,0 +1,98 @@
+// Reverse-path reply delivery shared by the random-walk based strategies
+// (PATH, UNIQUE-PATH, sampling-RANDOM) and FLOODING. Implements the
+// paper's three reply techniques:
+//  - reply-path reduction (§7.2): skip ahead to the furthest node of the
+//    recorded path that is currently a direct neighbor;
+//  - reply-path local repair (§6.2): when a hop breaks (no MAC ack), try
+//    the next nodes along the path through TTL-limited routing;
+//  - global repair fallback (§6.2): if the scoped repair exhausts the path,
+//    route to the origin with unrestricted discovery (or drop, per config).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/metrics.h"
+#include "net/packet.h"
+#include "net/world.h"
+#include "util/ids.h"
+
+namespace pqs::core {
+
+// Measurement-only shared state for one reply (never read by protocols).
+struct ReplyTracker {
+    bool delivered = false;
+    bool dropped = false;
+    std::size_t repairs = 0;
+    std::function<void()> on_dropped;
+
+    void mark_dropped() {
+        if (!delivered && !dropped) {
+            dropped = true;
+            if (on_dropped) {
+                on_dropped();
+            }
+        }
+    }
+};
+
+struct ReplyOptions {
+    bool path_reduction = true;
+    bool local_repair = true;
+    int repair_ttl = 3;
+    bool global_fallback = true;
+    // §7.1: relay nodes keep a bystander copy of the mapping they carry.
+    bool cache_at_relays = false;
+};
+
+// The reply message, retracing the recorded forward path.
+struct ReverseReplyMsg final : net::AppMessage {
+    std::uint32_t strategy_tag = 0;
+    util::AccessId op;
+    util::Key key = 0;
+    Value value = 0;
+    // Remaining nodes to traverse, in order; back() is the lookup origin.
+    std::vector<util::NodeId> hops;
+    ReplyOptions options;
+    std::shared_ptr<ReplyTracker> tracker;
+
+    std::size_t size_bytes() const override { return 64 + 4 * hops.size(); }
+};
+
+class ReplyPathRouter {
+public:
+    using DeliverFn = std::function<void(util::NodeId origin,
+                                         const ReverseReplyMsg& msg)>;
+    using CacheFn =
+        std::function<void(util::NodeId at, util::Key key, Value value)>;
+
+    explicit ReplyPathRouter(net::World& world) : world_(world) {}
+
+    void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+    // Invoked at every relay node of replies whose options request caching.
+    void set_cache(CacheFn fn) { cache_ = std::move(fn); }
+
+    // Installs the app handler on `id` (call for every node).
+    void attach_node(util::NodeId id);
+
+    // Starts a reply at `at`. `forward_path` is the walk's path from the
+    // origin to `at` inclusive (front() == origin); the reply retraces it.
+    void start_reply(util::NodeId at, std::uint32_t strategy_tag,
+                     util::AccessId op, util::Key key, Value value,
+                     const std::vector<util::NodeId>& forward_path,
+                     ReplyOptions options,
+                     std::shared_ptr<ReplyTracker> tracker);
+
+private:
+    void forward(util::NodeId at, std::shared_ptr<const ReverseReplyMsg> msg);
+    void repair(util::NodeId at, std::shared_ptr<const ReverseReplyMsg> msg,
+                std::size_t hop_index);
+
+    net::World& world_;
+    DeliverFn deliver_;
+    CacheFn cache_;
+};
+
+}  // namespace pqs::core

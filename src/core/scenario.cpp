@@ -1,0 +1,265 @@
+#include "core/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "util/logging.h"
+
+namespace pqs::core {
+
+namespace {
+
+struct PhaseCounters {
+    double data = 0.0;
+    double routing = 0.0;
+};
+
+PhaseCounters snapshot(net::World& world) {
+    return PhaseCounters{world.metrics().counter("net.data.tx"),
+                         world.metrics().counter("net.routing.tx")};
+}
+
+// Runs `count` operations back to back: each op's completion schedules the
+// next after `spacing`. Drives the simulator until all ops completed or
+// the deadline passes.
+void run_sequential(net::World& world, std::size_t count, sim::Time spacing,
+                    sim::Time per_op_budget,
+                    const std::function<void(std::size_t,
+                                             std::function<void()>)>& op) {
+    if (count == 0) {
+        return;
+    }
+    sim::Simulator& simulator = world.simulator();
+    const sim::Time deadline =
+        simulator.now() +
+        static_cast<sim::Time>(count) * (per_op_budget + spacing) +
+        60 * sim::kSecond;
+
+    struct State {
+        std::size_t next = 0;
+        bool finished = false;
+    };
+    auto state = std::make_shared<State>();
+
+    std::function<void()> launch;
+    launch = [&world, &op, state, count, spacing, &launch] {
+        if (state->next >= count) {
+            state->finished = true;
+            return;
+        }
+        const std::size_t index = state->next++;
+        op(index, [&world, spacing, &launch] {
+            world.simulator().schedule_in(spacing, [&launch] { launch(); });
+        });
+    };
+    launch();
+    while (!state->finished && simulator.now() < deadline &&
+           simulator.step()) {
+    }
+    if (!state->finished) {
+        PQS_WARN("scenario: sequential op driver hit its deadline with "
+                 << state->next << "/" << count << " ops launched");
+    }
+}
+
+util::NodeId random_alive(net::World& world, util::Rng& rng) {
+    const auto alive = world.alive_nodes();
+    return alive[rng.index(alive.size())];
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioParams& params) {
+    net::World world(params.world);
+    std::unique_ptr<membership::OracleMembership> membership;
+    if (params.use_membership) {
+        membership::OracleMembershipParams mp;
+        mp.view_size = params.membership_view;
+        membership =
+            std::make_unique<membership::OracleMembership>(world, mp);
+    }
+    LocationService service(world, params.spec, membership.get());
+    service.biquorum().context().op_timeout = params.op_timeout;
+
+    ScenarioResult result;
+    result.n = params.world.n;
+    result.advertise_quorum =
+        service.biquorum().spec().advertise.quorum_size;
+    result.lookup_quorum = service.biquorum().spec().lookup.quorum_size;
+
+    world.start();
+    world.simulator().run_until(world.simulator().now() + params.warmup);
+
+    util::Rng rng(params.world.seed ^ 0x5ca1ab1e5eed);
+
+    // ---- advertise phase ----
+    const PhaseCounters before_adv = snapshot(world);
+    std::vector<util::Key> keys;
+    keys.reserve(params.advertise_count);
+    util::Accumulator adv_nodes;
+    std::size_t adv_ok = 0;
+    run_sequential(
+        world, params.advertise_count, params.op_spacing, params.op_timeout,
+        [&](std::size_t i, std::function<void()> next) {
+            const util::Key key = 1000 + i;
+            const util::NodeId origin = random_alive(world, rng);
+            keys.push_back(key);
+            service.advertise(origin, key, /*value=*/key * 7 + 1,
+                              [&, next = std::move(next)](
+                                  const AccessResult& r) {
+                                  if (r.ok) {
+                                      ++adv_ok;
+                                  }
+                                  adv_nodes.add(static_cast<double>(
+                                      r.nodes_contacted));
+                                  next();
+                              });
+        });
+    // Drain stragglers so their messages stay in the advertise phase.
+    world.simulator().run_until(world.simulator().now() + 2 * sim::kSecond);
+    const PhaseCounters after_adv = snapshot(world);
+
+    // ---- churn between phases (Fig. 14(f)) ----
+    if (params.fail_fraction > 0.0) {
+        auto alive = world.alive_nodes();
+        rng.shuffle(alive);
+        const auto kill = static_cast<std::size_t>(
+            params.fail_fraction * static_cast<double>(alive.size()));
+        for (std::size_t i = 0; i < kill; ++i) {
+            world.fail_node(alive[i]);
+        }
+    }
+    if (params.join_fraction > 0.0) {
+        const auto join = static_cast<std::size_t>(
+            params.join_fraction * static_cast<double>(params.world.n));
+        for (std::size_t i = 0; i < join; ++i) {
+            world.spawn_node();
+        }
+    }
+    if (params.adjust_lookup_to_network &&
+        (params.fail_fraction > 0.0 || params.join_fraction > 0.0)) {
+        const double scale =
+            std::sqrt(static_cast<double>(world.alive_count()) /
+                      static_cast<double>(params.world.n));
+        const auto adjusted = static_cast<std::size_t>(std::lround(
+            scale * static_cast<double>(result.lookup_quorum)));
+        service.biquorum().lookup_strategy().set_quorum_size(
+            std::max<std::size_t>(1, adjusted));
+    }
+
+    // ---- lookup phase ----
+    std::vector<util::NodeId> lookers;
+    {
+        const auto alive = world.alive_nodes();
+        const std::size_t k =
+            std::min<std::size_t>(params.lookup_nodes, alive.size());
+        for (const std::size_t idx :
+             rng.sample_without_replacement(alive.size(), k)) {
+            lookers.push_back(alive[idx]);
+        }
+    }
+    const PhaseCounters before_lkp = snapshot(world);
+    std::size_t hits = 0;
+    std::size_t intersections = 0;
+    std::size_t reply_drops = 0;
+    util::Accumulator lkp_nodes;
+    util::Accumulator lkp_latency;
+    run_sequential(
+        world, params.lookup_count, params.op_spacing, params.op_timeout,
+        [&](std::size_t i, std::function<void()> next) {
+            const util::Key key =
+                params.lookup_missing_keys
+                    ? 900000 + i
+                    : (keys.empty() ? 1 : keys[rng.index(keys.size())]);
+            const util::NodeId origin = lookers[rng.index(lookers.size())];
+            if (!world.alive(origin)) {
+                next();
+                return;
+            }
+            service.lookup(origin, key,
+                           [&, next = std::move(next)](const AccessResult& r) {
+                               if (r.ok) {
+                                   ++hits;
+                               }
+                               if (r.intersected) {
+                                   ++intersections;
+                               }
+                               if (r.intersected && !r.ok) {
+                                   ++reply_drops;
+                               }
+                               lkp_nodes.add(static_cast<double>(
+                                   r.nodes_contacted));
+                               lkp_latency.add(sim::to_seconds(r.latency));
+                               next();
+                           });
+        });
+    world.simulator().run_until(world.simulator().now() + 2 * sim::kSecond);
+    const PhaseCounters after_lkp = snapshot(world);
+
+    // ---- aggregate ----
+    const double n_adv = std::max<double>(1.0, params.advertise_count);
+    const double n_lkp = std::max<double>(1.0, params.lookup_count);
+    result.hit_ratio = static_cast<double>(hits) / n_lkp;
+    result.intersect_ratio = static_cast<double>(intersections) / n_lkp;
+    result.reply_drop_ratio = static_cast<double>(reply_drops) / n_lkp;
+    result.avg_lookup_nodes = lkp_nodes.empty() ? 0.0 : lkp_nodes.mean();
+    result.avg_lookup_latency_s =
+        lkp_latency.empty() ? 0.0 : lkp_latency.mean();
+    result.advertise_ok_ratio = static_cast<double>(adv_ok) / n_adv;
+    result.avg_advertise_nodes = adv_nodes.empty() ? 0.0 : adv_nodes.mean();
+    result.msgs_per_advertise = (after_adv.data - before_adv.data) / n_adv;
+    result.routing_per_advertise =
+        (after_adv.routing - before_adv.routing) / n_adv;
+    result.msgs_per_lookup = (after_lkp.data - before_lkp.data) / n_lkp;
+    result.routing_per_lookup =
+        (after_lkp.routing - before_lkp.routing) / n_lkp;
+    result.load = summarize_load(service.biquorum().context());
+    result.totals = world.metrics();
+    return result;
+}
+
+ScenarioResult run_scenario_averaged(ScenarioParams params, int runs,
+                                     std::uint64_t seed_base) {
+    ScenarioResult avg;
+    for (int r = 0; r < runs; ++r) {
+        params.world.seed = seed_base + static_cast<std::uint64_t>(r);
+        const ScenarioResult one = run_scenario(params);
+        avg.n = one.n;
+        avg.advertise_quorum = one.advertise_quorum;
+        avg.lookup_quorum = one.lookup_quorum;
+        avg.hit_ratio += one.hit_ratio;
+        avg.intersect_ratio += one.intersect_ratio;
+        avg.reply_drop_ratio += one.reply_drop_ratio;
+        avg.avg_lookup_nodes += one.avg_lookup_nodes;
+        avg.avg_lookup_latency_s += one.avg_lookup_latency_s;
+        avg.advertise_ok_ratio += one.advertise_ok_ratio;
+        avg.avg_advertise_nodes += one.avg_advertise_nodes;
+        avg.msgs_per_advertise += one.msgs_per_advertise;
+        avg.routing_per_advertise += one.routing_per_advertise;
+        avg.msgs_per_lookup += one.msgs_per_lookup;
+        avg.routing_per_lookup += one.routing_per_lookup;
+        avg.load.mean += one.load.mean;
+        avg.load.max += one.load.max;
+        avg.load.cv += one.load.cv;
+        avg.totals.merge(one.totals);
+    }
+    const double k = std::max(1, runs);
+    avg.hit_ratio /= k;
+    avg.intersect_ratio /= k;
+    avg.reply_drop_ratio /= k;
+    avg.avg_lookup_nodes /= k;
+    avg.avg_lookup_latency_s /= k;
+    avg.advertise_ok_ratio /= k;
+    avg.avg_advertise_nodes /= k;
+    avg.msgs_per_advertise /= k;
+    avg.routing_per_advertise /= k;
+    avg.msgs_per_lookup /= k;
+    avg.routing_per_lookup /= k;
+    avg.load.mean /= k;
+    avg.load.max /= k;
+    avg.load.cv /= k;
+    return avg;
+}
+
+}  // namespace pqs::core

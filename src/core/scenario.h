@@ -1,0 +1,79 @@
+// End-to-end experiment driver reproducing the paper's simulation scenario
+// (§2.4, §8): build a network, run a warm-up, perform a batch of
+// advertisements by random nodes, optionally apply churn, then perform a
+// batch of lookups from a set of random nodes, and report the paper's
+// metrics (hit ratio, network-layer messages per operation, additional
+// routing overhead, reply drops, ...).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/location_service.h"
+#include "membership/oracle_membership.h"
+#include "net/world.h"
+#include "util/stats.h"
+
+namespace pqs::core {
+
+struct ScenarioParams {
+    net::WorldParams world;
+    BiquorumSpec spec;
+    bool use_membership = true;  // attach an oracle membership service
+    // Membership view size; 0 keeps the paper's default of 2*sqrt(n).
+    std::size_t membership_view = 0;
+
+    std::size_t advertise_count = 100;  // paper: 100
+    std::size_t lookup_count = 1000;    // paper: 1000
+    std::size_t lookup_nodes = 25;      // paper: 25 random querying nodes
+    sim::Time warmup = 15 * sim::kSecond;
+    sim::Time op_spacing = 200 * sim::kMillisecond;
+    sim::Time op_timeout = 20 * sim::kSecond;
+
+    // Look up keys that were never advertised (measures the cost of a
+    // miss: the full quorum is paid, no early halting — Fig. 16).
+    bool lookup_missing_keys = false;
+
+    // Churn applied between the advertise and lookup phases (Fig. 14(f)):
+    // fractions of the post-advertise network that fail / join.
+    double fail_fraction = 0.0;
+    double join_fraction = 0.0;
+    // Re-derive the lookup quorum size from n(t) after churn (§6.1 case b).
+    bool adjust_lookup_to_network = false;
+};
+
+struct ScenarioResult {
+    std::size_t n = 0;
+    std::size_t advertise_quorum = 0;
+    std::size_t lookup_quorum = 0;
+
+    // Lookup-phase outcomes.
+    double hit_ratio = 0.0;        // replies received / lookups
+    double intersect_ratio = 0.0;  // quorums intersected / lookups
+    double reply_drop_ratio = 0.0; // intersected but reply lost
+    double avg_lookup_nodes = 0.0; // quorum nodes contacted per lookup
+    double avg_lookup_latency_s = 0.0;
+
+    // Advertise-phase outcomes.
+    double advertise_ok_ratio = 0.0;
+    double avg_advertise_nodes = 0.0;
+
+    // Message accounting (network-layer transmissions per operation).
+    double msgs_per_advertise = 0.0;
+    double routing_per_advertise = 0.0;
+    double msgs_per_lookup = 0.0;
+    double routing_per_lookup = 0.0;
+
+    // §3 load metric over the whole run (advertise + lookup phases).
+    LoadSummary load;
+
+    util::MetricSet totals;  // raw world counters at the end
+};
+
+ScenarioResult run_scenario(const ScenarioParams& params);
+
+// Averages `runs` scenario executions with seeds seed_base+0..runs-1.
+ScenarioResult run_scenario_averaged(ScenarioParams params, int runs,
+                                     std::uint64_t seed_base = 1);
+
+}  // namespace pqs::core

@@ -1,0 +1,59 @@
+// Per-node storage of the location service (§7.1): "owner" entries are the
+// node's responsibility as an advertise-quorum member; "bystander" entries
+// are opportunistic caches from traffic that passed through and may be
+// dropped under memory pressure.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "core/metrics.h"
+#include "util/ids.h"
+
+namespace pqs::core {
+
+class LocalStore {
+public:
+    void store_owner(util::Key key, Value value) {
+        owners_[key] = value;
+        bystanders_.erase(key);
+    }
+
+    void store_bystander(util::Key key, Value value) {
+        if (!owners_.contains(key)) {
+            bystanders_[key] = value;
+        }
+    }
+
+    std::optional<Value> find(util::Key key) const {
+        if (const auto it = owners_.find(key); it != owners_.end()) {
+            return it->second;
+        }
+        if (const auto it = bystanders_.find(key); it != bystanders_.end()) {
+            return it->second;
+        }
+        return std::nullopt;
+    }
+
+    bool is_owner(util::Key key) const { return owners_.contains(key); }
+    bool has(util::Key key) const { return find(key).has_value(); }
+
+    // Memory-pressure relief: bystander entries are expendable (§7.1).
+    void clear_bystanders() { bystanders_.clear(); }
+    void clear() {
+        owners_.clear();
+        bystanders_.clear();
+    }
+
+    std::size_t owner_count() const { return owners_.size(); }
+    std::size_t bystander_count() const { return bystanders_.size(); }
+    const std::unordered_map<util::Key, Value>& owners() const {
+        return owners_;
+    }
+
+private:
+    std::unordered_map<util::Key, Value> owners_;
+    std::unordered_map<util::Key, Value> bystanders_;
+};
+
+}  // namespace pqs::core

@@ -1,0 +1,249 @@
+#include "core/theory.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace pqs::core {
+
+namespace {
+void check_eps(double eps) {
+    if (!(eps > 0.0 && eps < 1.0)) {
+        throw std::invalid_argument("epsilon must be in (0, 1)");
+    }
+}
+}  // namespace
+
+double nonintersection_upper_bound(std::size_t qa, std::size_t ql,
+                                   std::size_t n) {
+    if (n == 0) {
+        throw std::invalid_argument("n must be > 0");
+    }
+    return std::exp(-static_cast<double>(qa) * static_cast<double>(ql) /
+                    static_cast<double>(n));
+}
+
+double nonintersection_exact(std::size_t qa, std::size_t ql, std::size_t n) {
+    if (n == 0) {
+        throw std::invalid_argument("n must be > 0");
+    }
+    if (qa + ql > n) {
+        return 0.0;  // pigeonhole: they must intersect
+    }
+    // Work in log space to avoid underflow for large quorums.
+    double log_p = 0.0;
+    for (std::size_t i = 0; i < qa; ++i) {
+        log_p += std::log(static_cast<double>(n - ql - i)) -
+                 std::log(static_cast<double>(n - i));
+    }
+    return std::exp(log_p);
+}
+
+double intersection_probability(std::size_t qa, std::size_t ql,
+                                std::size_t n) {
+    return 1.0 - nonintersection_exact(qa, ql, n);
+}
+
+double min_quorum_product(std::size_t n, double eps) {
+    check_eps(eps);
+    return static_cast<double>(n) * std::log(1.0 / eps);
+}
+
+std::size_t symmetric_quorum_size(std::size_t n, double eps) {
+    return static_cast<std::size_t>(
+        std::ceil(std::sqrt(min_quorum_product(n, eps))));
+}
+
+std::size_t lookup_size_for(std::size_t qa, std::size_t n, double eps) {
+    if (qa == 0) {
+        throw std::invalid_argument("advertise quorum size must be > 0");
+    }
+    const double needed = min_quorum_product(n, eps) /
+                          static_cast<double>(qa);
+    return std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(needed)));
+}
+
+double optimal_size_ratio(double tau, double cost_a, double cost_l) {
+    if (tau <= 0.0 || cost_a <= 0.0 || cost_l <= 0.0) {
+        throw std::invalid_argument(
+            "tau and per-node costs must be positive");
+    }
+    return cost_a / (tau * cost_l);
+}
+
+SizePair optimal_sizes(std::size_t n, double eps, double tau, double cost_a,
+                       double cost_l) {
+    const double product = min_quorum_product(n, eps);
+    // |Ql| = sqrt(product * cost_a / (tau * cost_l)) (Lemma 5.6 proof).
+    const double ql =
+        std::sqrt(product * cost_a / (tau * cost_l));
+    SizePair sizes;
+    sizes.lookup = std::max<std::size_t>(
+        1, std::min<std::size_t>(
+               n, static_cast<std::size_t>(std::ceil(ql))));
+    sizes.advertise = lookup_size_for(sizes.lookup, n, eps);
+    return sizes;
+}
+
+double total_access_cost(double n_advertise, double n_lookup, std::size_t qa,
+                         std::size_t ql, double cost_a, double cost_l) {
+    return n_advertise * static_cast<double>(qa) * cost_a +
+           n_lookup * static_cast<double>(ql) * cost_l;
+}
+
+double degraded_miss_bound(double eps0, double f, ChurnKind kind,
+                           LookupSizing sizing) {
+    check_eps(eps0);
+    if (f < 0.0 || f >= 1.0) {
+        throw std::invalid_argument("churn fraction must be in [0, 1)");
+    }
+    switch (kind) {
+        case ChurnKind::kFailuresOnly:
+            // n(t) = (1-f)n, |Qa(t)| = (1-f)|Qa|: the factors cancel.
+            return sizing == LookupSizing::kFixed
+                       ? eps0
+                       : std::pow(eps0, std::sqrt(1.0 - f));
+        case ChurnKind::kJoinsOnly:
+            // n(t) = (1+f)n, advertise quorum intact.
+            return sizing == LookupSizing::kFixed
+                       ? std::pow(eps0, 1.0 / (1.0 + f))
+                       : std::pow(eps0, 1.0 / std::sqrt(1.0 + f));
+        case ChurnKind::kFailuresAndJoins:
+            // Same number fail and join: n(t) = n, |Qa(t)| = (1-f)|Qa|.
+            // (Adjustment is a no-op since n is unchanged.)
+            return std::pow(eps0, 1.0 - f);
+    }
+    throw std::logic_error("unknown churn kind");
+}
+
+std::size_t fault_tolerance(std::size_t n, std::size_t q) {
+    if (q == 0 || q > n) {
+        throw std::invalid_argument("need 0 < q <= n");
+    }
+    return n - q + 1;
+}
+
+double failure_probability_bound(std::size_t n, double k, double p) {
+    if (n == 0 || k <= 0.0 || p < 0.0 || p > 1.0) {
+        throw std::invalid_argument(
+            "failure_probability_bound: need n > 0, k > 0, p in [0, 1]");
+    }
+    const double slack = 1.0 - p - k / std::sqrt(static_cast<double>(n));
+    if (slack <= 0.0) {
+        return 1.0;  // beyond the tolerable crash probability
+    }
+    return std::exp(-static_cast<double>(n) * slack * slack / 2.0);
+}
+
+std::size_t majority_quorum_size(std::size_t n) {
+    if (n == 0) {
+        throw std::invalid_argument("majority_quorum_size: n must be > 0");
+    }
+    return n / 2 + 1;
+}
+
+double rgg_connectivity_radius(std::size_t n, double safety) {
+    if (n < 2) {
+        throw std::invalid_argument("n must be >= 2");
+    }
+    return std::sqrt(safety * std::log(static_cast<double>(n)) /
+                     (std::numbers::pi * static_cast<double>(n)));
+}
+
+double rgg_diameter_hops(std::size_t n, double avg_degree) {
+    if (avg_degree <= 0.0) {
+        throw std::invalid_argument("avg_degree must be > 0");
+    }
+    // side/range = sqrt(pi n / d_avg); the hop diameter tracks the
+    // corner-to-corner Euclidean diameter sqrt(2)*side over range.
+    return std::sqrt(2.0 * std::numbers::pi * static_cast<double>(n) /
+                     avg_degree);
+}
+
+double expected_route_hops(std::size_t n, double avg_degree) {
+    // Mean distance between two uniform points in a square is ~0.52*side;
+    // each hop advances ~0.8*range along the line on dense RGGs.
+    return 0.65 * std::sqrt(std::numbers::pi * static_cast<double>(n) /
+                            avg_degree);
+}
+
+double pct_upper_bound(std::size_t t, double alpha) {
+    return 2.0 * alpha * static_cast<double>(t);
+}
+
+double crossing_time_lower_bound(double side, double range) {
+    if (side <= 0.0 || range <= 0.0 || range > side) {
+        throw std::invalid_argument("need 0 < range <= side");
+    }
+    const double half_columns = side / (2.0 * range);
+    return half_columns * half_columns;
+}
+
+double md_mixing_time(std::size_t n) { return static_cast<double>(n) / 2.0; }
+
+std::string strategy_name(StrategyKind kind) {
+    switch (kind) {
+        case StrategyKind::kRandom: return "RANDOM";
+        case StrategyKind::kRandomSampling: return "RANDOM(sampling)";
+        case StrategyKind::kRandomOpt: return "RANDOM-OPT";
+        case StrategyKind::kPath: return "PATH";
+        case StrategyKind::kUniquePath: return "UNIQUE-PATH";
+        case StrategyKind::kFlooding: return "FLOODING";
+    }
+    return "?";
+}
+
+double access_cost_messages(StrategyKind kind, std::size_t q, std::size_t n,
+                            double avg_degree) {
+    const double qd = static_cast<double>(q);
+    switch (kind) {
+        case StrategyKind::kRandom:
+            // q routed messages of expected_route_hops each.
+            return qd * expected_route_hops(n, avg_degree);
+        case StrategyKind::kRandomSampling:
+            // q maximum-degree walks of ~mixing-time length each.
+            return qd * md_mixing_time(n);
+        case StrategyKind::kRandomOpt:
+            // ln(n) routed messages; en-route nodes join the quorum.
+            return std::log(static_cast<double>(n)) *
+                   expected_route_hops(n, avg_degree);
+        case StrategyKind::kPath:
+            // PCT(q) with the empirical 2*alpha ~ 1.7 at d_avg = 10 (§4.2).
+            return 1.7 * qd;
+        case StrategyKind::kUniquePath:
+            // Self-avoiding walks almost never revisit for q = O(sqrt n).
+            return 1.05 * qd;
+        case StrategyKind::kFlooding:
+            // Every covered node broadcasts once; coverage granularity
+            // overshoots the target by ~d_avg/ln(d_avg) on the last ring.
+            return qd * (1.0 + 1.0 / std::max(1.0, std::log(avg_degree)));
+    }
+    throw std::logic_error("unknown strategy kind");
+}
+
+double estimate_network_size(std::size_t samples, std::size_t collisions) {
+    if (samples < 2 || collisions == 0) {
+        throw std::invalid_argument(
+            "need >= 2 samples and >= 1 collision to estimate");
+    }
+    return static_cast<double>(samples) *
+           static_cast<double>(samples - 1) /
+           (2.0 * static_cast<double>(collisions));
+}
+
+double estimate_network_size(const std::vector<util::NodeId>& samples) {
+    std::unordered_map<util::NodeId, std::size_t> counts;
+    for (const util::NodeId id : samples) {
+        ++counts[id];
+    }
+    std::size_t collisions = 0;
+    for (const auto& [id, c] : counts) {
+        collisions += c * (c - 1) / 2;
+    }
+    return estimate_network_size(samples.size(), collisions);
+}
+
+}  // namespace pqs::core

@@ -1,0 +1,140 @@
+// Closed-form results from the paper, used both by the runtime (quorum
+// sizing, refresh scheduling) and by the benches that regenerate the
+// analytic figures/tables (Figs. 3, 6, 7; Lemmas 5.1-5.6; Theorems 4.1,
+// 5.5; §6.1 degradation; §6.3 size estimation).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace pqs::core {
+
+// ---------- Intersection probability (Lemmas 5.1 / 5.2) ----------
+
+// Upper bound on Pr(Qa ∩ Ql = ∅) = exp(-|Qa||Ql|/n), valid whenever at
+// least one quorum is chosen uniformly at random (Mix-and-Match Lemma 5.2).
+double nonintersection_upper_bound(std::size_t qa, std::size_t ql,
+                                   std::size_t n);
+
+// Exact miss probability Π_{i=0}^{|Qa|-1} (n-|Ql|-i)/(n-i) from the proof
+// of Lemma 5.2 (0 when |Qa|+|Ql| > n).
+double nonintersection_exact(std::size_t qa, std::size_t ql, std::size_t n);
+
+double intersection_probability(std::size_t qa, std::size_t ql,
+                                std::size_t n);
+
+// ---------- Quorum sizing (Corollary 5.3) ----------
+
+// Minimal |Qa|·|Ql| product guaranteeing intersection prob >= 1-eps.
+double min_quorum_product(std::size_t n, double eps);
+
+// Symmetric size: ceil(sqrt(n ln(1/eps))).
+std::size_t symmetric_quorum_size(std::size_t n, double eps);
+
+// Given |Qa|, the minimal |Ql| meeting Corollary 5.3.
+std::size_t lookup_size_for(std::size_t qa, std::size_t n, double eps);
+
+// ---------- Optimal asymmetric sizing (Lemma 5.6) ----------
+
+struct SizePair {
+    std::size_t advertise = 0;
+    std::size_t lookup = 0;
+};
+
+// Optimal |Ql|/|Qa| ratio: (1/tau) * (cost_a / cost_l), where tau is the
+// lookup:advertise frequency ratio and cost_x the per-node access cost.
+double optimal_size_ratio(double tau, double cost_a, double cost_l);
+
+// Sizes meeting Corollary 5.3 at the Lemma 5.6 optimum.
+SizePair optimal_sizes(std::size_t n, double eps, double tau, double cost_a,
+                       double cost_l);
+
+// Total access cost (Lemma 5.6 proof): advertisements + lookups.
+double total_access_cost(double n_advertise, double n_lookup,
+                         std::size_t qa, std::size_t ql, double cost_a,
+                         double cost_l);
+
+// ---------- Degradation under churn (§6.1, Fig. 7) ----------
+
+enum class ChurnKind { kFailuresOnly, kJoinsOnly, kFailuresAndJoins };
+enum class LookupSizing { kFixed, kAdjustedToNetworkSize };
+
+// Upper bound on the miss probability after a fraction f of the network
+// churned, starting from an initial bound eps0.
+double degraded_miss_bound(double eps0, double f, ChurnKind kind,
+                           LookupSizing sizing);
+
+// ---------- Failure resilience (§3, after Malkhi et al.) ----------
+
+// Fault tolerance of a probabilistic quorum system with quorums of size q:
+// the smallest node set intersecting all quorums has n - q + 1 nodes.
+std::size_t fault_tolerance(std::size_t n, std::size_t q);
+
+// Malkhi et al.'s failure-probability bound: with quorums of size k*sqrt(n)
+// and independent crash probability p <= 1 - k/sqrt(n), the probability
+// that *no* live quorum remains is at most exp(-n*(1-p-k/sqrt(n))^2 / 2)
+// (Chernoff bound on the number of survivors). Returns 1 when p exceeds
+// the tolerable range.
+double failure_probability_bound(std::size_t n, double k, double p);
+
+// Deterministic majority baseline: a strict majority quorum has size
+// floor(n/2)+1 and tolerates ceil(n/2)-1 failures before losing liveness
+// (vs Omega(n) fault tolerance at sqrt(n) size for probabilistic quorums).
+std::size_t majority_quorum_size(std::size_t n);
+
+// ---------- RGG / random-walk results ----------
+
+// Gupta-Kumar connectivity radius for n uniform nodes on a unit square:
+// r = sqrt(C ln n / (pi n)); the network is w.h.p. connected for C > 1.
+double rgg_connectivity_radius(std::size_t n, double safety = 1.0);
+
+// Expected hop diameter of the density-scaled RGG of §2.4:
+// side/range = sqrt(pi n / d_avg), so diameter ~ sqrt(pi n / d_avg) hops.
+double rgg_diameter_hops(std::size_t n, double avg_degree);
+
+// Expected hop length of a route between two uniform nodes (~ half the
+// corner-to-corner diameter; used for the Fig. 3/6 cost entries).
+double expected_route_hops(std::size_t n, double avg_degree);
+
+// Theorem 4.1: PCT(t) <= 2*alpha*t for t = o(n). alpha is the empirical
+// revisit constant (~0.85 at d_avg = 10, i.e. 2*alpha ~ 1.7 -- §4.2).
+double pct_upper_bound(std::size_t t, double alpha);
+
+// Theorem 5.5: crossing time of two walks is Omega(r^-2); with the column
+// projection argument the walk must cover (side/2r)^2 line steps.
+double crossing_time_lower_bound(double side, double range);
+
+// Mixing-time estimate of the MD walk on RGGs (~ n/2, Bar-Yossef et al.).
+double md_mixing_time(std::size_t n);
+
+// ---------- Asymptotic access-cost table (Figs. 3 and 6) ----------
+
+enum class StrategyKind {
+    kRandom,          // membership-based RANDOM
+    kRandomSampling,  // sampling-based RANDOM (MD walks)
+    kRandomOpt,
+    kPath,
+    kUniquePath,
+    kFlooding,
+};
+
+std::string strategy_name(StrategyKind kind);
+
+// Expected number of network-layer messages to access a quorum of size q
+// with the given strategy on the density-scaled RGG (Fig. 3 rows; leading
+// constants from the paper's empirical study).
+double access_cost_messages(StrategyKind kind, std::size_t q, std::size_t n,
+                            double avg_degree);
+
+// ---------- Network size estimation (§6.3) ----------
+
+// Birthday-paradox estimator: k uniform samples with c observed pairwise
+// collisions give n ≈ k(k-1)/(2c).
+double estimate_network_size(std::size_t samples, std::size_t collisions);
+// Count pairwise collisions in a sample multiset and estimate n.
+double estimate_network_size(const std::vector<util::NodeId>& samples);
+
+}  // namespace pqs::core

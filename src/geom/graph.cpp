@@ -1,0 +1,161 @@
+#include "geom/graph.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace pqs::geom {
+
+void Graph::add_edge(util::NodeId a, util::NodeId b) {
+    if (a >= adjacency_.size() || b >= adjacency_.size()) {
+        throw std::out_of_range("Graph::add_edge: vertex out of range");
+    }
+    if (a == b) {
+        throw std::invalid_argument("Graph::add_edge: self loop");
+    }
+    adjacency_[a].push_back(b);
+    adjacency_[b].push_back(a);
+    ++edge_count_;
+}
+
+double Graph::average_degree() const {
+    if (adjacency_.empty()) {
+        return 0.0;
+    }
+    return 2.0 * static_cast<double>(edge_count_) /
+           static_cast<double>(adjacency_.size());
+}
+
+std::size_t Graph::min_degree() const {
+    std::size_t best = kUnreachable;
+    for (const auto& adj : adjacency_) {
+        best = std::min(best, adj.size());
+    }
+    return adjacency_.empty() ? 0 : best;
+}
+
+std::size_t Graph::max_degree() const {
+    std::size_t best = 0;
+    for (const auto& adj : adjacency_) {
+        best = std::max(best, adj.size());
+    }
+    return best;
+}
+
+std::vector<std::size_t> Graph::bfs_distances(util::NodeId source) const {
+    std::vector<std::size_t> dist(adjacency_.size(), kUnreachable);
+    dist[source] = 0;
+    std::queue<util::NodeId> frontier;
+    frontier.push(source);
+    while (!frontier.empty()) {
+        const util::NodeId v = frontier.front();
+        frontier.pop();
+        for (const util::NodeId u : adjacency_[v]) {
+            if (dist[u] == kUnreachable) {
+                dist[u] = dist[v] + 1;
+                frontier.push(u);
+            }
+        }
+    }
+    return dist;
+}
+
+std::size_t Graph::nodes_within_hops(util::NodeId source,
+                                     std::size_t ttl) const {
+    const auto dist = bfs_distances(source);
+    std::size_t covered = 0;
+    for (const std::size_t d : dist) {
+        if (d != kUnreachable && d <= ttl) {
+            ++covered;
+        }
+    }
+    return covered;
+}
+
+std::vector<std::size_t> Graph::ring_sizes(util::NodeId source) const {
+    const auto dist = bfs_distances(source);
+    std::size_t ecc = 0;
+    for (const std::size_t d : dist) {
+        if (d != kUnreachable) {
+            ecc = std::max(ecc, d);
+        }
+    }
+    std::vector<std::size_t> rings(ecc + 1, 0);
+    for (const std::size_t d : dist) {
+        if (d != kUnreachable) {
+            ++rings[d];
+        }
+    }
+    return rings;
+}
+
+bool Graph::is_connected() const {
+    if (adjacency_.empty()) {
+        return true;
+    }
+    return component_size(0) == adjacency_.size();
+}
+
+std::size_t Graph::component_size(util::NodeId v) const {
+    const auto dist = bfs_distances(v);
+    return static_cast<std::size_t>(
+        std::count_if(dist.begin(), dist.end(),
+                      [](std::size_t d) { return d != kUnreachable; }));
+}
+
+std::size_t Graph::component_count() const {
+    std::vector<bool> seen(adjacency_.size(), false);
+    std::size_t components = 0;
+    for (util::NodeId v = 0; v < adjacency_.size(); ++v) {
+        if (seen[v]) {
+            continue;
+        }
+        ++components;
+        const auto dist = bfs_distances(v);
+        for (std::size_t u = 0; u < dist.size(); ++u) {
+            if (dist[u] != kUnreachable) {
+                seen[u] = true;
+            }
+        }
+    }
+    return components;
+}
+
+std::size_t Graph::eccentricity(util::NodeId v) const {
+    const auto dist = bfs_distances(v);
+    std::size_t ecc = 0;
+    for (const std::size_t d : dist) {
+        if (d != kUnreachable) {
+            ecc = std::max(ecc, d);
+        }
+    }
+    return ecc;
+}
+
+std::size_t Graph::diameter() const {
+    std::size_t best = 0;
+    for (util::NodeId v = 0; v < adjacency_.size(); ++v) {
+        best = std::max(best, eccentricity(v));
+    }
+    return best;
+}
+
+Graph Graph::subgraph(const std::vector<bool>& alive) const {
+    if (alive.size() != adjacency_.size()) {
+        throw std::invalid_argument("Graph::subgraph: size mismatch");
+    }
+    Graph g(adjacency_.size());
+    for (util::NodeId v = 0; v < adjacency_.size(); ++v) {
+        if (!alive[v]) {
+            continue;
+        }
+        for (const util::NodeId u : adjacency_[v]) {
+            if (u > v && alive[u]) {
+                g.add_edge(v, u);
+            }
+        }
+    }
+    return g;
+}
+
+}  // namespace pqs::geom

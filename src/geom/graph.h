@@ -1,0 +1,68 @@
+// Static adjacency-list graph plus the graph algorithms the paper's
+// analysis relies on: connectivity, hop-distance BFS (flooding coverage),
+// diameter, and degree statistics.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace pqs::geom {
+
+inline constexpr std::size_t kUnreachable =
+    std::numeric_limits<std::size_t>::max();
+
+class Graph {
+public:
+    Graph() = default;
+    explicit Graph(std::size_t n) : adjacency_(n) {}
+
+    std::size_t node_count() const { return adjacency_.size(); }
+    std::size_t edge_count() const { return edge_count_; }
+
+    // Adds an undirected edge; duplicate edges are the caller's problem
+    // (RGG construction never produces them).
+    void add_edge(util::NodeId a, util::NodeId b);
+
+    std::span<const util::NodeId> neighbors(util::NodeId v) const {
+        return adjacency_[v];
+    }
+    std::size_t degree(util::NodeId v) const { return adjacency_[v].size(); }
+    double average_degree() const;
+    std::size_t min_degree() const;
+    std::size_t max_degree() const;
+
+    // Hop distance from source to every node (kUnreachable if disconnected).
+    std::vector<std::size_t> bfs_distances(util::NodeId source) const;
+
+    // Number of nodes within `ttl` hops of source, including source itself.
+    // This is exactly the flooding coverage N_TTL of Section 4.4 under the
+    // protocol model.
+    std::size_t nodes_within_hops(util::NodeId source, std::size_t ttl) const;
+
+    // Coverage per ring: result[i] = #nodes at hop distance exactly i.
+    std::vector<std::size_t> ring_sizes(util::NodeId source) const;
+
+    bool is_connected() const;
+    // Size of the connected component containing `v`.
+    std::size_t component_size(util::NodeId v) const;
+    std::size_t component_count() const;
+
+    // Eccentricity of `v` = max hop distance to any reachable node.
+    std::size_t eccentricity(util::NodeId v) const;
+    // Exact diameter by running BFS from every node. O(n * (n + m)).
+    std::size_t diameter() const;
+
+    // Restriction of this graph to the vertices where alive[v] is true;
+    // used for churn experiments (failed nodes drop out of the topology).
+    Graph subgraph(const std::vector<bool>& alive) const;
+
+private:
+    std::vector<std::vector<util::NodeId>> adjacency_;
+    std::size_t edge_count_ = 0;
+};
+
+}  // namespace pqs::geom

@@ -1,0 +1,171 @@
+#include "geom/random_walk.h"
+
+#include <stdexcept>
+
+namespace pqs::geom {
+
+util::NodeId walk_step(const Graph& g, util::NodeId current, WalkKind kind,
+                       util::Rng& rng,
+                       const std::unordered_set<util::NodeId>* visited,
+                       std::size_t max_degree) {
+    const auto neighbors = g.neighbors(current);
+    if (neighbors.empty()) {
+        return current;
+    }
+    switch (kind) {
+        case WalkKind::kSimple:
+            return neighbors[rng.index(neighbors.size())];
+        case WalkKind::kSelfAvoiding: {
+            if (visited == nullptr) {
+                throw std::invalid_argument(
+                    "walk_step: self-avoiding walk needs a visited set");
+            }
+            // Reservoir-sample one unvisited neighbor so we do not allocate.
+            util::NodeId choice = util::kInvalidNode;
+            std::size_t seen = 0;
+            for (const util::NodeId u : neighbors) {
+                if (visited->contains(u)) {
+                    continue;
+                }
+                ++seen;
+                if (rng.index(seen) == 0) {
+                    choice = u;
+                }
+            }
+            if (choice != util::kInvalidNode) {
+                return choice;
+            }
+            // All neighbors visited: fall back to a simple step (§4.3).
+            return neighbors[rng.index(neighbors.size())];
+        }
+        case WalkKind::kMaxDegree: {
+            if (max_degree == 0) {
+                throw std::invalid_argument(
+                    "walk_step: max-degree walk needs max_degree > 0");
+            }
+            // Move to a uniformly chosen neighbor with prob d(v)/d_max,
+            // otherwise self-loop; equivalent to picking a slot in
+            // [0, d_max) and staying if the slot exceeds the degree.
+            const std::size_t slot = rng.index(max_degree);
+            if (slot < neighbors.size()) {
+                return neighbors[slot];
+            }
+            return current;
+        }
+    }
+    throw std::logic_error("walk_step: unknown walk kind");
+}
+
+namespace {
+
+// Shared walk driver. `on_new_unique` is called each time a new distinct
+// node is visited (including the start) and returns true to keep walking.
+template <typename OnNewUnique>
+WalkResult run_walk(const Graph& g, util::NodeId start, WalkKind kind,
+                    std::size_t max_steps, util::Rng& rng,
+                    OnNewUnique on_new_unique) {
+    const std::size_t max_degree =
+        kind == WalkKind::kMaxDegree ? g.max_degree() : 0;
+    WalkResult result;
+    std::unordered_set<util::NodeId> visited;
+    result.trajectory.push_back(start);
+    visited.insert(start);
+    result.unique_order.push_back(start);
+    if (!on_new_unique(result)) {
+        return result;
+    }
+    util::NodeId current = start;
+    for (std::size_t step = 0; step < max_steps; ++step) {
+        current = walk_step(g, current, kind, rng, &visited, max_degree);
+        result.trajectory.push_back(current);
+        ++result.steps;
+        if (visited.insert(current).second) {
+            result.unique_order.push_back(current);
+            if (!on_new_unique(result)) {
+                break;
+            }
+        }
+    }
+    return result;
+}
+
+}  // namespace
+
+WalkResult walk_until_unique(const Graph& g, util::NodeId start,
+                             WalkKind kind, std::size_t target_unique,
+                             std::size_t max_steps, util::Rng& rng) {
+    return run_walk(g, start, kind, max_steps, rng,
+                    [target_unique](const WalkResult& r) {
+                        return r.unique_order.size() < target_unique;
+                    });
+}
+
+WalkResult walk_fixed_length(const Graph& g, util::NodeId start,
+                             WalkKind kind, std::size_t steps,
+                             util::Rng& rng) {
+    return run_walk(g, start, kind, steps, rng,
+                    [](const WalkResult&) { return true; });
+}
+
+std::vector<std::optional<std::size_t>> partial_cover_steps(
+    const Graph& g, util::NodeId start, WalkKind kind,
+    const std::vector<std::size_t>& targets, std::size_t max_steps,
+    util::Rng& rng) {
+    for (std::size_t i = 1; i < targets.size(); ++i) {
+        if (targets[i] <= targets[i - 1]) {
+            throw std::invalid_argument(
+                "partial_cover_steps: targets must be strictly increasing");
+        }
+    }
+    std::vector<std::optional<std::size_t>> result(targets.size());
+    std::size_t next_target = 0;
+    run_walk(g, start, kind, max_steps, rng,
+             [&](const WalkResult& r) {
+                 while (next_target < targets.size() &&
+                        r.unique_order.size() >= targets[next_target]) {
+                     result[next_target] = r.steps;
+                     ++next_target;
+                 }
+                 return next_target < targets.size();
+             });
+    return result;
+}
+
+std::optional<std::size_t> crossing_time(const Graph& g, util::NodeId u,
+                                         util::NodeId v, WalkKind kind,
+                                         std::size_t max_steps,
+                                         util::Rng& rng) {
+    const std::size_t max_degree =
+        kind == WalkKind::kMaxDegree ? g.max_degree() : 0;
+    std::unordered_set<util::NodeId> seen_u{u};
+    std::unordered_set<util::NodeId> seen_v{v};
+    if (u == v) {
+        return 0;
+    }
+    util::NodeId cur_u = u;
+    util::NodeId cur_v = v;
+    for (std::size_t t = 1; t <= max_steps; ++t) {
+        cur_u = walk_step(g, cur_u, kind, rng, &seen_u, max_degree);
+        cur_v = walk_step(g, cur_v, kind, rng, &seen_v, max_degree);
+        seen_u.insert(cur_u);
+        seen_v.insert(cur_v);
+        if (seen_v.contains(cur_u) || seen_u.contains(cur_v)) {
+            return t;
+        }
+    }
+    return std::nullopt;
+}
+
+util::NodeId md_walk_sample(const Graph& g, util::NodeId start,
+                            std::size_t length, util::Rng& rng) {
+    const std::size_t max_degree = g.max_degree();
+    util::NodeId current = start;
+    for (std::size_t i = 0; i < length; ++i) {
+        current =
+            walk_step(g, current, WalkKind::kMaxDegree, rng, nullptr,
+                      max_degree);
+    }
+    return current;
+}
+
+}  // namespace pqs::geom

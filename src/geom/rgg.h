@@ -1,0 +1,55 @@
+// Random geometric graph construction following the paper's setup (§2.4):
+// n nodes placed uniformly at random in a square of side a, where the area
+// is scaled so that the expected number of one-hop neighbors equals d_avg:
+//     a² = π r² n / d_avg            (r = transmission range, 200 m default)
+// Two nodes are connected iff their distance is at most r (unit-disk /
+// protocol model). The torus metric is available for theory experiments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/graph.h"
+#include "geom/vec2.h"
+#include "util/rng.h"
+
+namespace pqs::geom {
+
+struct RggParams {
+    std::size_t n = 100;
+    double range = 200.0;        // ideal reception range r, meters
+    double avg_degree = 10.0;    // d_avg; determines the area
+    Metric metric = Metric::kPlane;
+
+    // Side of the square world implied by the density scaling.
+    double side() const;
+};
+
+struct Rgg {
+    RggParams params;
+    std::vector<Vec2> positions;
+    Graph graph;
+
+    double side() const { return params.side(); }
+};
+
+// Samples node positions and builds the connectivity graph. O(n · d_avg)
+// expected time via a spatial grid.
+Rgg make_rgg(const RggParams& params, util::Rng& rng);
+
+// Rebuilds only the connectivity graph for a given placement (e.g. after
+// mobility moved nodes, or to restrict the radius).
+Graph build_unit_disk_graph(const std::vector<Vec2>& positions, double range,
+                            double side, Metric metric = Metric::kPlane);
+
+// Keeps resampling until the graph is connected; gives up (throws) after
+// `max_attempts`. The paper notes d_avg >= 7 keeps all their networks
+// connected; with that density a handful of attempts always suffices.
+Rgg make_connected_rgg(const RggParams& params, util::Rng& rng,
+                       int max_attempts = 50);
+
+// Minimal average degree for asymptotic connectivity per Gupta-Kumar:
+// d_avg = π r² n / a² should exceed C·ln n with C > 1.
+double gupta_kumar_min_degree(std::size_t n, double safety = 1.0);
+
+}  // namespace pqs::geom

@@ -1,0 +1,138 @@
+#include "geom/spatial_grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pqs::geom {
+
+SpatialGrid::SpatialGrid(double side, double cell, Metric metric)
+    : side_(side), metric_(metric) {
+    if (side <= 0.0 || cell <= 0.0) {
+        throw std::invalid_argument("SpatialGrid: side and cell must be > 0");
+    }
+    cells_per_side_ = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::floor(side / cell)));
+    cell_size_ = side / static_cast<double>(cells_per_side_);
+    buckets_.resize(cells_per_side_ * cells_per_side_);
+}
+
+std::size_t SpatialGrid::cell_of(Vec2 pos) const {
+    const auto clamp_idx = [this](double coord) {
+        if (coord < 0.0) coord = 0.0;
+        auto idx = static_cast<std::size_t>(coord / cell_size_);
+        return std::min(idx, cells_per_side_ - 1);
+    };
+    return clamp_idx(pos.y) * cells_per_side_ + clamp_idx(pos.x);
+}
+
+void SpatialGrid::insert(util::NodeId id, Vec2 pos) {
+    if (id >= entries_.size()) {
+        entries_.resize(id + 1);
+    }
+    if (entries_[id].live) {
+        throw std::logic_error("SpatialGrid::insert: id already present");
+    }
+    const std::size_t cell = cell_of(pos);
+    entries_[id] = Entry{pos, true, cell, buckets_[cell].size()};
+    buckets_[cell].push_back(id);
+    ++live_count_;
+}
+
+void SpatialGrid::unlink(util::NodeId id) {
+    Entry& e = entries_[id];
+    auto& bucket = buckets_[e.cell];
+    // Swap-remove, fixing the moved entry's slot.
+    const util::NodeId last = bucket.back();
+    bucket[e.slot] = last;
+    entries_[last].slot = e.slot;
+    bucket.pop_back();
+}
+
+void SpatialGrid::remove(util::NodeId id) {
+    if (!contains(id)) {
+        throw std::logic_error("SpatialGrid::remove: id not present");
+    }
+    unlink(id);
+    entries_[id].live = false;
+    --live_count_;
+}
+
+void SpatialGrid::move(util::NodeId id, Vec2 new_pos) {
+    if (!contains(id)) {
+        throw std::logic_error("SpatialGrid::move: id not present");
+    }
+    Entry& e = entries_[id];
+    const std::size_t new_cell = cell_of(new_pos);
+    if (new_cell != e.cell) {
+        unlink(id);
+        e.cell = new_cell;
+        e.slot = buckets_[new_cell].size();
+        buckets_[new_cell].push_back(id);
+    }
+    e.pos = new_pos;
+}
+
+bool SpatialGrid::contains(util::NodeId id) const {
+    return id < entries_.size() && entries_[id].live;
+}
+
+Vec2 SpatialGrid::position(util::NodeId id) const {
+    if (!contains(id)) {
+        throw std::logic_error("SpatialGrid::position: id not present");
+    }
+    return entries_[id].pos;
+}
+
+void SpatialGrid::query(Vec2 center, double radius,
+                        std::vector<util::NodeId>& out,
+                        util::NodeId exclude) const {
+    const double r_sq = radius * radius;
+    const auto reach =
+        static_cast<long>(std::ceil(radius / cell_size_));
+    const long cx = static_cast<long>(
+        std::min(center.x / cell_size_,
+                 static_cast<double>(cells_per_side_ - 1)));
+    const long cy = static_cast<long>(
+        std::min(center.y / cell_size_,
+                 static_cast<double>(cells_per_side_ - 1)));
+    const long n = static_cast<long>(cells_per_side_);
+
+    for (long dy = -reach; dy <= reach; ++dy) {
+        for (long dx = -reach; dx <= reach; ++dx) {
+            long gx = cx + dx;
+            long gy = cy + dy;
+            if (metric_ == Metric::kTorus) {
+                gx = ((gx % n) + n) % n;
+                gy = ((gy % n) + n) % n;
+            } else if (gx < 0 || gy < 0 || gx >= n || gy >= n) {
+                continue;
+            }
+            // On a small torus the wrap can revisit cells; guard against
+            // double-counting by skipping duplicates of the center cell ring.
+            const auto& bucket =
+                buckets_[static_cast<std::size_t>(gy) * cells_per_side_ +
+                         static_cast<std::size_t>(gx)];
+            for (const util::NodeId id : bucket) {
+                if (id == exclude) {
+                    continue;
+                }
+                const Vec2 p = entries_[id].pos;
+                const double d =
+                    metric_ == Metric::kTorus
+                        ? torus_distance(center, p, side_)
+                        : distance(center, p);
+                if (d * d <= r_sq) {
+                    out.push_back(id);
+                }
+            }
+        }
+    }
+    if (metric_ == Metric::kTorus && 2 * reach + 1 >= n) {
+        // Wrapped rings overlapped: deduplicate.
+        std::sort(out.begin(), out.end());
+        out.erase(std::unique(out.begin(), out.end()), out.end());
+    }
+}
+
+}  // namespace pqs::geom

@@ -1,0 +1,66 @@
+// Uniform-grid spatial index over node positions. Supports O(1) expected
+// range queries with radius <= cell size, used for neighbor discovery,
+// radio reception sets and RGG construction. Positions can be updated in
+// place (mobility) without rebuilding.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/vec2.h"
+#include "util/ids.h"
+
+namespace pqs::geom {
+
+class SpatialGrid {
+public:
+    // side: edge length of the square world. cell: grid cell edge; choose
+    // cell >= the largest query radius for single-ring queries.
+    SpatialGrid(double side, double cell, Metric metric = Metric::kPlane);
+
+    double side() const { return side_; }
+    Metric metric() const { return metric_; }
+
+    // Inserts a node. Ids may be sparse; re-inserting an existing id is an
+    // error (use move/remove).
+    void insert(util::NodeId id, Vec2 pos);
+    void remove(util::NodeId id);
+    void move(util::NodeId id, Vec2 new_pos);
+    bool contains(util::NodeId id) const;
+    Vec2 position(util::NodeId id) const;
+    std::size_t size() const { return live_count_; }
+
+    // All node ids within `radius` of `center` (excluding `exclude`,
+    // typically the querying node itself). Appends into `out`.
+    void query(Vec2 center, double radius, std::vector<util::NodeId>& out,
+               util::NodeId exclude = util::kInvalidNode) const;
+
+    std::vector<util::NodeId> query(Vec2 center, double radius,
+                                    util::NodeId exclude =
+                                        util::kInvalidNode) const {
+        std::vector<util::NodeId> out;
+        query(center, radius, out, exclude);
+        return out;
+    }
+
+private:
+    struct Entry {
+        Vec2 pos;
+        bool live = false;
+        std::size_t cell = 0;
+        std::size_t slot = 0;  // index within the cell bucket
+    };
+
+    std::size_t cell_of(Vec2 pos) const;
+    void unlink(util::NodeId id);
+
+    double side_;
+    double cell_size_;
+    std::size_t cells_per_side_;
+    Metric metric_;
+    std::vector<std::vector<util::NodeId>> buckets_;
+    std::vector<Entry> entries_;  // indexed by NodeId
+    std::size_t live_count_ = 0;
+};
+
+}  // namespace pqs::geom

@@ -1,0 +1,111 @@
+// 802.11-DCF-style CSMA/CA MAC (one instance per node).
+//
+// Timing constants follow the paper's Fig. 2: 20 µs slots, 50 µs DIFS,
+// 11 Mbps unicast / 2 Mbps broadcast with a 192 µs PLCP preamble+header.
+// Unicast frames are acknowledged after SIFS and retried up to `max_retries`
+// (default 7) with binary-exponential backoff; exhausting the retries
+// reports failure to the caller — the cross-layer notification that the
+// paper's RW-salvation and reply-path-repair techniques rely on (§6.2).
+//
+// Simplification vs. real DCF: instead of freezing the backoff counter
+// while the medium is busy, a busy medium at the end of the deferral redraws
+// the backoff. This keeps arbitration fair and collision behaviour realistic
+// while avoiding per-slot events; documented in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "phy/channel.h"
+#include "phy/radio.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace pqs::mac {
+
+struct MacParams {
+    sim::Time slot = 20 * sim::kMicrosecond;
+    sim::Time sifs = 10 * sim::kMicrosecond;
+    sim::Time difs = 50 * sim::kMicrosecond;
+    sim::Time preamble = 192 * sim::kMicrosecond;
+    double unicast_bps = 11e6;
+    double broadcast_bps = 2e6;
+    std::size_t ack_bytes = 14;
+    int cw_min = 31;
+    int cw_max = 1023;
+    int max_retries = 7;
+};
+
+// Outcome of a send: true iff broadcast completed or unicast was acked.
+using TxCallback = std::function<void(bool success)>;
+// Received data frames (dedup'd, acked) are passed up with the sender id.
+using MacRxHandler = std::function<void(const phy::Frame&)>;
+
+class CsmaMac {
+public:
+    CsmaMac(util::NodeId self, sim::Simulator& simulator, phy::Channel& channel,
+            phy::Radio& radio, MacParams params, util::Rng rng);
+
+    // Queues a frame. dst == phy::kBroadcastId broadcasts (no ack, no retry).
+    void send(phy::Frame frame, TxCallback done);
+
+    void set_rx_handler(MacRxHandler handler) { rx_ = std::move(handler); }
+
+    // Frames decoded in promiscuous mode: data frames addressed to another
+    // node that this radio could nevertheless decode (§7.2 overhearing).
+    void set_promiscuous_handler(MacRxHandler handler) {
+        promiscuous_ = std::move(handler);
+    }
+
+    // Drops all queued frames (node failure); pending callbacks are not
+    // invoked — the node is gone.
+    void shutdown();
+    bool idle() const { return !busy_ && queue_.empty(); }
+
+    std::uint64_t tx_attempts() const { return tx_attempts_; }
+    std::uint64_t tx_failures() const { return tx_failures_; }
+
+private:
+    struct Pending {
+        phy::Frame frame;
+        TxCallback done;
+        int retries = 0;
+        int cw;
+    };
+
+    sim::Time frame_duration(std::size_t bytes, bool broadcast) const;
+    void kick();
+    void attempt();
+    void transmit_head();
+    void on_tx_done();
+    void ack_timeout();
+    void finish_head(bool success);
+    void on_radio_frame(const phy::Frame& frame);
+    void send_ack(util::NodeId to, std::uint32_t mac_seq);
+
+    util::NodeId self_;
+    sim::Simulator& simulator_;
+    phy::Channel& channel_;
+    phy::Radio& radio_;
+    MacParams params_;
+    util::Rng rng_;
+    MacRxHandler rx_;
+    MacRxHandler promiscuous_;
+
+    std::deque<Pending> queue_;
+    bool busy_ = false;          // a send attempt is in progress
+    bool alive_ = true;
+    sim::EventId ack_timer_ = sim::kInvalidEvent;
+    std::uint32_t next_seq_ = 1;
+    std::uint64_t generation_ = 0;  // invalidates stale timers after shutdown
+
+    // Duplicate filter: last mac_seq seen per sender.
+    std::unordered_map<util::NodeId, std::uint32_t> last_seq_;
+
+    std::uint64_t tx_attempts_ = 0;
+    std::uint64_t tx_failures_ = 0;
+};
+
+}  // namespace pqs::mac

@@ -1,0 +1,41 @@
+// Membership / uniform sampling services used by the RANDOM access
+// strategy (§4.1). Two implementations:
+//  - OracleMembership: each node's view is resampled uniformly from the
+//    currently-alive nodes at most every refresh period. Sampling itself is
+//    message-free, matching the paper's accounting ("this cost is amortized
+//    over all advertise accesses", §8.1); staleness between refreshes is
+//    retained because it is what churn experiments exercise.
+//  - RawmsMembership (rawms.h): a RaWMS-style protocol in which nodes
+//    periodically launch maximum-degree random walks that deposit their id
+//    at the terminal node; views fill with (approximately) uniform samples
+//    at real message cost.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace pqs::membership {
+
+class MembershipService {
+public:
+    virtual ~MembershipService() = default;
+
+    // Up to k distinct node ids drawn from `node`'s current local view
+    // (approximately uniform over the network; may contain stale/dead
+    // nodes). Fewer than k are returned when the view is smaller.
+    virtual std::vector<util::NodeId> sample(util::NodeId node,
+                                             std::size_t k) = 0;
+
+    // Current view size at `node`.
+    virtual std::size_t view_size(util::NodeId node) const = 0;
+
+    // Begins any background maintenance traffic.
+    virtual void start() {}
+};
+
+// The paper's default view size: 2 * sqrt(n).
+std::size_t default_view_size(std::size_t n);
+
+}  // namespace pqs::membership

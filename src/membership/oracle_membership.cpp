@@ -1,0 +1,65 @@
+#include "membership/oracle_membership.h"
+
+#include <cmath>
+
+namespace pqs::membership {
+
+std::size_t default_view_size(std::size_t n) {
+    return static_cast<std::size_t>(
+        std::ceil(2.0 * std::sqrt(static_cast<double>(n))));
+}
+
+OracleMembership::OracleMembership(net::World& world,
+                                   OracleMembershipParams params)
+    : world_(world), params_(params), rng_(world.rng().fork()) {
+    if (params_.view_size == 0) {
+        params_.view_size = default_view_size(world.params().n);
+    }
+}
+
+void OracleMembership::refresh_if_due(util::NodeId node) {
+    if (node >= views_.size()) {
+        views_.resize(node + 1);
+    }
+    View& view = views_[node];
+    const sim::Time now = world_.simulator().now();
+    if (view.refreshed >= 0 && now - view.refreshed < params_.refresh_period) {
+        return;
+    }
+    view.refreshed = now;
+    view.members.clear();
+    const std::vector<util::NodeId> alive = world_.alive_nodes();
+    if (alive.empty()) {
+        return;
+    }
+    const std::size_t k = std::min(params_.view_size, alive.size());
+    for (const std::size_t idx :
+         rng_.sample_without_replacement(alive.size(), k)) {
+        view.members.push_back(alive[idx]);
+    }
+}
+
+const std::vector<util::NodeId>& OracleMembership::view(util::NodeId node) {
+    refresh_if_due(node);
+    return views_[node].members;
+}
+
+std::vector<util::NodeId> OracleMembership::sample(util::NodeId node,
+                                                   std::size_t k) {
+    refresh_if_due(node);
+    const auto& members = views_[node].members;
+    const std::size_t take = std::min(k, members.size());
+    std::vector<util::NodeId> out;
+    out.reserve(take);
+    for (const std::size_t idx :
+         rng_.sample_without_replacement(members.size(), take)) {
+        out.push_back(members[idx]);
+    }
+    return out;
+}
+
+std::size_t OracleMembership::view_size(util::NodeId node) const {
+    return node < views_.size() ? views_[node].members.size() : 0;
+}
+
+}  // namespace pqs::membership

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "membership/membership.h"
+#include "net/world.h"
+#include "sim/time.h"
+#include "util/rng.h"
+
+namespace pqs::membership {
+
+struct OracleMembershipParams {
+    std::size_t view_size = 0;  // 0 => 2*sqrt(n)
+    // Views resample from the alive set at most this often; between
+    // refreshes entries go stale (dead nodes linger).
+    sim::Time refresh_period = 10 * sim::kSecond;
+};
+
+class OracleMembership final : public MembershipService {
+public:
+    OracleMembership(net::World& world, OracleMembershipParams params = {});
+
+    std::vector<util::NodeId> sample(util::NodeId node, std::size_t k) override;
+    std::size_t view_size(util::NodeId node) const override;
+
+    // Entire current view (refreshing it if due); exposed for tests.
+    const std::vector<util::NodeId>& view(util::NodeId node);
+
+private:
+    void refresh_if_due(util::NodeId node);
+
+    struct View {
+        std::vector<util::NodeId> members;
+        sim::Time refreshed = -1;
+    };
+
+    net::World& world_;
+    OracleMembershipParams params_;
+    util::Rng rng_;
+    std::vector<View> views_;
+};
+
+}  // namespace pqs::membership

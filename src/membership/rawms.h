@@ -1,0 +1,69 @@
+// RaWMS-style random membership (Bar-Yossef, Friedman, Kliot 2008): each
+// node periodically launches a maximum-degree random walk carrying its id;
+// the node at which the walk terminates adds the originator to its local
+// view. Because the MD walk's stationary distribution is uniform, every
+// deposited id lands at a near-uniform node, so views converge to uniform
+// samples of the network — without routing or global knowledge.
+//
+// A walk of length >= the mixing time (~ n/2 on RGGs) yields near-uniform
+// samples. A "prefill" option seeds the initial views by running the same
+// walks instantaneously on the topology snapshot, standing in for the
+// paper's 200 s warm-up period.
+#pragma once
+
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "membership/membership.h"
+#include "net/node_stack.h"
+#include "net/world.h"
+#include "util/rng.h"
+
+namespace pqs::membership {
+
+struct RawmsParams {
+    std::size_t view_size = 0;       // 0 => 2*sqrt(n)
+    std::size_t walk_length = 0;     // 0 => n/2 (≈ RGG mixing time)
+    sim::Time advertise_period = 10 * sim::kSecond;  // walk launch period
+    // Estimated maximum node degree for the MD walk transition rule;
+    // 0 derives it from the world's target density (3 * d_avg).
+    std::size_t max_degree_estimate = 0;
+    bool prefill = true;
+    int salvage_retries = 3;  // resend attempts per hop on MAC failure
+};
+
+class RawmsMembership final : public MembershipService {
+public:
+    RawmsMembership(net::World& world, RawmsParams params = {});
+
+    void start() override;
+
+    std::vector<util::NodeId> sample(util::NodeId node, std::size_t k) override;
+    std::size_t view_size(util::NodeId node) const override;
+
+    // Messages spent on membership maintenance so far.
+    double protocol_messages() const;
+
+private:
+    struct WalkMsg;
+
+    void launch_walk(util::NodeId origin);
+    void schedule_next_launch(util::NodeId origin);
+    void forward(util::NodeId at, std::shared_ptr<const WalkMsg> msg,
+                 int salvage_left);
+    void deposit(util::NodeId at, util::NodeId origin);
+    void prefill_views();
+
+    net::World& world_;
+    RawmsParams params_;
+    util::Rng rng_;
+
+    struct View {
+        std::deque<util::NodeId> order;            // FIFO for replacement
+        std::unordered_set<util::NodeId> members;  // fast dedup
+    };
+    std::vector<View> views_;
+};
+
+}  // namespace pqs::membership

@@ -1,0 +1,9 @@
+#include "mobility/mobility.h"
+
+namespace pqs::mobility {
+
+std::unique_ptr<MobilityModel> make_static_mobility() {
+    return std::make_unique<StaticMobility>();
+}
+
+}  // namespace pqs::mobility

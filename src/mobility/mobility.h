@@ -1,0 +1,43 @@
+// Mobility models. Models drive node positions through a narrow host
+// interface so they stay independent of the network stack.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "geom/vec2.h"
+#include "sim/simulator.h"
+#include "util/ids.h"
+#include "util/rng.h"
+
+namespace pqs::mobility {
+
+// What a mobility model may do to the world it animates.
+class MobilityHost {
+public:
+    virtual ~MobilityHost() = default;
+    virtual sim::Simulator& simulator() = 0;
+    virtual double side() const = 0;
+    virtual bool alive(util::NodeId id) const = 0;
+    virtual geom::Vec2 position(util::NodeId id) const = 0;
+    virtual void set_position(util::NodeId id, geom::Vec2 pos) = 0;
+};
+
+class MobilityModel {
+public:
+    virtual ~MobilityModel() = default;
+    // Begins animating `id`. Called once per node at world start and again
+    // for nodes that join later.
+    virtual void start_node(MobilityHost& host, util::NodeId id,
+                            util::Rng& rng) = 0;
+};
+
+// Nodes never move.
+class StaticMobility final : public MobilityModel {
+public:
+    void start_node(MobilityHost&, util::NodeId, util::Rng&) override {}
+};
+
+std::unique_ptr<MobilityModel> make_static_mobility();
+
+}  // namespace pqs::mobility

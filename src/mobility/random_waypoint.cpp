@@ -1,0 +1,57 @@
+#include "mobility/random_waypoint.h"
+
+#include <cmath>
+
+namespace pqs::mobility {
+
+void RandomWaypoint::start_node(MobilityHost& host, util::NodeId id,
+                                util::Rng& rng) {
+    pick_leg(host, id, rng);
+    host.simulator().schedule_in(params_.tick, [this, &host, id, &rng] {
+        tick(host, id, rng);
+    });
+}
+
+void RandomWaypoint::pick_leg(MobilityHost& host, util::NodeId id,
+                              util::Rng& rng) {
+    Leg leg;
+    leg.target = geom::Vec2{rng.uniform(0.0, host.side()),
+                            rng.uniform(0.0, host.side())};
+    leg.speed = rng.uniform(params_.min_speed, params_.max_speed);
+    legs_[id] = leg;
+}
+
+void RandomWaypoint::tick(MobilityHost& host, util::NodeId id,
+                          util::Rng& rng) {
+    if (!host.alive(id)) {
+        legs_.erase(id);
+        return;  // stop animating failed nodes; rejoin restarts the walk
+    }
+    const Leg& leg = legs_[id];
+    const geom::Vec2 pos = host.position(id);
+    const geom::Vec2 to_target = leg.target - pos;
+    const double dist = to_target.norm();
+    const double step = leg.speed * sim::to_seconds(params_.tick);
+
+    if (dist <= step) {
+        host.set_position(id, leg.target);
+        // Pause, then pick the next leg and resume ticking.
+        host.simulator().schedule_in(params_.pause, [this, &host, id, &rng] {
+            if (!host.alive(id)) {
+                legs_.erase(id);
+                return;
+            }
+            pick_leg(host, id, rng);
+            host.simulator().schedule_in(
+                params_.tick, [this, &host, id, &rng] { tick(host, id, rng); });
+        });
+        return;
+    }
+
+    host.set_position(id, pos + to_target * (step / dist));
+    host.simulator().schedule_in(params_.tick, [this, &host, id, &rng] {
+        tick(host, id, rng);
+    });
+}
+
+}  // namespace pqs::mobility

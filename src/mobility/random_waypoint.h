@@ -1,0 +1,45 @@
+// Random Waypoint mobility (§2.4): each node repeatedly picks a uniform
+// destination in the area and a uniform speed in [min_speed, max_speed],
+// travels there in a straight line, pauses, and repeats. Positions are
+// advanced in discrete ticks (default 500 ms) — small relative to the
+// 200 m radio range at the paper's speeds (0.5–20 m/s).
+//
+// The model intentionally reproduces the well-known RWP artifact that the
+// node distribution concentrates toward the center (Bettstetter et al.),
+// which the paper uses to explain the FLOODING results in §8.4.
+#pragma once
+
+#include <unordered_map>
+
+#include "mobility/mobility.h"
+
+namespace pqs::mobility {
+
+struct RandomWaypointParams {
+    double min_speed = 0.5;                 // m/s
+    double max_speed = 2.0;                 // m/s
+    sim::Time pause = 30 * sim::kSecond;    // average pause at waypoints
+    sim::Time tick = 500 * sim::kMillisecond;
+};
+
+class RandomWaypoint final : public MobilityModel {
+public:
+    explicit RandomWaypoint(RandomWaypointParams params) : params_(params) {}
+
+    void start_node(MobilityHost& host, util::NodeId id,
+                    util::Rng& rng) override;
+
+private:
+    struct Leg {
+        geom::Vec2 target;
+        double speed = 0.0;
+    };
+
+    void pick_leg(MobilityHost& host, util::NodeId id, util::Rng& rng);
+    void tick(MobilityHost& host, util::NodeId id, util::Rng& rng);
+
+    RandomWaypointParams params_;
+    std::unordered_map<util::NodeId, Leg> legs_;
+};
+
+}  // namespace pqs::mobility

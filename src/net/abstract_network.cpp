@@ -1,0 +1,85 @@
+#include "net/abstract_network.h"
+
+#include "geom/vec2.h"
+#include "net/world.h"
+
+namespace pqs::net {
+
+AbstractLink::AbstractLink(World& world, AbstractLinkParams params)
+    : world_(world), params_(params), rng_(world.rng().fork()) {}
+
+sim::Time AbstractLink::hop_delay() {
+    return params_.delay_min +
+           static_cast<sim::Time>(rng_.uniform_u64(static_cast<std::uint64_t>(
+               params_.delay_max - params_.delay_min + 1)));
+}
+
+void AbstractLink::unicast(PacketPtr p, LinkTxCallback done) {
+    world_.metrics().count("net." + packet_category(*p) + ".tx");
+    const util::NodeId from = p->link_src;
+    const util::NodeId to = p->link_dst;
+    const sim::Time delay = hop_delay();
+
+    if (params_.promiscuous && world_.alive(from)) {
+        // Everyone in radio range of the sender hears the transmission.
+        std::vector<util::NodeId> listeners = world_.physical_neighbors(from);
+        world_.simulator().schedule_in(
+            delay, [this, p, to, listeners = std::move(listeners)] {
+                for (const util::NodeId listener : listeners) {
+                    if (listener != to && world_.alive(listener)) {
+                        world_.overhear(listener, p);
+                    }
+                }
+            });
+    }
+
+    world_.simulator().schedule_in(delay, [this, p, from, to,
+                                           done = std::move(done)]() mutable {
+        // Evaluate deliverability at delivery time: mobility or failures
+        // during the airtime window count against the hop.
+        const bool reachable =
+            world_.alive(from) && world_.alive(to) &&
+            geom::distance(world_.position(from), world_.position(to)) <=
+                world_.range() &&
+            !rng_.bernoulli(params_.unicast_loss);
+        if (reachable) {
+            world_.deliver(to, p);
+            if (done) {
+                done(true);
+            }
+        } else if (done) {
+            // The MAC burns its retry budget before reporting failure.
+            world_.simulator().schedule_in(
+                params_.failure_detect,
+                [done = std::move(done)] { done(false); });
+        }
+    });
+}
+
+void AbstractLink::broadcast(PacketPtr p) {
+    world_.metrics().count("net." + packet_category(*p) + ".tx");
+    const util::NodeId from = p->link_src;
+    if (!world_.alive(from)) {
+        return;
+    }
+    const sim::Time delay = hop_delay();
+    // Snapshot receivers at send time; they must still be in range and
+    // alive at delivery time.
+    std::vector<util::NodeId> receivers = world_.physical_neighbors(from);
+    world_.simulator().schedule_in(
+        delay, [this, p, from, receivers = std::move(receivers)] {
+            if (!world_.alive(from)) {
+                return;
+            }
+            for (const util::NodeId to : receivers) {
+                if (world_.alive(to) &&
+                    geom::distance(world_.position(from),
+                                   world_.position(to)) <= world_.range() &&
+                    !rng_.bernoulli(params_.broadcast_loss)) {
+                    world_.deliver(to, p);
+                }
+            }
+        });
+}
+
+}  // namespace pqs::net

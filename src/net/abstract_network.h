@@ -1,0 +1,47 @@
+// Abstract (protocol-model) link layer: a unicast hop succeeds iff the
+// receiver is alive and within range at delivery time; otherwise the sender
+// learns of the failure after a MAC-retry-budget delay. Broadcasts reach
+// every in-range alive node. Message counting matches the full stack
+// (one network-layer message per transmission).
+#pragma once
+
+#include "net/link.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+#include "util/rng.h"
+
+namespace pqs::net {
+
+class World;
+
+struct AbstractLinkParams {
+    sim::Time delay_min = 1 * sim::kMillisecond;
+    sim::Time delay_max = 3 * sim::kMillisecond;
+    // Detection latency of a failed unicast (approximate airtime of 7
+    // retries with backoff).
+    sim::Time failure_detect = 25 * sim::kMillisecond;
+    // Residual per-hop loss probabilities *after* MAC retries; normally ~0
+    // for unicast, small for broadcast (no ack protection).
+    double unicast_loss = 0.0;
+    double broadcast_loss = 0.0;
+    // Deliver unicast packets to promiscuous listeners in range of the
+    // sender (§7.2 overhearing).
+    bool promiscuous = false;
+};
+
+class AbstractLink final : public LinkLayer {
+public:
+    AbstractLink(World& world, AbstractLinkParams params);
+
+    void unicast(PacketPtr p, LinkTxCallback done) override;
+    void broadcast(PacketPtr p) override;
+
+private:
+    sim::Time hop_delay();
+
+    World& world_;
+    AbstractLinkParams params_;
+    util::Rng rng_;
+};
+
+}  // namespace pqs::net

@@ -1,0 +1,34 @@
+// One-hop link abstraction implemented at two fidelity levels:
+//  - AbstractLink (net/abstract_network.h): unit-disk delivery with
+//    configurable latency/loss; fast enough for 800-node parameter sweeps.
+//  - MacLink (net/world.cpp): the full PHY (SINR) + CSMA/CA MAC stack.
+// Both report unicast success/failure the way an 802.11 MAC does (ack
+// received vs. retries exhausted), which upper layers use for the paper's
+// cross-layer adaptation techniques.
+#pragma once
+
+#include <functional>
+
+#include "net/packet.h"
+#include "util/ids.h"
+
+namespace pqs::net {
+
+using LinkTxCallback = std::function<void(bool success)>;
+
+class LinkLayer {
+public:
+    virtual ~LinkLayer() = default;
+
+    // One-hop unicast to p->link_dst. `done(true)` once the hop is
+    // MAC-acknowledged, `done(false)` after retry exhaustion.
+    virtual void unicast(PacketPtr p, LinkTxCallback done) = 0;
+
+    // One-hop broadcast; unacknowledged.
+    virtual void broadcast(PacketPtr p) = 0;
+
+    virtual void on_node_failed(util::NodeId) {}
+    virtual void on_node_spawned(util::NodeId) {}
+};
+
+}  // namespace pqs::net

@@ -1,0 +1,50 @@
+// Heartbeat-based neighbor discovery (§2.3): every node broadcasts a hello
+// each heartbeat cycle; entries expire after `expiry_factor` cycles without
+// a hello. Under mobility the table is intentionally stale between beats —
+// the paper's RW-salvation technique exists precisely to cope with that.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/ids.h"
+
+namespace pqs::net {
+
+class NeighborTable {
+public:
+    NeighborTable(sim::Time heartbeat, double expiry_factor = 2.5)
+        : expiry_(static_cast<sim::Time>(
+              static_cast<double>(heartbeat) * expiry_factor)) {}
+
+    void on_hello(util::NodeId from, sim::Time now) {
+        last_heard_[from] = now;
+    }
+
+    void remove(util::NodeId id) { last_heard_.erase(id); }
+
+    bool is_neighbor(util::NodeId id, sim::Time now) const {
+        const auto it = last_heard_.find(id);
+        return it != last_heard_.end() && now - it->second <= expiry_;
+    }
+
+    std::vector<util::NodeId> neighbors(sim::Time now) const {
+        std::vector<util::NodeId> out;
+        out.reserve(last_heard_.size());
+        for (const auto& [id, heard] : last_heard_) {
+            if (now - heard <= expiry_) {
+                out.push_back(id);
+            }
+        }
+        return out;
+    }
+
+    std::size_t size() const { return last_heard_.size(); }
+
+private:
+    sim::Time expiry_;
+    std::unordered_map<util::NodeId, sim::Time> last_heard_;
+};
+
+}  // namespace pqs::net

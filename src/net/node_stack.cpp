@@ -1,0 +1,152 @@
+#include "net/node_stack.h"
+
+#include <algorithm>
+
+#include "net/world.h"
+
+namespace pqs::net {
+
+NodeStack::NodeStack(World& world, util::NodeId id, util::Rng rng)
+    : world_(world),
+      id_(id),
+      rng_(rng),
+      neighbor_table_(world.params().heartbeat),
+      aodv_(*this, world.params().aodv) {}
+
+void NodeStack::start() {
+    running_ = true;
+    // Desynchronize heartbeats across nodes within the first cycle.
+    const auto cycle = static_cast<std::uint64_t>(world_.params().heartbeat);
+    world_.simulator().schedule_in(
+        static_cast<sim::Time>(rng_.uniform_u64(cycle + 1)),
+        [this] { heartbeat(); });
+}
+
+void NodeStack::heartbeat() {
+    if (!running_) {
+        return;
+    }
+    link_broadcast(make_hello(id_));
+    world_.simulator().schedule_in(world_.params().heartbeat,
+                                   [this] { heartbeat(); });
+}
+
+void NodeStack::shutdown() {
+    running_ = false;
+    app_handlers_.clear();
+    snoop_handlers_.clear();
+    overhear_handlers_.clear();
+}
+
+void NodeStack::on_overhear(const PacketPtr& p) {
+    if (!running_) {
+        return;
+    }
+    for (const OverhearHandler& handler : overhear_handlers_) {
+        handler(*p);
+    }
+}
+
+void NodeStack::link_unicast(PacketPtr p, LinkTxCallback done) {
+    world_.link().unicast(std::move(p), std::move(done));
+}
+
+void NodeStack::link_broadcast(PacketPtr p) {
+    world_.link().broadcast(std::move(p));
+}
+
+void NodeStack::send_unicast(util::NodeId to, AppMsgPtr msg,
+                             LinkTxCallback done) {
+    link_unicast(make_data(id_, to, id_, to, std::move(msg)), std::move(done));
+}
+
+void NodeStack::send_broadcast(AppMsgPtr msg) {
+    link_broadcast(
+        make_data(id_, kBroadcast, id_, kBroadcast, std::move(msg)));
+}
+
+void NodeStack::send_routed(util::NodeId dst, AppMsgPtr msg,
+                            RoutedCallback done, RouteSendOptions opts) {
+    if (dst == id_) {
+        // Loopback: the originator can be a member of its own quorum at no
+        // message cost (§8.3).
+        deliver_local(id_, id_, msg);
+        if (done) {
+            done(true);
+        }
+        return;
+    }
+    auto tracker = std::make_shared<DeliveryTracker>();
+    tracker->done = std::move(done);
+    // Scoped sends (TTL-capped discovery) must stay scoped: no mid-path
+    // repair with unrestricted rediscovery.
+    const std::uint8_t repairs = opts.max_discovery_ttl >= 0 ? 0 : 1;
+    aodv_.send_data(dst, std::move(msg), std::move(tracker),
+                    opts.max_discovery_ttl, repairs);
+}
+
+std::vector<util::NodeId> NodeStack::neighbors() const {
+    if (world_.params().oracle_neighbors) {
+        return world_.physical_neighbors(id_);
+    }
+    return neighbor_table_.neighbors(world_.simulator().now());
+}
+
+bool NodeStack::is_neighbor(util::NodeId id) const {
+    if (world_.params().oracle_neighbors) {
+        const auto n = world_.physical_neighbors(id_);
+        return std::find(n.begin(), n.end(), id) != n.end();
+    }
+    return neighbor_table_.is_neighbor(id, world_.simulator().now());
+}
+
+void NodeStack::deliver_local(util::NodeId prev_hop, util::NodeId net_src,
+                              const AppMsgPtr& msg) {
+    for (const AppHandler& handler : app_handlers_) {
+        if (handler(prev_hop, net_src, msg)) {
+            return;
+        }
+    }
+}
+
+void NodeStack::on_receive(PacketPtr p) {
+    if (!running_) {
+        return;
+    }
+    const util::NodeId from = p->link_src;
+    // Any overheard packet proves the sender is a live neighbor.
+    neighbor_table_.on_hello(from, world_.simulator().now());
+
+    if (std::holds_alternative<HelloBody>(p->body)) {
+        return;
+    }
+    if (const auto* rreq = std::get_if<RreqBody>(&p->body)) {
+        aodv_.on_rreq(from, *rreq, p->ttl);
+        return;
+    }
+    if (const auto* rrep = std::get_if<RrepBody>(&p->body)) {
+        aodv_.on_rrep(from, *rrep);
+        return;
+    }
+    if (const auto* rerr = std::get_if<RerrBody>(&p->body)) {
+        aodv_.on_rerr(from, *rerr);
+        return;
+    }
+    const DataBody& data = p->data();
+    if (data.net_dst == id_ || data.net_dst == kBroadcast) {
+        if (data.tracker) {
+            data.tracker->resolve(true);
+        }
+        deliver_local(from, data.net_src, data.app);
+        return;
+    }
+    // In transit: give cross-layer snoopers a chance to consume it.
+    for (const SnoopHandler& snoop : snoop_handlers_) {
+        if (snoop(*p)) {
+            return;
+        }
+    }
+    aodv_.forward_data(std::move(p));
+}
+
+}  // namespace pqs::net

@@ -1,0 +1,59 @@
+#include "net/packet.h"
+
+namespace pqs::net {
+
+namespace {
+
+struct SizeVisitor {
+    std::size_t operator()(const HelloBody&) const { return 32; }
+    std::size_t operator()(const RreqBody&) const { return 24; }
+    std::size_t operator()(const RrepBody&) const { return 20; }
+    std::size_t operator()(const RerrBody& body) const {
+        return 8 + 8 * body.unreachable.size();
+    }
+    std::size_t operator()(const DataBody& body) const {
+        return body.app ? body.app->size_bytes() : 512;
+    }
+};
+
+struct CategoryVisitor {
+    std::string operator()(const HelloBody&) const { return "hello"; }
+    std::string operator()(const RreqBody&) const { return "routing"; }
+    std::string operator()(const RrepBody&) const { return "routing"; }
+    std::string operator()(const RerrBody&) const { return "routing"; }
+    std::string operator()(const DataBody&) const { return "data"; }
+};
+
+}  // namespace
+
+std::size_t Packet::size_bytes() const {
+    // Body plus IP/MAC/PHY framing overhead, as in the paper's message-size
+    // accounting (512 bytes + headers).
+    return std::visit(SizeVisitor{}, body) + 48;
+}
+
+std::string packet_category(const Packet& packet) {
+    return std::visit(CategoryVisitor{}, packet.body);
+}
+
+PacketPtr make_hello(util::NodeId src) {
+    auto p = std::make_shared<Packet>();
+    p->link_src = src;
+    p->link_dst = kBroadcast;
+    p->ttl = 1;
+    p->body = HelloBody{};
+    return p;
+}
+
+PacketPtr make_data(util::NodeId src, util::NodeId link_dst,
+                    util::NodeId net_src, util::NodeId net_dst, AppMsgPtr app,
+                    std::shared_ptr<DeliveryTracker> tracker, int ttl) {
+    auto p = std::make_shared<Packet>();
+    p->link_src = src;
+    p->link_dst = link_dst;
+    p->ttl = ttl;
+    p->body = DataBody{net_src, net_dst, std::move(app), std::move(tracker)};
+    return p;
+}
+
+}  // namespace pqs::net

@@ -1,0 +1,235 @@
+#include "net/world.h"
+
+#include <stdexcept>
+
+#include "net/node_stack.h"
+
+namespace pqs::net {
+
+// Full-fidelity link layer: every hop goes through the CSMA/CA MAC and the
+// SINR radio/channel. Lives here because it needs World's internals.
+class MacLink final : public LinkLayer {
+public:
+    explicit MacLink(World& world) : world_(world) {}
+
+    void unicast(PacketPtr p, LinkTxCallback done) override {
+        send(std::move(p), std::move(done));
+    }
+
+    void broadcast(PacketPtr p) override { send(std::move(p), nullptr); }
+
+private:
+    void send(PacketPtr p, LinkTxCallback done) {
+        const util::NodeId src = p->link_src;
+        if (!world_.alive(src) || src >= world_.macs_.size() ||
+            world_.macs_[src] == nullptr) {
+            if (done) {
+                done(false);
+            }
+            return;
+        }
+        world_.metrics().count("net." + packet_category(*p) + ".tx");
+        phy::Frame frame;
+        frame.dst = p->link_dst == kBroadcast ? phy::kBroadcastId
+                                              : p->link_dst;
+        frame.bytes = p->size_bytes();
+        frame.payload = std::static_pointer_cast<const void>(p);
+        world_.macs_[src]->send(std::move(frame), std::move(done));
+    }
+
+    World& world_;
+};
+
+World::World(WorldParams params)
+    : params_(params), rng_(params.seed) {
+    geom::RggParams rgg{params_.n, params_.range, params_.avg_degree,
+                        geom::Metric::kPlane};
+    side_ = rgg.side();
+    grid_ = std::make_unique<geom::SpatialGrid>(side_, params_.range);
+
+    // Place nodes; optionally resample until the topology is connected.
+    for (int attempt = 0;; ++attempt) {
+        positions_.clear();
+        for (std::size_t i = 0; i < params_.n; ++i) {
+            positions_.push_back(geom::Vec2{rng_.uniform(0.0, side_),
+                                            rng_.uniform(0.0, side_)});
+        }
+        if (!params_.ensure_connected ||
+            build_unit_disk_graph(positions_, params_.range, side_)
+                .is_connected()) {
+            break;
+        }
+        if (attempt > 100) {
+            throw std::runtime_error(
+                "World: could not find a connected placement; raise "
+                "avg_degree");
+        }
+    }
+    alive_.assign(params_.n, true);
+    alive_count_ = params_.n;
+    for (util::NodeId id = 0; id < params_.n; ++id) {
+        grid_->insert(id, positions_[id]);
+    }
+
+    if (params_.mobile) {
+        mobility_ =
+            std::make_unique<mobility::RandomWaypoint>(params_.waypoint);
+    } else {
+        mobility_ = mobility::make_static_mobility();
+    }
+
+    if (params_.fidelity == Fidelity::kFull) {
+        channel_ = std::make_unique<phy::Channel>(
+            simulator_, *this, params_.propagation, params_.thresholds);
+        link_ = std::make_unique<MacLink>(*this);
+    } else {
+        link_ = std::make_unique<AbstractLink>(*this, params_.abstract_link);
+    }
+
+    for (util::NodeId id = 0; id < params_.n; ++id) {
+        create_node_internals(id);
+    }
+}
+
+World::~World() = default;
+
+void World::create_node_internals(util::NodeId id) {
+    if (params_.fidelity == Fidelity::kFull) {
+        radios_.resize(std::max<std::size_t>(radios_.size(), id + 1));
+        macs_.resize(std::max<std::size_t>(macs_.size(), id + 1));
+        radios_[id] = std::make_unique<phy::Radio>(params_.thresholds);
+        macs_[id] = std::make_unique<mac::CsmaMac>(
+            id, simulator_, *channel_, *radios_[id], params_.mac,
+            rng_.fork());
+        channel_->attach(id, radios_[id].get());
+        macs_[id]->set_rx_handler([this, id](const phy::Frame& frame) {
+            deliver(id, std::static_pointer_cast<const Packet>(frame.payload));
+        });
+        macs_[id]->set_promiscuous_handler(
+            [this, id](const phy::Frame& frame) {
+                overhear(id, std::static_pointer_cast<const Packet>(
+                                 frame.payload));
+            });
+    }
+    stacks_.resize(std::max<std::size_t>(stacks_.size(), id + 1));
+    stacks_[id] = std::make_unique<NodeStack>(*this, id, rng_.fork());
+}
+
+std::vector<util::NodeId> World::alive_nodes() const {
+    std::vector<util::NodeId> out;
+    out.reserve(alive_count_);
+    for (util::NodeId id = 0; id < alive_.size(); ++id) {
+        if (alive_[id]) {
+            out.push_back(id);
+        }
+    }
+    return out;
+}
+
+bool World::alive(util::NodeId id) const {
+    return id < alive_.size() && alive_[id];
+}
+
+geom::Vec2 World::position(util::NodeId id) const {
+    return positions_.at(id);
+}
+
+void World::set_position(util::NodeId id, geom::Vec2 pos) {
+    positions_.at(id) = pos;
+    if (alive(id)) {
+        grid_->move(id, pos);
+    }
+}
+
+void World::nodes_within(geom::Vec2 center, double radius,
+                         std::vector<util::NodeId>& out,
+                         util::NodeId exclude) const {
+    grid_->query(center, radius, out, exclude);
+}
+
+std::vector<util::NodeId> World::physical_neighbors(util::NodeId id) const {
+    return grid_->query(positions_.at(id), params_.range, id);
+}
+
+geom::Graph World::snapshot_graph() const {
+    geom::Graph g(node_count());
+    std::vector<util::NodeId> near;
+    for (util::NodeId v = 0; v < node_count(); ++v) {
+        if (!alive(v)) {
+            continue;
+        }
+        near.clear();
+        grid_->query(positions_[v], params_.range, near, v);
+        for (const util::NodeId u : near) {
+            if (u > v) {
+                g.add_edge(v, u);
+            }
+        }
+    }
+    return g;
+}
+
+NodeStack& World::stack(util::NodeId id) { return *stacks_.at(id); }
+
+void World::start() {
+    if (started_) {
+        throw std::logic_error("World::start called twice");
+    }
+    started_ = true;
+    for (util::NodeId id = 0; id < node_count(); ++id) {
+        if (alive(id)) {
+            stacks_[id]->start();
+            mobility_->start_node(*this, id, rng_);
+        }
+    }
+}
+
+void World::fail_node(util::NodeId id) {
+    if (!alive(id)) {
+        return;
+    }
+    alive_[id] = false;
+    --alive_count_;
+    grid_->remove(id);
+    stacks_[id]->shutdown();
+    if (params_.fidelity == Fidelity::kFull) {
+        macs_[id]->shutdown();
+        channel_->detach(id);
+    }
+    link_->on_node_failed(id);
+}
+
+util::NodeId World::spawn_node() {
+    const auto id = static_cast<util::NodeId>(positions_.size());
+    positions_.push_back(
+        geom::Vec2{rng_.uniform(0.0, side_), rng_.uniform(0.0, side_)});
+    alive_.push_back(true);
+    ++alive_count_;
+    grid_->insert(id, positions_[id]);
+    create_node_internals(id);
+    link_->on_node_spawned(id);
+    if (started_) {
+        stacks_[id]->start();
+        mobility_->start_node(*this, id, rng_);
+    }
+    for (const auto& listener : spawn_listeners_) {
+        listener(id);
+    }
+    return id;
+}
+
+void World::deliver(util::NodeId to, PacketPtr p) {
+    if (!alive(to)) {
+        return;
+    }
+    stacks_[to]->on_receive(std::move(p));
+}
+
+void World::overhear(util::NodeId listener, PacketPtr p) {
+    if (!alive(listener)) {
+        return;
+    }
+    stacks_[listener]->on_overhear(p);
+}
+
+}  // namespace pqs::net

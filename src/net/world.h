@@ -1,0 +1,137 @@
+// Composition root of a simulated ad hoc network: node placement (RGG
+// density scaling per §2.4), liveness/churn, mobility, the link layer at
+// the chosen fidelity, per-node protocol stacks, and run-wide metrics.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "geom/rgg.h"
+#include "geom/spatial_grid.h"
+#include "mac/csma_mac.h"
+#include "mobility/mobility.h"
+#include "mobility/random_waypoint.h"
+#include "net/abstract_network.h"
+#include "net/aodv.h"
+#include "net/link.h"
+#include "net/packet.h"
+#include "phy/channel.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace pqs::net {
+
+class NodeStack;
+
+enum class Fidelity {
+    kAbstract,  // unit-disk link, ideal MAC, fast
+    kFull,      // SINR radio + CSMA/CA MAC
+};
+
+struct WorldParams {
+    std::size_t n = 100;
+    double range = 200.0;      // meters (ideal reception range)
+    double avg_degree = 10.0;  // d_avg; scales the area (a² = πr²n/d_avg)
+    Fidelity fidelity = Fidelity::kAbstract;
+    std::uint64_t seed = 1;
+    // Resample initial placement until the unit-disk graph is connected
+    // (the paper reports d_avg >= 7 keeps networks connected).
+    bool ensure_connected = true;
+
+    bool mobile = false;
+    mobility::RandomWaypointParams waypoint;
+
+    sim::Time heartbeat = 10 * sim::kSecond;
+    // If true, NodeStack::neighbors() consults ground truth instead of the
+    // hello-driven table (no staleness; useful in unit tests).
+    bool oracle_neighbors = false;
+
+    AbstractLinkParams abstract_link;
+    phy::PropagationParams propagation;
+    phy::RadioThresholds thresholds;
+    mac::MacParams mac;
+    AodvParams aodv;
+};
+
+class World final : public phy::PositionProvider,
+                    public mobility::MobilityHost {
+public:
+    explicit World(WorldParams params);
+    ~World() override;
+    World(const World&) = delete;
+    World& operator=(const World&) = delete;
+
+    const WorldParams& params() const { return params_; }
+    sim::Simulator& simulator() override { return simulator_; }
+    util::Rng& rng() { return rng_; }
+    util::MetricSet& metrics() { return metrics_; }
+
+    // --- topology ---
+    std::size_t node_count() const { return positions_.size(); }
+    std::size_t alive_count() const { return alive_count_; }
+    std::vector<util::NodeId> alive_nodes() const;
+    bool alive(util::NodeId id) const override;
+    geom::Vec2 position(util::NodeId id) const override;
+    void set_position(util::NodeId id, geom::Vec2 pos) override;
+    double side() const override { return side_; }
+    double range() const { return params_.range; }
+    void nodes_within(geom::Vec2 center, double radius,
+                      std::vector<util::NodeId>& out,
+                      util::NodeId exclude) const override;
+    // Ground-truth nodes currently within radio range of `id`.
+    std::vector<util::NodeId> physical_neighbors(util::NodeId id) const;
+    // Unit-disk connectivity graph over currently alive nodes. Vertices are
+    // indexed by NodeId (dead nodes appear isolated).
+    geom::Graph snapshot_graph() const;
+
+    NodeStack& stack(util::NodeId id);
+    LinkLayer& link() { return *link_; }
+
+    // Begins heartbeats and mobility. Call once before running.
+    void start();
+    bool started() const { return started_; }
+
+    // --- churn ---
+    void fail_node(util::NodeId id);
+    util::NodeId spawn_node();
+    // Invoked (in registration order) whenever spawn_node creates a node;
+    // lets services install their per-node handlers on late joiners.
+    void add_spawn_listener(std::function<void(util::NodeId)> listener) {
+        spawn_listeners_.push_back(std::move(listener));
+    }
+
+    // --- link receive path (called by link implementations) ---
+    void deliver(util::NodeId to, PacketPtr p);
+    // Promiscuous delivery of packets not addressed to `listener` (§7.2).
+    void overhear(util::NodeId listener, PacketPtr p);
+
+private:
+    void create_node_internals(util::NodeId id);
+
+    WorldParams params_;
+    sim::Simulator simulator_;
+    util::Rng rng_;
+    util::MetricSet metrics_;
+    double side_;
+
+    std::vector<geom::Vec2> positions_;  // last known, incl. dead nodes
+    std::vector<bool> alive_;
+    std::size_t alive_count_ = 0;
+    std::unique_ptr<geom::SpatialGrid> grid_;  // alive nodes only
+
+    std::unique_ptr<mobility::MobilityModel> mobility_;
+    std::unique_ptr<LinkLayer> link_;
+    std::vector<std::unique_ptr<NodeStack>> stacks_;
+    std::vector<std::function<void(util::NodeId)>> spawn_listeners_;
+    bool started_ = false;
+
+    // Full-fidelity internals (null in abstract mode).
+    std::unique_ptr<phy::Channel> channel_;
+    std::vector<std::unique_ptr<phy::Radio>> radios_;
+    std::vector<std::unique_ptr<mac::CsmaMac>> macs_;
+
+    friend class MacLink;
+};
+
+}  // namespace pqs::net

@@ -1,0 +1,54 @@
+#include "phy/channel.h"
+
+namespace pqs::phy {
+
+Channel::Channel(sim::Simulator& simulator, const PositionProvider& positions,
+                 PropagationParams propagation, RadioThresholds thresholds)
+    : simulator_(simulator),
+      positions_(positions),
+      propagation_(propagation),
+      thresholds_(thresholds),
+      cutoff_m_(two_ray_range_for_threshold(propagation,
+                                            thresholds.noise_floor_mw)) {}
+
+void Channel::attach(util::NodeId id, Radio* radio) { radios_[id] = radio; }
+
+void Channel::detach(util::NodeId id) { radios_.erase(id); }
+
+void Channel::transmit(util::NodeId src, Frame frame, sim::Time duration) {
+    if (frame.frame_id == 0) {
+        frame.frame_id = next_frame_id();
+    }
+    const geom::Vec2 origin = positions_.position(src);
+
+    if (auto it = radios_.find(src); it != radios_.end()) {
+        Radio* tx_radio = it->second;
+        tx_radio->begin_transmit();
+        simulator_.schedule_in(duration,
+                               [tx_radio] { tx_radio->end_transmit(); });
+    }
+
+    std::vector<util::NodeId> listeners;
+    positions_.nodes_within(origin, cutoff_m_, listeners, src);
+    for (const util::NodeId id : listeners) {
+        const auto it = radios_.find(id);
+        if (it == radios_.end() || !positions_.alive(id)) {
+            continue;
+        }
+        const double d = geom::distance(origin, positions_.position(id));
+        if (d <= 0.0) {
+            continue;  // co-located; treat as unreceivable
+        }
+        const double power = two_ray_rx_power_mw(propagation_, d);
+        if (power < thresholds_.noise_floor_mw) {
+            continue;
+        }
+        Radio* radio = it->second;
+        radio->frame_begin(frame, power);
+        const std::uint64_t frame_id = frame.frame_id;
+        simulator_.schedule_in(
+            duration, [radio, frame_id] { radio->frame_end(frame_id); });
+    }
+}
+
+}  // namespace pqs::phy

@@ -1,0 +1,71 @@
+#include "phy/propagation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace pqs::phy {
+
+double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+
+double mw_to_dbm(double mw) { return 10.0 * std::log10(mw); }
+
+double PropagationParams::crossover_distance_m() const {
+    return 4.0 * std::numbers::pi * antenna_height_m * antenna_height_m /
+           wavelength_m;
+}
+
+double friis_rx_power_mw(const PropagationParams& p, double distance_m) {
+    if (distance_m <= 0.0) {
+        throw std::invalid_argument("friis_rx_power_mw: distance must be > 0");
+    }
+    const double factor =
+        p.wavelength_m / (4.0 * std::numbers::pi * distance_m);
+    return p.tx_power_mw * p.antenna_gain * p.antenna_gain * factor * factor /
+           p.system_loss;
+}
+
+double two_ray_rx_power_mw(const PropagationParams& p, double distance_m) {
+    if (distance_m <= 0.0) {
+        throw std::invalid_argument(
+            "two_ray_rx_power_mw: distance must be > 0");
+    }
+    const double friis = friis_rx_power_mw(p, distance_m);
+    if (distance_m < p.crossover_distance_m()) {
+        return friis;
+    }
+    const double h2 = p.antenna_height_m * p.antenna_height_m;
+    const double d2 = distance_m * distance_m;
+    const double two_ray =
+        p.tx_power_mw * p.antenna_gain * p.antenna_gain * h2 * h2 /
+        (d2 * d2 * p.system_loss);
+    // The raw two-ray law can exceed Friis just past the crossover; physical
+    // received power cannot grow with distance, so clamp.
+    return std::min(friis, two_ray);
+}
+
+double two_ray_range_for_threshold(const PropagationParams& p,
+                                   double threshold_mw) {
+    if (threshold_mw <= 0.0) {
+        throw std::invalid_argument(
+            "two_ray_range_for_threshold: threshold must be > 0");
+    }
+    // Invert analytically in each regime and take the consistent branch.
+    const double crossover = p.crossover_distance_m();
+    const double gain2 = p.antenna_gain * p.antenna_gain;
+    // Friis branch: Pr = Pt*G^2*(lambda/(4*pi*d))^2 / L.
+    const double friis_d =
+        p.wavelength_m / (4.0 * std::numbers::pi) *
+        std::sqrt(p.tx_power_mw * gain2 / (threshold_mw * p.system_loss));
+    if (friis_d <= crossover) {
+        return friis_d;
+    }
+    // Two-ray branch: Pr = Pt*G^2*ht^2*hr^2 / (d^4 * L).
+    const double h2 = p.antenna_height_m * p.antenna_height_m;
+    return std::pow(p.tx_power_mw * gain2 * h2 * h2 /
+                        (threshold_mw * p.system_loss),
+                    0.25);
+}
+
+}  // namespace pqs::phy

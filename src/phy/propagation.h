@@ -1,0 +1,46 @@
+// Signal propagation models matching the paper's PHY table (Fig. 2):
+// two-ray ground reflection with a free-space (Friis) region below the
+// crossover distance, 15 dBm transmit power, -71 dBm receive threshold
+// (=> 200 m ideal reception range) and -77 dBm carrier-sense threshold
+// (=> 299 m carrier-sensing range).
+#pragma once
+
+namespace pqs::phy {
+
+// dBm <-> milliwatt conversions.
+double dbm_to_mw(double dbm);
+double mw_to_dbm(double mw);
+
+struct PropagationParams {
+    double tx_power_mw = 31.6227766;   // 15 dBm
+    double antenna_gain = 1.0;         // 0 dB TX and RX gain
+    double wavelength_m = 0.125;       // ~2.4 GHz
+    double antenna_height_m = 1.5;     // both TX and RX
+    double system_loss = 1.0;
+
+    // Distance beyond which the two-ray d^-4 regime applies:
+    // d_c = 4*pi*ht*hr / lambda  (~226 m with the defaults).
+    double crossover_distance_m() const;
+};
+
+// Received power (mW) at distance d (m) under free-space (Friis).
+double friis_rx_power_mw(const PropagationParams& p, double distance_m);
+
+// Received power (mW) under two-ray ground: Friis below the crossover
+// distance, Pt*Gt*Gr*ht^2*hr^2/d^4 beyond it (continuous at the crossover
+// up to the usual small model discontinuity, which we smooth by taking the
+// min of the two laws beyond crossover).
+double two_ray_rx_power_mw(const PropagationParams& p, double distance_m);
+
+// Distance (m) at which two-ray received power falls to `threshold_mw`.
+double two_ray_range_for_threshold(const PropagationParams& p,
+                                   double threshold_mw);
+
+struct RadioThresholds {
+    double rx_threshold_mw = 7.9432e-8;   // -71 dBm: minimum to decode
+    double cs_threshold_mw = 1.9952e-8;   // -77 dBm: carrier sense
+    double noise_floor_mw = 8.0080e-11;   // -101 dBm thermal noise
+    double sinr_capture = 10.0;           // beta
+};
+
+}  // namespace pqs::phy

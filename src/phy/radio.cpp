@@ -1,0 +1,87 @@
+#include "phy/radio.h"
+
+namespace pqs::phy {
+
+bool Radio::carrier_busy() const {
+    return transmitting_ || total_power_mw_ >= thresholds_.cs_threshold_mw;
+}
+
+void Radio::begin_transmit() {
+    transmitting_ = true;
+    // Half duplex: any reception in progress is lost.
+    if (locked_) {
+        locked_corrupted_ = true;
+    }
+}
+
+void Radio::end_transmit() { transmitting_ = false; }
+
+double Radio::interference_for(std::uint64_t excluded_frame) const {
+    double sum = thresholds_.noise_floor_mw;
+    for (const auto& [id, arrival] : inflight_) {
+        if (id != excluded_frame) {
+            sum += arrival.power_mw;
+        }
+    }
+    return sum;
+}
+
+void Radio::update_locked_sinr() {
+    if (!locked_ || locked_corrupted_) {
+        return;
+    }
+    const auto it = inflight_.find(locked_frame_);
+    if (it == inflight_.end()) {
+        return;
+    }
+    const double sinr = it->second.power_mw / interference_for(locked_frame_);
+    if (sinr < thresholds_.sinr_capture) {
+        locked_corrupted_ = true;
+    }
+}
+
+void Radio::frame_begin(const Frame& frame, double rx_power_mw) {
+    inflight_.emplace(frame.frame_id, Arrival{frame, rx_power_mw});
+    total_power_mw_ += rx_power_mw;
+
+    if (!locked_ && !transmitting_ &&
+        rx_power_mw >= thresholds_.rx_threshold_mw) {
+        const double sinr = rx_power_mw / interference_for(frame.frame_id);
+        if (sinr >= thresholds_.sinr_capture) {
+            locked_ = true;
+            locked_frame_ = frame.frame_id;
+            locked_corrupted_ = false;
+            return;
+        }
+    }
+    // New arrival interferes with any ongoing locked reception.
+    update_locked_sinr();
+}
+
+void Radio::frame_end(std::uint64_t frame_id) {
+    const auto it = inflight_.find(frame_id);
+    if (it == inflight_.end()) {
+        return;
+    }
+    const Arrival arrival = it->second;
+    total_power_mw_ -= arrival.power_mw;
+    inflight_.erase(it);
+    if (total_power_mw_ < 0.0) {
+        total_power_mw_ = 0.0;  // guard against FP drift
+    }
+
+    if (locked_ && frame_id == locked_frame_) {
+        const bool ok = !locked_corrupted_ && !transmitting_;
+        locked_ = false;
+        if (ok) {
+            ++frames_received_;
+            if (handler_) {
+                handler_(arrival.frame, arrival.power_mw);
+            }
+        } else {
+            ++frames_corrupted_;
+        }
+    }
+}
+
+}  // namespace pqs::phy

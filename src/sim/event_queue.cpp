@@ -1,0 +1,50 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pqs::sim {
+
+EventId EventQueue::schedule(Time when, EventFn fn) {
+    const EventId id = next_id_++;
+    heap_.push(HeapEntry{when, next_seq_++, id});
+    live_.emplace(id, std::move(fn));
+    ++live_count_;
+    return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+    // Lazy deletion: the heap entry stays, pop() skips it.
+    if (live_.erase(id) == 0) {
+        return false;
+    }
+    --live_count_;
+    return true;
+}
+
+void EventQueue::drop_cancelled() const {
+    while (!heap_.empty() && !live_.contains(heap_.top().id)) {
+        heap_.pop();
+    }
+}
+
+Time EventQueue::next_time() const {
+    drop_cancelled();
+    return heap_.empty() ? kTimeNever : heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+    drop_cancelled();
+    if (heap_.empty()) {
+        throw std::logic_error("EventQueue::pop on empty queue");
+    }
+    const HeapEntry entry = heap_.top();
+    heap_.pop();
+    auto it = live_.find(entry.id);
+    Fired fired{entry.time, std::move(it->second)};
+    live_.erase(it);
+    --live_count_;
+    return fired;
+}
+
+}  // namespace pqs::sim

@@ -1,0 +1,69 @@
+// Pending-event set for the discrete-event simulator: a binary heap with
+// stable FIFO ordering among same-time events and O(1) cancellation via
+// lazy deletion.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace pqs::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+using EventFn = std::function<void()>;
+
+class EventQueue {
+public:
+    // Schedules `fn` at absolute time `when`. Events with equal time fire in
+    // scheduling order.
+    EventId schedule(Time when, EventFn fn);
+
+    // Cancels a pending event. Returns false if the event already fired or
+    // was already cancelled.
+    bool cancel(EventId id);
+
+    bool empty() const { return live_count_ == 0; }
+    std::size_t size() const { return live_count_; }
+
+    // Time of the earliest pending event; kTimeNever when empty.
+    Time next_time() const;
+
+    struct Fired {
+        Time time;
+        EventFn fn;
+    };
+
+    // Removes and returns the earliest pending event. Queue must be
+    // non-empty.
+    Fired pop();
+
+private:
+    struct HeapEntry {
+        Time time;
+        std::uint64_t seq;
+        EventId id;
+
+        // std::priority_queue is a max-heap; invert for earliest-first,
+        // breaking ties by scheduling sequence for FIFO semantics.
+        bool operator<(const HeapEntry& other) const {
+            if (time != other.time) return time > other.time;
+            return seq > other.seq;
+        }
+    };
+
+    void drop_cancelled() const;
+
+    mutable std::priority_queue<HeapEntry> heap_;
+    std::unordered_map<EventId, EventFn> live_;
+    std::size_t live_count_ = 0;
+    std::uint64_t next_seq_ = 0;
+    EventId next_id_ = 1;
+};
+
+}  // namespace pqs::sim

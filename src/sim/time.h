@@ -1,0 +1,26 @@
+// Simulation time. Integer nanoseconds so event ordering is exact and
+// runs are reproducible independent of floating-point evaluation order.
+#pragma once
+
+#include <cstdint>
+
+namespace pqs::sim {
+
+using Time = std::int64_t;  // nanoseconds since simulation start
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1000 * kNanosecond;
+inline constexpr Time kMillisecond = 1000 * kMicrosecond;
+inline constexpr Time kSecond = 1000 * kMillisecond;
+
+constexpr Time from_seconds(double s) {
+    return static_cast<Time>(s * static_cast<double>(kSecond));
+}
+
+constexpr double to_seconds(Time t) {
+    return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+inline constexpr Time kTimeNever = INT64_MAX;
+
+}  // namespace pqs::sim

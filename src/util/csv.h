@@ -1,0 +1,65 @@
+// Minimal CSV writer for exporting bench series (set PQS_CSV_DIR to a
+// directory and every figure bench also dumps its data points as CSV, one
+// file per series, ready for plotting).
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pqs::util {
+
+// Directory configured via PQS_CSV_DIR; empty means "export disabled".
+inline std::string csv_dir_from_env() {
+    const char* env = std::getenv("PQS_CSV_DIR");
+    return env ? env : "";
+}
+
+class CsvWriter {
+public:
+    // Disabled (all writes are no-ops) when dir is empty.
+    CsvWriter(const std::string& dir, const std::string& name,
+              const std::vector<std::string>& columns) {
+        if (dir.empty()) {
+            return;
+        }
+        std::filesystem::create_directories(dir);
+        out_.open(std::filesystem::path(dir) / (name + ".csv"));
+        if (!out_) {
+            return;
+        }
+        enabled_ = true;
+        for (std::size_t i = 0; i < columns.size(); ++i) {
+            out_ << (i ? "," : "") << columns[i];
+        }
+        out_ << '\n';
+    }
+
+    bool enabled() const { return enabled_; }
+
+    void row(const std::vector<double>& values) {
+        if (!enabled_) {
+            return;
+        }
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            out_ << (i ? "," : "") << format(values[i]);
+        }
+        out_ << '\n';
+        out_.flush();
+    }
+
+private:
+    static std::string format(double v) {
+        std::ostringstream s;
+        s << v;
+        return s.str();
+    }
+
+    std::ofstream out_;
+    bool enabled_ = false;
+};
+
+}  // namespace pqs::util

@@ -1,0 +1,52 @@
+#include "util/logging.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace pqs::util {
+
+namespace {
+
+LogLevel g_level = [] {
+    const char* env = std::getenv("PQS_LOG");
+    return env ? parse_log_level(env) : LogLevel::kOff;
+}();
+
+std::mutex g_log_mutex;
+
+const char* level_name(LogLevel level) {
+    switch (level) {
+        case LogLevel::kDebug: return "DEBUG";
+        case LogLevel::kInfo: return "INFO";
+        case LogLevel::kWarn: return "WARN";
+        case LogLevel::kError: return "ERROR";
+        case LogLevel::kOff: return "OFF";
+    }
+    return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel parse_log_level(const std::string& text) {
+    if (text == "debug") return LogLevel::kDebug;
+    if (text == "info") return LogLevel::kInfo;
+    if (text == "warn") return LogLevel::kWarn;
+    if (text == "error") return LogLevel::kError;
+    return LogLevel::kOff;
+}
+
+namespace detail {
+
+void emit(LogLevel level, const std::string& message) {
+    const std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::clog << "[pqs:" << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace detail
+
+}  // namespace pqs::util

@@ -1,0 +1,38 @@
+// Minimal leveled logging. Disabled by default so simulation hot paths pay
+// only a branch; enable with PQS_LOG=debug|info|warn|error in the
+// environment or programmatically via set_log_level().
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pqs::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+// Parses "debug"/"info"/"warn"/"error"/"off"; unknown strings mean kOff.
+LogLevel parse_log_level(const std::string& text);
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+// Stream-style log statement that only formats when the level is enabled:
+//   PQS_LOG_AT(LogLevel::kInfo, "node " << id << " joined");
+#define PQS_LOG_AT(level, expr)                                     \
+    do {                                                            \
+        if ((level) >= ::pqs::util::log_level()) {                  \
+            std::ostringstream pqs_log_stream_;                     \
+            pqs_log_stream_ << expr;                                \
+            ::pqs::util::detail::emit((level), pqs_log_stream_.str()); \
+        }                                                           \
+    } while (false)
+
+#define PQS_DEBUG(expr) PQS_LOG_AT(::pqs::util::LogLevel::kDebug, expr)
+#define PQS_INFO(expr) PQS_LOG_AT(::pqs::util::LogLevel::kInfo, expr)
+#define PQS_WARN(expr) PQS_LOG_AT(::pqs::util::LogLevel::kWarn, expr)
+#define PQS_ERROR(expr) PQS_LOG_AT(::pqs::util::LogLevel::kError, expr)
+
+}  // namespace pqs::util

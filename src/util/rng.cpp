@@ -1,0 +1,131 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace pqs::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) {
+        word = splitmix64(sm);
+    }
+    has_spare_normal_ = false;
+}
+
+Rng::result_type Rng::next() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t bound) {
+    if (bound == 0) {
+        throw std::invalid_argument("Rng::uniform_u64: bound must be > 0");
+    }
+    // Lemire-style rejection to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold) {
+            return r % bound;
+        }
+    }
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) {
+        throw std::invalid_argument("Rng::uniform_int: lo > hi");
+    }
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    // span == 0 means the full 64-bit range.
+    const std::uint64_t r = (span == 0) ? next() : uniform_u64(span);
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + r);
+}
+
+double Rng::uniform01() {
+    // 53 random bits into [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform01();
+}
+
+bool Rng::bernoulli(double p) { return uniform01() < p; }
+
+double Rng::exponential(double rate) {
+    if (rate <= 0.0) {
+        throw std::invalid_argument("Rng::exponential: rate must be > 0");
+    }
+    // 1 - U in (0, 1] avoids log(0).
+    return -std::log(1.0 - uniform01()) / rate;
+}
+
+double Rng::normal(double mean, double stddev) {
+    if (has_spare_normal_) {
+        has_spare_normal_ = false;
+        return mean + stddev * spare_normal_;
+    }
+    double u = 0.0;
+    double v = 0.0;
+    double s = 0.0;
+    do {
+        u = uniform(-1.0, 1.0);
+        v = uniform(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spare_normal_ = v * factor;
+    has_spare_normal_ = true;
+    return mean + stddev * u * factor;
+}
+
+Rng Rng::fork() { return Rng{next()}; }
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+    if (k > n) {
+        throw std::invalid_argument(
+            "Rng::sample_without_replacement: k must be <= n");
+    }
+    // Floyd's algorithm: expected O(k) inserts, produces a uniform k-subset.
+    std::vector<std::size_t> result;
+    result.reserve(k);
+    for (std::size_t j = n - k; j < n; ++j) {
+        const std::size_t t = static_cast<std::size_t>(uniform_u64(j + 1));
+        bool already = false;
+        for (const std::size_t chosen : result) {
+            if (chosen == t) {
+                already = true;
+                break;
+            }
+        }
+        result.push_back(already ? j : t);
+    }
+    // Shuffle so the order is also uniform (Floyd's yields a set, and the
+    // insertion order is biased toward small values at the front).
+    shuffle(result);
+    return result;
+}
+
+}  // namespace pqs::util

@@ -1,0 +1,182 @@
+#include "core/biquorum.h"
+
+#include <gtest/gtest.h>
+
+#include "core/location_service.h"
+#include "membership/oracle_membership.h"
+
+namespace pqs::core {
+namespace {
+
+TEST(BiquorumSpec, SymmetricResolution) {
+    BiquorumSpec spec;
+    spec.eps = 0.1;
+    spec.resolve_sizes(800);
+    EXPECT_EQ(spec.advertise.quorum_size, symmetric_quorum_size(800, 0.1));
+    EXPECT_EQ(spec.lookup.quorum_size, spec.advertise.quorum_size);
+}
+
+TEST(BiquorumSpec, AsymmetricResolutionFromAdvertise) {
+    BiquorumSpec spec;
+    spec.eps = 0.1;
+    spec.advertise.quorum_size = 100;
+    spec.resolve_sizes(800);
+    EXPECT_EQ(spec.lookup.quorum_size, lookup_size_for(100, 800, 0.1));
+    EXPECT_LT(spec.lookup.quorum_size, 100u);
+}
+
+TEST(BiquorumSpec, ExplicitSizesUntouched) {
+    BiquorumSpec spec;
+    spec.advertise.quorum_size = 10;
+    spec.lookup.quorum_size = 20;
+    spec.resolve_sizes(800);
+    EXPECT_EQ(spec.advertise.quorum_size, 10u);
+    EXPECT_EQ(spec.lookup.quorum_size, 20u);
+}
+
+struct BiquorumFixture : ::testing::Test {
+    std::unique_ptr<net::World> world;
+    std::unique_ptr<membership::OracleMembership> membership;
+
+    net::World& build(std::size_t n, std::uint64_t seed = 1) {
+        net::WorldParams p;
+        p.n = n;
+        p.seed = seed;
+        p.oracle_neighbors = true;
+        world = std::make_unique<net::World>(p);
+        membership =
+            std::make_unique<membership::OracleMembership>(*world);
+        return *world;
+    }
+
+    void drive(bool& done, sim::Time budget = 60 * sim::kSecond) {
+        const sim::Time deadline = world->simulator().now() + budget;
+        while (!done && world->simulator().now() < deadline &&
+               world->simulator().step()) {
+        }
+    }
+};
+
+TEST_F(BiquorumFixture, IntersectionGuaranteeMatchesTheory) {
+    net::World& w = build(100);
+    BiquorumSpec spec;
+    spec.eps = 0.1;
+    BiquorumSystem bq(w, spec, membership.get());
+    EXPECT_GE(bq.intersection_guarantee(), 0.9);
+    EXPECT_NEAR(bq.intersection_guarantee(),
+                1.0 - nonintersection_upper_bound(
+                          bq.spec().advertise.quorum_size,
+                          bq.spec().lookup.quorum_size, 100),
+                1e-12);
+}
+
+TEST_F(BiquorumFixture, EmpiricalIntersectionMeetsEpsilon) {
+    // Statistical check of Lemma 5.2 at the system level: over many
+    // advertise/lookup pairs, the hit ratio must be >= 1 - eps (within
+    // binomial noise).
+    net::World& w = build(80, 2);
+    BiquorumSpec spec;
+    spec.eps = 0.15;
+    spec.advertise.kind = StrategyKind::kRandom;
+    spec.lookup.kind = StrategyKind::kUniquePath;
+    BiquorumSystem bq(w, spec, membership.get());
+    w.start();
+
+    util::Rng rng(7);
+    int hits = 0;
+    const int kTrials = 60;
+    for (int t = 0; t < kTrials; ++t) {
+        const util::Key key = 5000 + t;
+        bool done = false;
+        bq.advertise(static_cast<util::NodeId>(rng.index(80)), key, key,
+                     [&](const AccessResult&) { done = true; });
+        drive(done);
+        bool lookup_done = false;
+        bq.lookup(static_cast<util::NodeId>(rng.index(80)), key,
+                  [&](const AccessResult& r) {
+                      hits += r.ok ? 1 : 0;
+                      lookup_done = true;
+                  });
+        drive(lookup_done);
+    }
+    // Expected >= 85%; allow 3-sigma binomial slack (~14%).
+    EXPECT_GE(hits, static_cast<int>(kTrials * 0.72));
+}
+
+TEST_F(BiquorumFixture, LateJoinerParticipates) {
+    net::World& w = build(60, 3);
+    BiquorumSpec spec;
+    spec.advertise.kind = StrategyKind::kRandom;
+    spec.lookup.kind = StrategyKind::kUniquePath;
+    BiquorumSystem bq(w, spec, membership.get());
+    w.start();
+    const util::NodeId joiner = w.spawn_node();
+    w.simulator().run_until(15 * sim::kSecond);
+
+    // The joiner can look up data advertised by others.
+    bool done = false;
+    bq.advertise(3, 42, 420, [&](const AccessResult&) { done = true; });
+    drive(done);
+    bool lookup_done = false;
+    bool hit = false;
+    bq.lookup(joiner, 42, [&](const AccessResult& r) {
+        hit = r.ok;
+        lookup_done = true;
+    });
+    drive(lookup_done);
+    EXPECT_TRUE(hit);
+}
+
+TEST(LocalStoreTest, OwnerAndBystanderSemantics) {
+    LocalStore store;
+    store.store_bystander(1, 10);
+    EXPECT_EQ(store.find(1), 10u);
+    EXPECT_FALSE(store.is_owner(1));
+    store.store_owner(1, 11);
+    EXPECT_EQ(store.find(1), 11u);
+    EXPECT_TRUE(store.is_owner(1));
+    // Bystander cannot downgrade/overwrite an owner entry.
+    store.store_bystander(1, 12);
+    EXPECT_EQ(store.find(1), 11u);
+    store.clear_bystanders();
+    EXPECT_TRUE(store.has(1));  // owner survives memory pressure
+    store.store_bystander(2, 20);
+    store.clear_bystanders();
+    EXPECT_FALSE(store.has(2));
+    EXPECT_EQ(store.owner_count(), 1u);
+}
+
+TEST_F(BiquorumFixture, LocationServiceRefreshRestoresAfterChurn) {
+    net::World& w = build(80, 4);
+    BiquorumSpec spec;
+    spec.advertise.kind = StrategyKind::kRandom;
+    spec.lookup.kind = StrategyKind::kUniquePath;
+    spec.eps = 0.05;
+    LocationService service(w, spec, membership.get());
+    w.start();
+
+    bool done = false;
+    service.advertise(0, 7, 70, [&](const AccessResult&) { done = true; });
+    drive(done);
+    ASSERT_EQ(service.published(0).size(), 1u);
+
+    // Kill every holder of the key except node 0 itself.
+    for (util::NodeId id = 1; id < w.node_count(); ++id) {
+        if (service.store(id).is_owner(7)) {
+            w.fail_node(id);
+        }
+    }
+    // Refresh republishes to a fresh quorum of live nodes.
+    w.simulator().run_until(w.simulator().now() + 11 * sim::kSecond);
+    bool refreshed = false;
+    service.refresh(0, [&](const AccessResult&) { refreshed = true; });
+    drive(refreshed);
+    std::size_t holders = 0;
+    for (const util::NodeId id : w.alive_nodes()) {
+        holders += service.store(id).is_owner(7) ? 1 : 0;
+    }
+    EXPECT_GT(holders, spec.advertise.quorum_size / 2);
+}
+
+}  // namespace
+}  // namespace pqs::core

@@ -1,0 +1,237 @@
+// Unit tests for core plumbing: the pending-operation table, spec
+// resolution corner cases, apply_advertise policies, and walk/miss edge
+// behaviours that the end-to-end tests only exercise implicitly.
+#include <gtest/gtest.h>
+
+#include "core/access_strategy.h"
+#include "core/location_service.h"
+#include "membership/oracle_membership.h"
+
+namespace pqs::core {
+namespace {
+
+TEST(OpTableTest, ResolveDeliversLatencyAndResult) {
+    sim::Simulator simulator;
+    OpTable<int> ops(simulator);
+    AccessResult seen;
+    bool called = false;
+    const util::AccessId id{1, 1};
+    ops.open(id, [&](const AccessResult& r) {
+        seen = r;
+        called = true;
+    }, 10 * sim::kSecond);
+    simulator.run_until(3 * sim::kSecond);
+    AccessResult result;
+    result.ok = true;
+    result.nodes_contacted = 5;
+    EXPECT_TRUE(ops.resolve(id, result));
+    EXPECT_TRUE(called);
+    EXPECT_TRUE(seen.ok);
+    EXPECT_EQ(seen.nodes_contacted, 5u);
+    EXPECT_EQ(seen.latency, 3 * sim::kSecond);
+    EXPECT_EQ(ops.size(), 0u);
+}
+
+TEST(OpTableTest, DoubleResolveIsIdempotent) {
+    sim::Simulator simulator;
+    OpTable<int> ops(simulator);
+    int calls = 0;
+    const util::AccessId id{1, 2};
+    ops.open(id, [&](const AccessResult&) { ++calls; }, sim::kSecond);
+    EXPECT_TRUE(ops.resolve(id, {}));
+    EXPECT_FALSE(ops.resolve(id, {}));
+    simulator.run_until(10 * sim::kSecond);  // timeout must not re-fire
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(OpTableTest, TimeoutFillsResult) {
+    sim::Simulator simulator;
+    OpTable<int> ops(simulator);
+    AccessResult seen;
+    const util::AccessId id{1, 3};
+    ops.open(id, [&](const AccessResult& r) { seen = r; },
+             2 * sim::kSecond,
+             [](AccessResult& r) { r.nodes_contacted = 42; });
+    simulator.run_until(5 * sim::kSecond);
+    EXPECT_TRUE(seen.timed_out);
+    EXPECT_EQ(seen.nodes_contacted, 42u);
+    EXPECT_EQ(ops.size(), 0u);
+}
+
+TEST(OpTableTest, FindGivesMutableState) {
+    sim::Simulator simulator;
+    OpTable<int> ops(simulator);
+    const util::AccessId id{2, 1};
+    ops.open(id, nullptr, sim::kSecond);
+    ops.find(id)->state = 7;
+    EXPECT_EQ(ops.find(id)->state, 7);
+    EXPECT_EQ(ops.find(util::AccessId{2, 99}), nullptr);
+}
+
+TEST(ApplyAdvertise, PlainOverwrites) {
+    LocalStore store;
+    apply_advertise(store, 1, 10, /*monotonic=*/false);
+    apply_advertise(store, 1, 5, false);
+    EXPECT_EQ(store.find(1), 5u);
+}
+
+TEST(ApplyAdvertise, MonotonicKeepsMax) {
+    LocalStore store;
+    apply_advertise(store, 1, 10, /*monotonic=*/true);
+    apply_advertise(store, 1, 5, true);
+    EXPECT_EQ(store.find(1), 10u);
+    apply_advertise(store, 1, 12, true);
+    EXPECT_EQ(store.find(1), 12u);
+}
+
+TEST(ApplyAdvertise, MonotonicPromotesBystander) {
+    LocalStore store;
+    store.store_bystander(1, 20);
+    // A stale advertise (lower value) must not demote the cached newer one.
+    apply_advertise(store, 1, 15, true);
+    EXPECT_EQ(store.find(1), 20u);
+    // But a genuinely newer one becomes an owner entry.
+    apply_advertise(store, 1, 30, true);
+    EXPECT_TRUE(store.is_owner(1));
+    EXPECT_EQ(store.find(1), 30u);
+}
+
+TEST(SpecResolution, EpsilonControlsSize) {
+    BiquorumSpec strict;
+    strict.eps = 0.01;
+    strict.resolve_sizes(400);
+    BiquorumSpec loose;
+    loose.eps = 0.3;
+    loose.resolve_sizes(400);
+    EXPECT_GT(strict.advertise.quorum_size, loose.advertise.quorum_size);
+}
+
+TEST(SpecResolution, ProductMeetsBoundForAsymmetric) {
+    for (const std::size_t qa : {10u, 30u, 100u, 300u}) {
+        BiquorumSpec spec;
+        spec.eps = 0.1;
+        spec.advertise.quorum_size = qa;
+        spec.resolve_sizes(800);
+        EXPECT_LE(nonintersection_upper_bound(
+                      spec.advertise.quorum_size, spec.lookup.quorum_size,
+                      800),
+                  0.1 + 1e-9)
+            << "qa=" << qa;
+    }
+}
+
+// Edge behaviours on a live service.
+struct EdgeFixture : ::testing::Test {
+    std::unique_ptr<net::World> world;
+    std::unique_ptr<membership::OracleMembership> membership;
+    std::unique_ptr<LocationService> service;
+
+    void build(std::function<void(BiquorumSpec&)> tweak = {},
+               std::size_t n = 60) {
+        net::WorldParams p;
+        p.n = n;
+        p.seed = 31;
+        p.oracle_neighbors = true;
+        world = std::make_unique<net::World>(p);
+        membership = std::make_unique<membership::OracleMembership>(*world);
+        BiquorumSpec spec;
+        spec.advertise.kind = StrategyKind::kRandom;
+        spec.lookup.kind = StrategyKind::kUniquePath;
+        if (tweak) {
+            tweak(spec);
+        }
+        service = std::make_unique<LocationService>(*world, spec,
+                                                    membership.get());
+        world->start();
+    }
+
+    AccessResult run_lookup(util::NodeId origin, util::Key key) {
+        AccessResult out;
+        bool done = false;
+        service->lookup(origin, key, [&](const AccessResult& r) {
+            out = r;
+            done = true;
+        });
+        const sim::Time deadline =
+            world->simulator().now() + 120 * sim::kSecond;
+        while (!done && world->simulator().now() < deadline &&
+               world->simulator().step()) {
+        }
+        EXPECT_TRUE(done);
+        return out;
+    }
+};
+
+TEST(LoadSummaryTest, ComputesMeanMaxCv) {
+    net::WorldParams p;
+    p.n = 4;
+    p.seed = 1;
+    p.ensure_connected = false;
+    net::World w(p);
+    ServiceContext ctx(w);
+    ctx.count_load(0);
+    ctx.count_load(0);
+    ctx.count_load(1);
+    ctx.count_load(2);
+    // loads: 2, 1, 1, 0 -> mean 1, max 2, stddev sqrt(0.5).
+    const LoadSummary s = summarize_load(ctx);
+    EXPECT_DOUBLE_EQ(s.mean, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 2.0);
+    EXPECT_NEAR(s.cv, std::sqrt(0.5), 1e-9);
+}
+
+TEST(LoadSummaryTest, EmptyLoadIsZero) {
+    net::WorldParams p;
+    p.n = 3;
+    p.seed = 1;
+    p.ensure_connected = false;
+    net::World w(p);
+    ServiceContext ctx(w);
+    const LoadSummary s = summarize_load(ctx);
+    EXPECT_DOUBLE_EQ(s.mean, 0.0);
+    EXPECT_DOUBLE_EQ(s.cv, 0.0);
+}
+
+TEST_F(EdgeFixture, WalkFromIsolatedOriginDiesCleanly) {
+    build();
+    // Isolate node 0 by killing all of its neighbors.
+    for (const util::NodeId v : world->physical_neighbors(0)) {
+        world->fail_node(v);
+    }
+    const AccessResult r = run_lookup(0, 999);
+    EXPECT_FALSE(r.ok);
+    EXPECT_FALSE(r.timed_out);       // the walk died, no need to wait
+    EXPECT_EQ(r.nodes_contacted, 1u);  // only the origin itself
+}
+
+TEST_F(EdgeFixture, QuorumSizeOneStillWorks) {
+    build([](BiquorumSpec& spec) {
+        // Whole-network advertise flood (membership views cap RANDOM at
+        // 2 sqrt(n), so flooding is the way to reach everyone).
+        spec.advertise.kind = StrategyKind::kFlooding;
+        spec.advertise.flood_ttl = 30;
+        spec.advertise.quorum_size = 60;  // join probability 1
+        spec.lookup.quorum_size = 1;      // origin-only lookup
+    });
+    bool done = false;
+    service->advertise(3, 5, 50, [&](const AccessResult&) { done = true; });
+    while (!done && world->simulator().step()) {
+    }
+    const AccessResult r = run_lookup(10, 5);
+    EXPECT_TRUE(r.ok);  // everyone is an advertiser, origin included
+    EXPECT_EQ(r.nodes_contacted, 1u);
+}
+
+TEST_F(EdgeFixture, LookupQuorumLargerThanNetworkCoversEveryone) {
+    build([](BiquorumSpec& spec) {
+        spec.advertise.quorum_size = 5;
+        spec.lookup.quorum_size = 500;  // > n: walk covers what exists
+    });
+    const AccessResult r = run_lookup(10, 999);
+    EXPECT_FALSE(r.ok);
+    // The self-avoiding walk saturated the reachable network.
+    EXPECT_GT(r.nodes_contacted, 50u);
+}
+
+}  // namespace
+}  // namespace pqs::core

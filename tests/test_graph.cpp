@@ -1,0 +1,126 @@
+#include "geom/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace pqs::geom {
+namespace {
+
+// 0-1-2-3-4 line.
+Graph line(std::size_t n) {
+    Graph g(n);
+    for (util::NodeId i = 0; i + 1 < n; ++i) {
+        g.add_edge(i, i + 1);
+    }
+    return g;
+}
+
+Graph ring(std::size_t n) {
+    Graph g = line(n);
+    g.add_edge(static_cast<util::NodeId>(n - 1), 0);
+    return g;
+}
+
+TEST(Graph, EdgeValidation) {
+    Graph g(3);
+    EXPECT_THROW(g.add_edge(0, 3), std::out_of_range);
+    EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+}
+
+TEST(Graph, DegreesAndCounts) {
+    Graph g = line(5);
+    EXPECT_EQ(g.node_count(), 5u);
+    EXPECT_EQ(g.edge_count(), 4u);
+    EXPECT_EQ(g.degree(0), 1u);
+    EXPECT_EQ(g.degree(2), 2u);
+    EXPECT_EQ(g.min_degree(), 1u);
+    EXPECT_EQ(g.max_degree(), 2u);
+    EXPECT_DOUBLE_EQ(g.average_degree(), 8.0 / 5.0);
+}
+
+TEST(Graph, BfsDistancesLine) {
+    const Graph g = line(6);
+    const auto d = g.bfs_distances(0);
+    for (std::size_t i = 0; i < 6; ++i) {
+        EXPECT_EQ(d[i], i);
+    }
+}
+
+TEST(Graph, BfsUnreachable) {
+    Graph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(2, 3);
+    const auto d = g.bfs_distances(0);
+    EXPECT_EQ(d[1], 1u);
+    EXPECT_EQ(d[2], kUnreachable);
+}
+
+TEST(Graph, NodesWithinHops) {
+    const Graph g = line(10);
+    EXPECT_EQ(g.nodes_within_hops(0, 0), 1u);
+    EXPECT_EQ(g.nodes_within_hops(0, 3), 4u);
+    EXPECT_EQ(g.nodes_within_hops(5, 2), 5u);  // both directions
+    EXPECT_EQ(g.nodes_within_hops(0, 100), 10u);
+}
+
+TEST(Graph, RingSizes) {
+    const Graph g = line(5);
+    const auto rings = g.ring_sizes(0);
+    ASSERT_EQ(rings.size(), 5u);
+    for (const std::size_t r : rings) {
+        EXPECT_EQ(r, 1u);
+    }
+    const auto mid = g.ring_sizes(2);
+    EXPECT_EQ(mid[0], 1u);
+    EXPECT_EQ(mid[1], 2u);
+    EXPECT_EQ(mid[2], 2u);
+}
+
+TEST(Graph, Connectivity) {
+    EXPECT_TRUE(line(5).is_connected());
+    Graph g(4);
+    g.add_edge(0, 1);
+    EXPECT_FALSE(g.is_connected());
+    EXPECT_EQ(g.component_size(0), 2u);
+    EXPECT_EQ(g.component_size(2), 1u);
+    EXPECT_EQ(g.component_count(), 3u);
+    EXPECT_TRUE(Graph(0).is_connected());
+}
+
+TEST(Graph, DiameterAndEccentricity) {
+    EXPECT_EQ(line(6).diameter(), 5u);
+    EXPECT_EQ(ring(6).diameter(), 3u);
+    EXPECT_EQ(line(6).eccentricity(0), 5u);
+    EXPECT_EQ(line(6).eccentricity(3), 3u);
+}
+
+TEST(Graph, Subgraph) {
+    Graph g = line(5);
+    std::vector<bool> alive{true, true, false, true, true};
+    const Graph sub = g.subgraph(alive);
+    EXPECT_EQ(sub.edge_count(), 2u);  // 0-1 and 3-4
+    EXPECT_EQ(sub.bfs_distances(0)[3], kUnreachable);
+    EXPECT_EQ(sub.bfs_distances(3)[4], 1u);
+}
+
+TEST(Graph, SubgraphSizeMismatchThrows) {
+    Graph g = line(3);
+    EXPECT_THROW(g.subgraph({true, true}), std::invalid_argument);
+}
+
+TEST(Graph, CompleteGraphProperties) {
+    const std::size_t n = 8;
+    Graph g(n);
+    for (util::NodeId i = 0; i < n; ++i) {
+        for (util::NodeId j = i + 1; j < n; ++j) {
+            g.add_edge(i, j);
+        }
+    }
+    EXPECT_EQ(g.diameter(), 1u);
+    EXPECT_EQ(g.min_degree(), n - 1);
+    EXPECT_EQ(g.nodes_within_hops(0, 1), n);
+}
+
+}  // namespace
+}  // namespace pqs::geom

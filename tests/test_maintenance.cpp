@@ -1,0 +1,158 @@
+#include "core/maintenance.h"
+
+#include <gtest/gtest.h>
+
+#include "membership/oracle_membership.h"
+
+namespace pqs::core {
+namespace {
+
+TEST(MaxTolerableChurn, FailuresFixedNeverDegrades) {
+    EXPECT_DOUBLE_EQ(max_tolerable_churn(0.05, 0.1, ChurnKind::kFailuresOnly,
+                                         LookupSizing::kFixed),
+                     1.0);
+}
+
+TEST(MaxTolerableChurn, InvertsDegradationBound) {
+    // For every churn kind, plugging the returned f back into the bound
+    // must land exactly on eps_max.
+    const double eps0 = 0.05;
+    const double eps_max = 0.12;
+    for (const auto kind :
+         {ChurnKind::kJoinsOnly, ChurnKind::kFailuresAndJoins}) {
+        for (const auto sizing :
+             {LookupSizing::kFixed, LookupSizing::kAdjustedToNetworkSize}) {
+            const double f = max_tolerable_churn(eps0, eps_max, kind, sizing);
+            ASSERT_GT(f, 0.0);
+            if (f < 1.0) {
+                EXPECT_NEAR(degraded_miss_bound(eps0, f, kind, sizing),
+                            eps_max, 1e-9)
+                    << "kind=" << static_cast<int>(kind);
+            }
+        }
+    }
+}
+
+TEST(MaxTolerableChurn, ZeroWhenAlreadyAtFloor) {
+    EXPECT_DOUBLE_EQ(max_tolerable_churn(0.1, 0.1,
+                                         ChurnKind::kFailuresAndJoins,
+                                         LookupSizing::kFixed),
+                     0.0);
+}
+
+TEST(RefreshInterval, ScalesInverselyWithChurnRate) {
+    const auto fast = refresh_interval(0.05, 0.1, ChurnKind::kFailuresAndJoins,
+                                       LookupSizing::kFixed, 0.01);
+    const auto slow = refresh_interval(0.05, 0.1, ChurnKind::kFailuresAndJoins,
+                                       LookupSizing::kFixed, 0.001);
+    EXPECT_NEAR(sim::to_seconds(slow), 10.0 * sim::to_seconds(fast), 1e-3);
+}
+
+TEST(RefreshInterval, PaperExampleOnceADay) {
+    // §6.1: eps0=0.05 (intersection 0.95), floor 0.9 => f* ~ 0.3 tolerable;
+    // if 30% of the network changes per day, refresh about daily.
+    const double churn_per_sec = 0.3 / 86400.0;
+    const auto interval =
+        refresh_interval(0.05, 0.1, ChurnKind::kFailuresAndJoins,
+                         LookupSizing::kFixed, churn_per_sec);
+    const double days = sim::to_seconds(interval) / 86400.0;
+    EXPECT_GT(days, 0.5);
+    EXPECT_LT(days, 1.5);
+}
+
+TEST(RefreshInterval, NeverWhenNoChurn) {
+    EXPECT_EQ(refresh_interval(0.05, 0.1, ChurnKind::kFailuresAndJoins,
+                               LookupSizing::kFixed, 0.0),
+              sim::kTimeNever);
+    EXPECT_EQ(refresh_interval(0.05, 0.1, ChurnKind::kFailuresOnly,
+                               LookupSizing::kFixed, 0.5),
+              sim::kTimeNever);
+}
+
+struct MaintenanceFixture : ::testing::Test {
+    std::unique_ptr<net::World> world;
+    std::unique_ptr<membership::OracleMembership> membership;
+    std::unique_ptr<LocationService> service;
+
+    void build(std::size_t n, std::uint64_t seed = 1) {
+        net::WorldParams p;
+        p.n = n;
+        p.seed = seed;
+        p.oracle_neighbors = true;
+        world = std::make_unique<net::World>(p);
+        membership = std::make_unique<membership::OracleMembership>(*world);
+        BiquorumSpec spec;
+        spec.advertise.kind = StrategyKind::kRandom;
+        spec.lookup.kind = StrategyKind::kUniquePath;
+        service = std::make_unique<LocationService>(*world, spec,
+                                                    membership.get());
+        world->start();
+    }
+};
+
+TEST_F(MaintenanceFixture, RefresherReadvertisesPeriodically) {
+    build(60);
+    bool done = false;
+    service->advertise(0, 9, 90, [&](const AccessResult&) { done = true; });
+    const sim::Time deadline = world->simulator().now() + 60 * sim::kSecond;
+    while (!done && world->simulator().now() < deadline &&
+           world->simulator().step()) {
+    }
+    ASSERT_TRUE(done);
+
+    QuorumRefresher::Params params;
+    params.explicit_interval = 20 * sim::kSecond;
+    QuorumRefresher refresher(*service, params);
+    refresher.start_node(0);
+    world->simulator().run_until(world->simulator().now() +
+                                 70 * sim::kSecond);
+    EXPECT_GE(refresher.refreshes_performed(), 3u);
+}
+
+TEST_F(MaintenanceFixture, RefresherSkipsNodesWithoutPublications) {
+    build(60);
+    QuorumRefresher::Params params;
+    params.explicit_interval = 10 * sim::kSecond;
+    QuorumRefresher refresher(*service, params);
+    refresher.start_node(5);  // node 5 published nothing
+    world->simulator().run_until(60 * sim::kSecond);
+    EXPECT_EQ(refresher.refreshes_performed(), 0u);
+}
+
+TEST_F(MaintenanceFixture, RefresherDerivedIntervalFromChurn) {
+    build(60);
+    QuorumRefresher::Params params;
+    params.eps_max = 0.2;
+    params.churn_fraction_per_sec = 0.001;
+    QuorumRefresher refresher(*service, params);
+    EXPECT_GT(refresher.interval(), 0);
+    EXPECT_LT(refresher.interval(), sim::kTimeNever);
+}
+
+TEST_F(MaintenanceFixture, SizeEstimatorInRightBallpark) {
+    build(200, 3);
+    // Tight refresh so repeated 1-samples are independent draws.
+    membership::OracleMembershipParams mp;
+    mp.refresh_period = sim::kMillisecond;
+    mp.view_size = 1;
+    membership::OracleMembership fresh(*world, mp);
+    NetworkSizeEstimator estimator(fresh, util::Rng(5));
+    // Need the clock to advance between samples for refresh; approximate
+    // by many samples at one instant from per-call fresh views:
+    // OracleMembership resamples per refresh period, so step time forward.
+    std::vector<util::NodeId> draws;
+    for (int i = 0; i < 300; ++i) {
+        world->simulator().run_until(world->simulator().now() +
+                                     2 * sim::kMillisecond);
+        const auto s = fresh.sample(0, 1);
+        if (!s.empty()) {
+            draws.push_back(s.front());
+        }
+    }
+    const double est = estimate_network_size(draws);
+    EXPECT_GT(est, 100.0);
+    EXPECT_LT(est, 400.0);
+}
+
+}  // namespace
+}  // namespace pqs::core

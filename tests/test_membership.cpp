@@ -1,0 +1,170 @@
+#include "membership/oracle_membership.h"
+#include "membership/rawms.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace pqs::membership {
+namespace {
+
+net::WorldParams world_params(std::size_t n, std::uint64_t seed = 1) {
+    net::WorldParams p;
+    p.n = n;
+    p.seed = seed;
+    p.oracle_neighbors = true;
+    return p;
+}
+
+TEST(DefaultViewSize, TwoSqrtN) {
+    EXPECT_EQ(default_view_size(800), 57u);  // ceil(2*sqrt(800)) = 57
+    EXPECT_EQ(default_view_size(100), 20u);
+}
+
+TEST(OracleMembership, ViewSizeDefaults) {
+    net::World w(world_params(100));
+    OracleMembership m(w);
+    const auto view = m.view(0);
+    EXPECT_EQ(view.size(), default_view_size(100));
+}
+
+TEST(OracleMembership, SampleDistinctAndAlive) {
+    net::World w(world_params(100));
+    OracleMembership m(w);
+    const auto sample = m.sample(3, 10);
+    ASSERT_EQ(sample.size(), 10u);
+    std::set<util::NodeId> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 10u);
+    for (const util::NodeId id : sample) {
+        EXPECT_TRUE(w.alive(id));
+    }
+}
+
+TEST(OracleMembership, SampleCappedByView) {
+    net::World w(world_params(50));
+    OracleMembershipParams p;
+    p.view_size = 5;
+    OracleMembership m(w, p);
+    EXPECT_EQ(m.sample(0, 50).size(), 5u);
+}
+
+TEST(OracleMembership, ViewStableWithinRefreshPeriod) {
+    net::World w(world_params(100));
+    OracleMembership m(w);
+    const auto v1 = m.view(0);
+    const auto v2 = m.view(0);
+    EXPECT_EQ(v1, v2);
+}
+
+TEST(OracleMembership, ViewRefreshesAfterPeriod) {
+    net::World w(world_params(100));
+    OracleMembershipParams p;
+    p.refresh_period = 10 * sim::kSecond;
+    OracleMembership m(w, p);
+    const auto v1 = m.view(0);
+    w.simulator().run_until(11 * sim::kSecond);
+    const auto v2 = m.view(0);
+    EXPECT_NE(v1, v2);  // resampled (astronomically unlikely to repeat)
+}
+
+TEST(OracleMembership, StaleViewsRetainDeadNodes) {
+    net::World w(world_params(100));
+    OracleMembership m(w);
+    const auto view = m.view(0);
+    // Kill a view member; before the refresh period it stays in the view.
+    const util::NodeId victim = view.front();
+    w.fail_node(victim);
+    const auto again = m.view(0);
+    EXPECT_NE(std::find(again.begin(), again.end(), victim), again.end());
+    // After the refresh period it is gone.
+    w.simulator().run_until(11 * sim::kSecond);
+    const auto fresh = m.view(0);
+    EXPECT_EQ(std::find(fresh.begin(), fresh.end(), victim), fresh.end());
+}
+
+TEST(OracleMembership, ApproximatelyUniform) {
+    net::World w(world_params(60));
+    OracleMembershipParams p;
+    p.view_size = 10;
+    p.refresh_period = sim::kMillisecond;  // fresh view for every sample
+    OracleMembership m(w, p);
+    std::vector<int> counts(60, 0);
+    for (int round = 0; round < 600; ++round) {
+        w.simulator().run_until(w.simulator().now() + sim::kMillisecond * 2);
+        for (const util::NodeId id : m.sample(0, 10)) {
+            ++counts[id];
+        }
+    }
+    // Each node expected 100 appearances; allow generous tolerance.
+    for (const int c : counts) {
+        EXPECT_GT(c, 40);
+        EXPECT_LT(c, 180);
+    }
+}
+
+TEST(Rawms, PrefilledViewsHaveTargetSize) {
+    net::World w(world_params(80));
+    RawmsParams p;
+    p.prefill = true;
+    RawmsMembership m(w, p);
+    m.start();
+    std::size_t filled = 0;
+    for (util::NodeId id = 0; id < 80; ++id) {
+        filled += m.view_size(id);
+    }
+    // n * view_size deposits spread over n views (dedup loses a few).
+    EXPECT_GT(filled, 80 * default_view_size(80) / 2);
+}
+
+TEST(Rawms, SampleReturnsDistinct) {
+    net::World w(world_params(80));
+    RawmsMembership m(w);
+    m.start();
+    const auto sample = m.sample(5, 8);
+    std::set<util::NodeId> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), sample.size());
+    EXPECT_GE(sample.size(), 1u);
+}
+
+TEST(Rawms, ProtocolDepositsOverTime) {
+    net::World w(world_params(60, 5));
+    w.start();
+    RawmsParams p;
+    p.prefill = false;           // start cold: only protocol traffic fills
+    p.walk_length = 30;          // n/2
+    p.advertise_period = 5 * sim::kSecond;
+    RawmsMembership m(w, p);
+    m.start();
+    EXPECT_EQ(m.view_size(0), 0u);
+    w.simulator().run_until(60 * sim::kSecond);
+    std::size_t filled = 0;
+    for (util::NodeId id = 0; id < 60; ++id) {
+        filled += m.view_size(id);
+    }
+    EXPECT_GT(filled, 60u);  // walks deposited ids across the network
+    EXPECT_GT(m.protocol_messages(), 0.0);
+}
+
+TEST(Rawms, DepositsApproximatelyUniformOverPrefill) {
+    net::World w(world_params(100, 9));
+    RawmsMembership m(w);
+    m.start();
+    // Count how often each node appears across all views.
+    std::vector<int> appearances(100, 0);
+    int total = 0;
+    for (util::NodeId id = 0; id < 100; ++id) {
+        for (const util::NodeId member : m.sample(id, 1000)) {
+            ++appearances[member];
+            ++total;
+        }
+    }
+    // No node should dominate: uniform share is 1%, allow 5x.
+    for (const int a : appearances) {
+        EXPECT_LT(a, total / 15);
+    }
+}
+
+}  // namespace
+}  // namespace pqs::membership

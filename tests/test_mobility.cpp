@@ -1,0 +1,173 @@
+#include "mobility/random_waypoint.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace pqs::mobility {
+namespace {
+
+// Minimal host recording positions.
+class TestHost final : public MobilityHost {
+public:
+    explicit TestHost(double side) : side_(side) {}
+
+    sim::Simulator& simulator() override { return simulator_; }
+    double side() const override { return side_; }
+    bool alive(util::NodeId id) const override {
+        return id < alive_.size() && alive_[id];
+    }
+    geom::Vec2 position(util::NodeId id) const override {
+        return positions_.at(id);
+    }
+    void set_position(util::NodeId id, geom::Vec2 pos) override {
+        positions_.at(id) = pos;
+        ++moves_;
+    }
+
+    void add(util::NodeId id, geom::Vec2 pos) {
+        if (positions_.size() <= id) {
+            positions_.resize(id + 1);
+            alive_.resize(id + 1, false);
+        }
+        positions_[id] = pos;
+        alive_[id] = true;
+    }
+    void kill(util::NodeId id) { alive_[id] = false; }
+    std::size_t moves() const { return moves_; }
+
+private:
+    sim::Simulator simulator_;
+    double side_;
+    std::vector<geom::Vec2> positions_;
+    std::vector<bool> alive_;
+    std::size_t moves_ = 0;
+};
+
+TEST(StaticMobility, NeverMoves) {
+    TestHost host(100.0);
+    host.add(0, {50.0, 50.0});
+    StaticMobility model;
+    util::Rng rng(1);
+    model.start_node(host, 0, rng);
+    host.simulator().run_until(100 * sim::kSecond);
+    EXPECT_EQ(host.moves(), 0u);
+    EXPECT_EQ(host.position(0), (geom::Vec2{50.0, 50.0}));
+}
+
+TEST(RandomWaypoint, MovesNode) {
+    TestHost host(1000.0);
+    host.add(0, {500.0, 500.0});
+    RandomWaypointParams p;
+    p.min_speed = 1.0;
+    p.max_speed = 2.0;
+    RandomWaypoint model(p);
+    util::Rng rng(2);
+    model.start_node(host, 0, rng);
+    host.simulator().run_until(60 * sim::kSecond);
+    EXPECT_GT(host.moves(), 10u);
+    EXPECT_NE(host.position(0), (geom::Vec2{500.0, 500.0}));
+}
+
+TEST(RandomWaypoint, StaysInBounds) {
+    TestHost host(300.0);
+    host.add(0, {150.0, 150.0});
+    RandomWaypointParams p;
+    p.min_speed = 5.0;
+    p.max_speed = 20.0;
+    p.pause = sim::kSecond;
+    RandomWaypoint model(p);
+    util::Rng rng(3);
+    model.start_node(host, 0, rng);
+    for (int i = 0; i < 600; ++i) {
+        host.simulator().run_until(host.simulator().now() + sim::kSecond);
+        const geom::Vec2 pos = host.position(0);
+        ASSERT_GE(pos.x, 0.0);
+        ASSERT_LE(pos.x, 300.0);
+        ASSERT_GE(pos.y, 0.0);
+        ASSERT_LE(pos.y, 300.0);
+    }
+}
+
+TEST(RandomWaypoint, SpeedBounded) {
+    TestHost host(5000.0);
+    host.add(0, {2500.0, 2500.0});
+    RandomWaypointParams p;
+    p.min_speed = 2.0;
+    p.max_speed = 4.0;
+    p.tick = 500 * sim::kMillisecond;
+    p.pause = 0;
+    RandomWaypoint model(p);
+    util::Rng rng(4);
+    model.start_node(host, 0, rng);
+    geom::Vec2 prev = host.position(0);
+    sim::Time prev_t = 0;
+    for (int i = 0; i < 200; ++i) {
+        host.simulator().run_until(host.simulator().now() + sim::kSecond);
+        const geom::Vec2 cur = host.position(0);
+        const double dt = sim::to_seconds(host.simulator().now() - prev_t);
+        const double dist = geom::distance(prev, cur);
+        EXPECT_LE(dist, p.max_speed * dt + 1e-6);
+        prev = cur;
+        prev_t = host.simulator().now();
+    }
+}
+
+TEST(RandomWaypoint, PausesAtWaypoint) {
+    TestHost host(50.0);  // tiny world: waypoints reached quickly
+    host.add(0, {25.0, 25.0});
+    RandomWaypointParams p;
+    p.min_speed = 10.0;
+    p.max_speed = 10.0;
+    p.pause = 20 * sim::kSecond;
+    RandomWaypoint model(p);
+    util::Rng rng(5);
+    model.start_node(host, 0, rng);
+    host.simulator().run_until(120 * sim::kSecond);
+    // With ~20 s pauses and <= 7 s legs, far fewer moves than ticks.
+    EXPECT_LT(host.moves(), 120u);
+    EXPECT_GT(host.moves(), 0u);
+}
+
+TEST(RandomWaypoint, StopsAnimatingDeadNodes) {
+    TestHost host(1000.0);
+    host.add(0, {500.0, 500.0});
+    RandomWaypointParams p;
+    p.min_speed = 5.0;
+    p.max_speed = 5.0;
+    RandomWaypoint model(p);
+    util::Rng rng(6);
+    model.start_node(host, 0, rng);
+    host.simulator().run_until(5 * sim::kSecond);
+    const std::size_t moves_before = host.moves();
+    EXPECT_GT(moves_before, 0u);
+    host.kill(0);
+    host.simulator().run_until(60 * sim::kSecond);
+    EXPECT_EQ(host.moves(), moves_before);
+}
+
+TEST(RandomWaypoint, MultipleNodesIndependent) {
+    TestHost host(1000.0);
+    RandomWaypointParams p;
+    p.min_speed = 1.0;
+    p.max_speed = 3.0;
+    RandomWaypoint model(p);
+    util::Rng rng(7);
+    for (util::NodeId i = 0; i < 10; ++i) {
+        host.add(i, {500.0, 500.0});
+        model.start_node(host, i, rng);
+    }
+    host.simulator().run_until(120 * sim::kSecond);
+    // All nodes wandered away from the common start, to distinct places.
+    for (util::NodeId i = 0; i < 10; ++i) {
+        EXPECT_NE(host.position(i), (geom::Vec2{500.0, 500.0}));
+        for (util::NodeId j = i + 1; j < 10; ++j) {
+            EXPECT_GT(geom::distance(host.position(i), host.position(j)),
+                      1e-9);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace pqs::mobility

@@ -1,0 +1,99 @@
+#include "phy/propagation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace pqs::phy {
+namespace {
+
+TEST(Units, DbmMwRoundTrip) {
+    EXPECT_NEAR(dbm_to_mw(0.0), 1.0, 1e-12);
+    EXPECT_NEAR(dbm_to_mw(15.0), 31.6227766, 1e-6);
+    EXPECT_NEAR(mw_to_dbm(1.0), 0.0, 1e-12);
+    EXPECT_NEAR(mw_to_dbm(dbm_to_mw(-71.0)), -71.0, 1e-9);
+}
+
+TEST(Propagation, PaperConstantsAreSelfConsistent) {
+    // The paper's PHY table (Fig. 2): 15 dBm TX, -71 dBm RXThresh with a
+    // 200 m ideal reception range, -77 dBm CSThresh with a 299 m carrier
+    // sensing range. These are mutually consistent under Friis below the
+    // two-ray crossover and d^-4 beyond it, with lambda=0.125 m, h=1.5 m.
+    const PropagationParams p;
+    const RadioThresholds t;
+
+    // 200 m reception range <-> -71 dBm.
+    EXPECT_NEAR(mw_to_dbm(two_ray_rx_power_mw(p, 200.0)), -71.0, 0.2);
+    // 299 m carrier sense range <-> -77 dBm.
+    EXPECT_NEAR(mw_to_dbm(two_ray_rx_power_mw(p, 299.0)), -77.0, 0.2);
+
+    EXPECT_NEAR(two_ray_range_for_threshold(p, t.rx_threshold_mw), 200.0,
+                2.0);
+    EXPECT_NEAR(two_ray_range_for_threshold(p, t.cs_threshold_mw), 299.0,
+                3.0);
+}
+
+TEST(Propagation, CrossoverDistance) {
+    const PropagationParams p;
+    EXPECT_NEAR(p.crossover_distance_m(),
+                4.0 * std::numbers::pi * 2.25 / 0.125, 1e-6);
+}
+
+TEST(Propagation, FriisInverseSquare) {
+    const PropagationParams p;
+    const double p1 = friis_rx_power_mw(p, 50.0);
+    const double p2 = friis_rx_power_mw(p, 100.0);
+    EXPECT_NEAR(p1 / p2, 4.0, 1e-9);
+}
+
+TEST(Propagation, TwoRayInverseFourthBeyondCrossover) {
+    const PropagationParams p;
+    const double d = p.crossover_distance_m() + 100.0;
+    const double p1 = two_ray_rx_power_mw(p, d);
+    const double p2 = two_ray_rx_power_mw(p, 2.0 * d);
+    EXPECT_NEAR(p1 / p2, 16.0, 1e-9);
+}
+
+TEST(Propagation, MonotonicallyDecreasing) {
+    const PropagationParams p;
+    double prev = two_ray_rx_power_mw(p, 1.0);
+    for (double d = 5.0; d < 1500.0; d += 5.0) {
+        const double cur = two_ray_rx_power_mw(p, d);
+        EXPECT_LE(cur, prev) << "at distance " << d;
+        prev = cur;
+    }
+}
+
+TEST(Propagation, MatchesFriisBelowCrossover) {
+    const PropagationParams p;
+    EXPECT_DOUBLE_EQ(two_ray_rx_power_mw(p, 100.0),
+                     friis_rx_power_mw(p, 100.0));
+}
+
+TEST(Propagation, InvalidArguments) {
+    const PropagationParams p;
+    EXPECT_THROW(friis_rx_power_mw(p, 0.0), std::invalid_argument);
+    EXPECT_THROW(two_ray_rx_power_mw(p, -1.0), std::invalid_argument);
+    EXPECT_THROW(two_ray_range_for_threshold(p, 0.0), std::invalid_argument);
+}
+
+TEST(Propagation, RangeForThresholdInverts) {
+    const PropagationParams p;
+    for (const double d : {50.0, 150.0, 250.0, 400.0, 800.0}) {
+        const double pw = two_ray_rx_power_mw(p, d);
+        EXPECT_NEAR(two_ray_range_for_threshold(p, pw), d, d * 0.02);
+    }
+}
+
+TEST(Propagation, HigherPowerLongerRange) {
+    PropagationParams lo;
+    PropagationParams hi;
+    hi.tx_power_mw = lo.tx_power_mw * 10.0;
+    const RadioThresholds t;
+    EXPECT_GT(two_ray_range_for_threshold(hi, t.rx_threshold_mw),
+              two_ray_range_for_threshold(lo, t.rx_threshold_mw));
+}
+
+}  // namespace
+}  // namespace pqs::phy

@@ -1,0 +1,274 @@
+#include "geom/random_walk.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/rgg.h"
+#include "util/stats.h"
+
+namespace pqs::geom {
+namespace {
+
+Graph ring(std::size_t n) {
+    Graph g(n);
+    for (util::NodeId i = 0; i < n; ++i) {
+        g.add_edge(i, static_cast<util::NodeId>((i + 1) % n));
+    }
+    return g;
+}
+
+Graph complete(std::size_t n) {
+    Graph g(n);
+    for (util::NodeId i = 0; i < n; ++i) {
+        for (util::NodeId j = i + 1; j < n; ++j) {
+            g.add_edge(i, j);
+        }
+    }
+    return g;
+}
+
+TEST(WalkStep, SimpleStaysOnNeighbors) {
+    const Graph g = ring(10);
+    util::Rng rng(1);
+    for (int i = 0; i < 200; ++i) {
+        const util::NodeId next =
+            walk_step(g, 0, WalkKind::kSimple, rng);
+        EXPECT_TRUE(next == 1 || next == 9);
+    }
+}
+
+TEST(WalkStep, IsolatedNodeStays) {
+    Graph g(3);
+    util::Rng rng(2);
+    EXPECT_EQ(walk_step(g, 1, WalkKind::kSimple, rng), 1u);
+}
+
+TEST(WalkStep, SelfAvoidingNeedsVisitedSet) {
+    const Graph g = ring(5);
+    util::Rng rng(3);
+    EXPECT_THROW(walk_step(g, 0, WalkKind::kSelfAvoiding, rng),
+                 std::invalid_argument);
+}
+
+TEST(WalkStep, SelfAvoidingPrefersUnvisited) {
+    const Graph g = ring(10);
+    util::Rng rng(4);
+    std::unordered_set<util::NodeId> visited{0, 1};
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(walk_step(g, 0, WalkKind::kSelfAvoiding, rng, &visited), 9u);
+    }
+}
+
+TEST(WalkStep, SelfAvoidingFallsBackWhenAllVisited) {
+    const Graph g = ring(4);
+    util::Rng rng(5);
+    std::unordered_set<util::NodeId> visited{0, 1, 2, 3};
+    const util::NodeId next =
+        walk_step(g, 0, WalkKind::kSelfAvoiding, rng, &visited);
+    EXPECT_TRUE(next == 1 || next == 3);
+}
+
+TEST(WalkStep, MaxDegreeNeedsEstimate) {
+    const Graph g = ring(5);
+    util::Rng rng(6);
+    EXPECT_THROW(walk_step(g, 0, WalkKind::kMaxDegree, rng, nullptr, 0),
+                 std::invalid_argument);
+}
+
+TEST(WalkStep, MaxDegreeSelfLoops) {
+    const Graph g = ring(10);  // degree 2 everywhere
+    util::Rng rng(7);
+    int loops = 0;
+    const int trials = 10000;
+    for (int i = 0; i < trials; ++i) {
+        if (walk_step(g, 0, WalkKind::kMaxDegree, rng, nullptr, 4) == 0) {
+            ++loops;
+        }
+    }
+    // Self-loop probability = 1 - deg/d_max = 1/2.
+    EXPECT_NEAR(static_cast<double>(loops) / trials, 0.5, 0.03);
+}
+
+TEST(WalkUntilUnique, CoversTarget) {
+    const Graph g = ring(20);
+    util::Rng rng(8);
+    const WalkResult r =
+        walk_until_unique(g, 0, WalkKind::kSimple, 10, 100000, rng);
+    EXPECT_EQ(r.unique_order.size(), 10u);
+    EXPECT_EQ(r.trajectory.front(), 0u);
+    EXPECT_EQ(r.steps + 1, r.trajectory.size());
+}
+
+TEST(WalkUntilUnique, RespectsMaxSteps) {
+    const Graph g = ring(100);
+    util::Rng rng(9);
+    const WalkResult r =
+        walk_until_unique(g, 0, WalkKind::kSimple, 100, 5, rng);
+    EXPECT_EQ(r.steps, 5u);
+    EXPECT_LT(r.unique_order.size(), 100u);
+}
+
+TEST(WalkFixedLength, ExactSteps) {
+    const Graph g = ring(12);
+    util::Rng rng(10);
+    const WalkResult r = walk_fixed_length(g, 3, WalkKind::kSimple, 50, rng);
+    EXPECT_EQ(r.steps, 50u);
+    EXPECT_EQ(r.trajectory.size(), 51u);
+}
+
+TEST(SelfAvoidingWalk, CoversRingWithoutRevisits) {
+    const Graph g = ring(30);
+    util::Rng rng(11);
+    const WalkResult r =
+        walk_until_unique(g, 0, WalkKind::kSelfAvoiding, 30, 10000, rng);
+    // On a ring a self-avoiding walk marches around: steps == unique-1.
+    EXPECT_EQ(r.unique_order.size(), 30u);
+    EXPECT_EQ(r.steps, 29u);
+}
+
+TEST(PartialCoverSteps, MonotonicTargets) {
+    const Graph g = complete(50);
+    util::Rng rng(12);
+    const auto res = partial_cover_steps(g, 0, WalkKind::kSimple,
+                                         {5, 10, 20, 40}, 100000, rng);
+    ASSERT_EQ(res.size(), 4u);
+    for (const auto& r : res) {
+        ASSERT_TRUE(r.has_value());
+    }
+    EXPECT_LE(*res[0], *res[1]);
+    EXPECT_LE(*res[1], *res[2]);
+    EXPECT_LE(*res[2], *res[3]);
+}
+
+TEST(PartialCoverSteps, RejectsNonIncreasingTargets) {
+    const Graph g = ring(10);
+    util::Rng rng(13);
+    EXPECT_THROW(partial_cover_steps(g, 0, WalkKind::kSimple, {5, 5}, 100, rng),
+                 std::invalid_argument);
+}
+
+TEST(PartialCoverSteps, NulloptWhenBudgetExhausted) {
+    const Graph g = ring(1000);
+    util::Rng rng(14);
+    const auto res =
+        partial_cover_steps(g, 0, WalkKind::kSimple, {2, 900}, 50, rng);
+    EXPECT_TRUE(res[0].has_value());
+    EXPECT_FALSE(res[1].has_value());
+}
+
+// Theorem 4.1 empirically: on RGGs at paper densities, PCT(sqrt(n)) is
+// linear in sqrt(n) with a small constant (~1.7 at d_avg=10, §4.2).
+TEST(PartialCoverTime, LinearOnRgg) {
+    util::Rng rng(15);
+    const std::size_t n = 400;
+    const Rgg rgg = make_connected_rgg(RggParams{n, 200.0, 10.0}, rng);
+    const auto target = static_cast<std::size_t>(std::sqrt(n));  // 20
+    util::Accumulator ratio;
+    for (int trial = 0; trial < 60; ++trial) {
+        const auto start = static_cast<util::NodeId>(rng.index(n));
+        const auto res = partial_cover_steps(rgg.graph, start,
+                                             WalkKind::kSimple, {target},
+                                             100000, rng);
+        ASSERT_TRUE(res[0].has_value());
+        ratio.add(static_cast<double>(*res[0]) /
+                  static_cast<double>(target));
+    }
+    EXPECT_GT(ratio.mean(), 1.0);  // walks revisit at least a little
+    EXPECT_LT(ratio.mean(), 2.6);  // but stay linear with a small constant
+}
+
+// §4.3: UNIQUE-PATH almost never revisits for |Q| = O(sqrt n).
+TEST(PartialCoverTime, SelfAvoidingBeatsSimpleOnRgg) {
+    util::Rng rng(16);
+    const std::size_t n = 400;
+    const Rgg rgg = make_connected_rgg(RggParams{n, 200.0, 10.0}, rng);
+    const std::size_t target = 60;
+    util::Accumulator simple;
+    util::Accumulator avoiding;
+    for (int trial = 0; trial < 40; ++trial) {
+        const auto start = static_cast<util::NodeId>(rng.index(n));
+        simple.add(static_cast<double>(*partial_cover_steps(
+            rgg.graph, start, WalkKind::kSimple, {target}, 100000, rng)[0]));
+        avoiding.add(static_cast<double>(*partial_cover_steps(
+            rgg.graph, start, WalkKind::kSelfAvoiding, {target}, 100000,
+            rng)[0]));
+    }
+    EXPECT_LT(avoiding.mean(), simple.mean());
+    // Nearly revisit-free: within 15% of the ideal target-1 steps.
+    EXPECT_LT(avoiding.mean(), 1.15 * static_cast<double>(target));
+}
+
+TEST(CrossingTime, SameStartIsZero) {
+    const Graph g = ring(10);
+    util::Rng rng(17);
+    EXPECT_EQ(crossing_time(g, 4, 4, WalkKind::kSimple, 100, rng), 0u);
+}
+
+TEST(CrossingTime, AdjacentNodesCrossFast) {
+    const Graph g = complete(10);
+    util::Rng rng(18);
+    const auto t = crossing_time(g, 0, 5, WalkKind::kSimple, 10000, rng);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_LT(*t, 100u);
+}
+
+TEST(CrossingTime, NulloptOnBudget) {
+    // Two isolated components never cross.
+    Graph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(2, 3);
+    util::Rng rng(19);
+    EXPECT_FALSE(crossing_time(g, 0, 2, WalkKind::kSimple, 500, rng));
+}
+
+// Theorem 5.5: crossing time grows with the network (Omega(r^-2) columns).
+TEST(CrossingTime, GrowsWithNetworkSize) {
+    util::Rng rng(20);
+    util::Accumulator small_ct;
+    util::Accumulator large_ct;
+    const Rgg small = make_connected_rgg(RggParams{100, 200.0, 10.0}, rng);
+    const Rgg large = make_connected_rgg(RggParams{600, 200.0, 10.0}, rng);
+    for (int t = 0; t < 25; ++t) {
+        small_ct.add(static_cast<double>(
+            crossing_time(small.graph, static_cast<util::NodeId>(rng.index(100)),
+                          static_cast<util::NodeId>(rng.index(100)),
+                          WalkKind::kSimple, 1000000, rng)
+                .value()));
+        large_ct.add(static_cast<double>(
+            crossing_time(large.graph, static_cast<util::NodeId>(rng.index(600)),
+                          static_cast<util::NodeId>(rng.index(600)),
+                          WalkKind::kSimple, 1000000, rng)
+                .value()));
+    }
+    EXPECT_GT(large_ct.mean(), small_ct.mean());
+}
+
+// The MD walk's stationary distribution is uniform: terminal nodes of long
+// walks should be spread evenly, unlike the simple walk's degree bias.
+TEST(MdWalkSample, ApproximatelyUniformOnIrregularGraph) {
+    // Star-plus-ring: hub 0 has high degree.
+    const std::size_t n = 20;
+    Graph g(n);
+    for (util::NodeId i = 1; i < n; ++i) {
+        g.add_edge(0, i);
+    }
+    for (util::NodeId i = 1; i + 1 < n; ++i) {
+        g.add_edge(i, i + 1);
+    }
+    util::Rng rng(21);
+    std::vector<int> counts(n, 0);
+    const int trials = 20000;
+    for (int t = 0; t < trials; ++t) {
+        ++counts[md_walk_sample(g, 1, 200, rng)];
+    }
+    // Hub would get ~deg/2m ≈ 33% under a simple walk; uniform is 5%.
+    const double hub_frac = static_cast<double>(counts[0]) / trials;
+    EXPECT_LT(hub_frac, 0.10);
+    for (util::NodeId i = 0; i < n; ++i) {
+        EXPECT_GT(counts[i], 0) << "node " << i << " never sampled";
+    }
+}
+
+}  // namespace
+}  // namespace pqs::geom

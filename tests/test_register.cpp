@@ -1,0 +1,199 @@
+// Probabilistic read/write register tests (§2.5 strict semantics, §10).
+#include "core/register.h"
+
+#include <gtest/gtest.h>
+
+#include "membership/oracle_membership.h"
+
+namespace pqs::core {
+namespace {
+
+TEST(Versioned, PackUnpackRoundTrip) {
+    for (const Versioned v : {Versioned{0, 0}, Versioned{1, 42},
+                              Versioned{0xffffffff, 0xffffffff},
+                              Versioned{7, 0}}) {
+        EXPECT_EQ(unpack(pack(v)), v);
+    }
+}
+
+TEST(Versioned, PackOrdersByVersionFirst) {
+    EXPECT_GT(pack(Versioned{2, 0}), pack(Versioned{1, 0xffffffff}));
+    EXPECT_GT(pack(Versioned{1, 5}), pack(Versioned{1, 4}));
+}
+
+struct RegisterFixture : ::testing::Test {
+    std::unique_ptr<net::World> world;
+    std::unique_ptr<membership::OracleMembership> membership;
+    std::unique_ptr<BiquorumSystem> biquorum;
+
+    void build(std::size_t n, std::uint64_t seed = 1, double eps = 0.02) {
+        net::WorldParams p;
+        p.n = n;
+        p.seed = seed;
+        p.oracle_neighbors = true;
+        world = std::make_unique<net::World>(p);
+        membership = std::make_unique<membership::OracleMembership>(*world);
+        BiquorumSpec spec;
+        spec.eps = eps;
+        spec.advertise.kind = StrategyKind::kRandom;
+        spec.advertise.monotonic_store = true;
+        spec.lookup.kind = StrategyKind::kRandom;
+        spec.lookup.collect_all_replies = true;
+        biquorum = std::make_unique<BiquorumSystem>(*world, spec,
+                                                    membership.get());
+        world->start();
+    }
+
+    void drive(bool& done, sim::Time budget = 120 * sim::kSecond) {
+        const sim::Time deadline = world->simulator().now() + budget;
+        while (!done && world->simulator().now() < deadline &&
+               world->simulator().step()) {
+        }
+        ASSERT_TRUE(done);
+    }
+
+    std::uint32_t write(RegisterService& reg, util::NodeId origin,
+                        std::uint32_t data) {
+        bool done = false;
+        std::uint32_t version = 0;
+        reg.write(origin, data, [&](bool ok, std::uint32_t v) {
+            EXPECT_TRUE(ok);
+            version = v;
+            done = true;
+        });
+        drive(done);
+        return version;
+    }
+
+    RegisterService::ReadResult read(RegisterService& reg,
+                                     util::NodeId origin,
+                                     bool write_back = false) {
+        bool done = false;
+        RegisterService::ReadResult out;
+        reg.read(origin,
+                 [&](const RegisterService::ReadResult& r) {
+                     out = r;
+                     done = true;
+                 },
+                 write_back);
+        drive(done);
+        return out;
+    }
+};
+
+TEST_F(RegisterFixture, RequiresProperSpec) {
+    net::WorldParams p;
+    p.n = 30;
+    p.oracle_neighbors = true;
+    net::World w(p);
+    membership::OracleMembership m(w);
+    BiquorumSpec bad;
+    bad.advertise.kind = StrategyKind::kRandom;
+    bad.lookup.kind = StrategyKind::kRandom;
+    BiquorumSystem bq(w, bad, &m);
+    EXPECT_THROW(RegisterService(bq, 1), std::invalid_argument);
+}
+
+TEST_F(RegisterFixture, ReadOfUnwrittenRegisterMisses) {
+    build(50);
+    RegisterService reg(*biquorum, 100);
+    const auto r = read(reg, 5);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.value.version, 0u);
+}
+
+TEST_F(RegisterFixture, ReadYourWrite) {
+    build(60, 2);
+    RegisterService reg(*biquorum, 100);
+    const std::uint32_t v = write(reg, 3, 777);
+    EXPECT_EQ(v, 1u);
+    const auto r = read(reg, 40);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.value.data, 777u);
+    EXPECT_EQ(r.value.version, 1u);
+}
+
+TEST_F(RegisterFixture, VersionsGrowMonotonically) {
+    build(60, 3);
+    RegisterService reg(*biquorum, 100);
+    std::uint32_t prev = 0;
+    for (std::uint32_t i = 1; i <= 8; ++i) {
+        const std::uint32_t v = write(reg, i % 10, 1000 + i);
+        EXPECT_GT(v, prev);
+        prev = v;
+    }
+    const auto r = read(reg, 25);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.value.version, prev);
+    EXPECT_EQ(r.value.data, 1008u);
+}
+
+TEST_F(RegisterFixture, StaleWriterCannotClobberNewerValue) {
+    build(60, 4);
+    RegisterService reg(*biquorum, 100);
+    write(reg, 1, 10);  // version 1
+    write(reg, 2, 20);  // version 2
+    // Manually inject an "old" write at every node (a delayed message from
+    // a partitioned writer): the monotonic store must reject it.
+    for (const util::NodeId id : world->alive_nodes()) {
+        apply_advertise(biquorum->store(id), 100,
+                        pack(Versioned{1, 99}), /*monotonic=*/true);
+    }
+    const auto r = read(reg, 30);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.value.version, 2u);
+    EXPECT_EQ(r.value.data, 20u);
+}
+
+TEST_F(RegisterFixture, WriteBackPropagates) {
+    build(60, 5);
+    RegisterService reg(*biquorum, 100);
+    write(reg, 1, 55);
+    std::size_t holders_before = 0;
+    for (const util::NodeId id : world->alive_nodes()) {
+        holders_before += biquorum->store(id).has(100) ? 1 : 0;
+    }
+    read(reg, 44, /*write_back=*/true);
+    std::size_t holders_after = 0;
+    for (const util::NodeId id : world->alive_nodes()) {
+        holders_after += biquorum->store(id).has(100) ? 1 : 0;
+    }
+    EXPECT_GT(holders_after, holders_before);
+}
+
+TEST_F(RegisterFixture, TwoRegistersIndependent) {
+    build(60, 6);
+    RegisterService a(*biquorum, 100);
+    RegisterService b(*biquorum, 200);
+    write(a, 1, 11);
+    write(b, 2, 22);
+    EXPECT_EQ(read(a, 30).value.data, 11u);
+    EXPECT_EQ(read(b, 31).value.data, 22u);
+}
+
+TEST_F(RegisterFixture, SurvivesModerateChurn) {
+    build(80, 7);
+    RegisterService reg(*biquorum, 100);
+    write(reg, 1, 123);
+    // Fail a quarter of the network.
+    util::Rng rng(9);
+    auto alive = world->alive_nodes();
+    rng.shuffle(alive);
+    for (std::size_t i = 0; i < alive.size() / 4; ++i) {
+        world->fail_node(alive[i]);
+    }
+    world->simulator().run_until(world->simulator().now() +
+                                 11 * sim::kSecond);
+    // Find a live reader.
+    util::NodeId reader = util::kInvalidNode;
+    for (const util::NodeId id : world->alive_nodes()) {
+        reader = id;
+        break;
+    }
+    const auto r = read(reg, reader);
+    EXPECT_TRUE(r.ok);  // fault tolerance of probabilistic quorums (§3)
+    EXPECT_EQ(r.value.data, 123u);
+}
+
+}  // namespace
+}  // namespace pqs::core

@@ -1,0 +1,130 @@
+#include "geom/rgg.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/stats.h"
+
+namespace pqs::geom {
+namespace {
+
+TEST(RggParams, DensityScaling) {
+    // a^2 = pi r^2 n / d_avg (§2.4).
+    const RggParams p{800, 200.0, 10.0, Metric::kPlane};
+    EXPECT_NEAR(p.side() * p.side(),
+                std::numbers::pi * 200.0 * 200.0 * 800.0 / 10.0, 1e-6);
+}
+
+TEST(RggParams, InvalidThrows) {
+    EXPECT_THROW((RggParams{0, 200.0, 10.0}).side(), std::invalid_argument);
+    EXPECT_THROW((RggParams{10, 0.0, 10.0}).side(), std::invalid_argument);
+    EXPECT_THROW((RggParams{10, 200.0, 0.0}).side(), std::invalid_argument);
+}
+
+TEST(Rgg, PositionsInsideSquare) {
+    util::Rng rng(1);
+    const RggParams p{200, 200.0, 10.0};
+    const Rgg rgg = make_rgg(p, rng);
+    ASSERT_EQ(rgg.positions.size(), 200u);
+    for (const Vec2 v : rgg.positions) {
+        EXPECT_GE(v.x, 0.0);
+        EXPECT_LE(v.x, p.side());
+        EXPECT_GE(v.y, 0.0);
+        EXPECT_LE(v.y, p.side());
+    }
+}
+
+TEST(Rgg, EdgesRespectRange) {
+    util::Rng rng(2);
+    const RggParams p{150, 200.0, 12.0};
+    const Rgg rgg = make_rgg(p, rng);
+    for (util::NodeId v = 0; v < p.n; ++v) {
+        for (const util::NodeId u : rgg.graph.neighbors(v)) {
+            EXPECT_LE(distance(rgg.positions[v], rgg.positions[u]),
+                      p.range + 1e-9);
+        }
+    }
+}
+
+struct DensityCase {
+    std::size_t n;
+    double d_avg;
+};
+
+class RggDensity : public ::testing::TestWithParam<DensityCase> {};
+
+// Property: the realized average degree tracks the configured density
+// (within sampling noise; boundary effects bias it slightly down).
+TEST_P(RggDensity, AverageDegreeNearTarget) {
+    const auto [n, d_avg] = GetParam();
+    util::Rng rng(n * 31 + static_cast<std::uint64_t>(d_avg));
+    util::Accumulator degrees;
+    for (int run = 0; run < 5; ++run) {
+        const Rgg rgg = make_rgg(RggParams{n, 200.0, d_avg}, rng);
+        degrees.add(rgg.graph.average_degree());
+    }
+    // Edge effects lose up to ~r/a of the disk; allow 25% slack.
+    EXPECT_GT(degrees.mean(), 0.70 * d_avg);
+    EXPECT_LT(degrees.mean(), 1.10 * d_avg);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RggDensity,
+    ::testing::Values(DensityCase{50, 10.0}, DensityCase{100, 10.0},
+                      DensityCase{200, 10.0}, DensityCase{400, 10.0},
+                      DensityCase{200, 7.0}, DensityCase{200, 15.0},
+                      DensityCase{200, 20.0}, DensityCase{200, 25.0}));
+
+TEST(Rgg, ConnectedAtPaperDensity) {
+    // The paper reports d_avg >= 7 kept all its networks connected.
+    util::Rng rng(3);
+    for (const std::size_t n : {50u, 100u, 200u}) {
+        const Rgg rgg = make_connected_rgg(RggParams{n, 200.0, 10.0}, rng);
+        EXPECT_TRUE(rgg.graph.is_connected()) << "n=" << n;
+    }
+}
+
+TEST(Rgg, MakeConnectedGivesUpAtAbsurdDensity) {
+    util::Rng rng(4);
+    // Nearly isolated nodes: connection essentially impossible.
+    EXPECT_THROW(make_connected_rgg(RggParams{300, 200.0, 0.05}, rng, 3),
+                 std::runtime_error);
+}
+
+TEST(Rgg, BuildGraphMatchesPlacementRebuild) {
+    util::Rng rng(5);
+    const RggParams p{100, 200.0, 10.0};
+    const Rgg rgg = make_rgg(p, rng);
+    const Graph rebuilt =
+        build_unit_disk_graph(rgg.positions, p.range, p.side());
+    EXPECT_EQ(rebuilt.edge_count(), rgg.graph.edge_count());
+}
+
+TEST(Rgg, SmallerRangeFewerEdges) {
+    util::Rng rng(6);
+    const RggParams p{200, 200.0, 15.0};
+    const Rgg rgg = make_rgg(p, rng);
+    const Graph reduced =
+        build_unit_disk_graph(rgg.positions, 120.0, p.side());
+    EXPECT_LT(reduced.edge_count(), rgg.graph.edge_count());
+}
+
+TEST(Rgg, GuptaKumarMinDegreeGrowsWithN) {
+    EXPECT_LT(gupta_kumar_min_degree(100), gupta_kumar_min_degree(10000));
+    EXPECT_NEAR(gupta_kumar_min_degree(800), std::log(800.0), 1e-9);
+}
+
+TEST(Rgg, TorusMetricAddsWrapEdges) {
+    util::Rng rng(7);
+    const RggParams plane{150, 200.0, 10.0, Metric::kPlane};
+    const RggParams torus{150, 200.0, 10.0, Metric::kTorus};
+    util::Rng rng2 = rng;  // same placement stream
+    const Rgg a = make_rgg(plane, rng);
+    const Rgg b = make_rgg(torus, rng2);
+    EXPECT_GE(b.graph.edge_count(), a.graph.edge_count());
+}
+
+}  // namespace
+}  // namespace pqs::geom

@@ -1,0 +1,216 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace pqs::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(a(), b());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a() == b()) {
+            ++same;
+        }
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+    Rng a(7);
+    const auto first = a();
+    a.reseed(7);
+    EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, Uniform01InRange) {
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.uniform01();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+    Rng rng(4);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        sum += rng.uniform01();
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformU64Bounds) {
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_LT(rng.uniform_u64(17), 17u);
+    }
+}
+
+TEST(Rng, UniformU64RejectsZeroBound) {
+    Rng rng(5);
+    EXPECT_THROW(rng.uniform_u64(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformU64CoversAllValues) {
+    Rng rng(6);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        seen.insert(rng.uniform_u64(7));
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+    Rng rng(8);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.uniform_int(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+    Rng rng(8);
+    EXPECT_THROW(rng.uniform_int(3, -3), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliExtremes) {
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, BernoulliFrequency) {
+    Rng rng(10);
+    int heads = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        heads += rng.bernoulli(0.3) ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        sum += rng.exponential(2.0);
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+    Rng rng(11);
+    EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+    EXPECT_THROW(rng.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMoments) {
+    Rng rng(12);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal(10.0, 3.0);
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.05);
+    EXPECT_NEAR(var, 9.0, 0.2);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+    Rng a(13);
+    Rng child = a.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a() == child()) {
+            ++same;
+        }
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+    Rng rng(14);
+    for (int trial = 0; trial < 100; ++trial) {
+        const auto sample = rng.sample_without_replacement(50, 20);
+        ASSERT_EQ(sample.size(), 20u);
+        std::set<std::size_t> unique(sample.begin(), sample.end());
+        EXPECT_EQ(unique.size(), 20u);
+        EXPECT_LT(*std::max_element(sample.begin(), sample.end()), 50u);
+    }
+}
+
+TEST(Rng, SampleWithoutReplacementFullSet) {
+    Rng rng(15);
+    const auto sample = rng.sample_without_replacement(10, 10);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsOversample) {
+    Rng rng(15);
+    EXPECT_THROW(rng.sample_without_replacement(5, 6), std::invalid_argument);
+}
+
+TEST(Rng, SampleWithoutReplacementUniform) {
+    // Each element of [0,10) should appear in a 5-subset with prob 1/2.
+    Rng rng(16);
+    std::vector<int> counts(10, 0);
+    const int trials = 20000;
+    for (int t = 0; t < trials; ++t) {
+        for (const auto idx : rng.sample_without_replacement(10, 5)) {
+            ++counts[idx];
+        }
+    }
+    for (const int c : counts) {
+        EXPECT_NEAR(static_cast<double>(c) / trials, 0.5, 0.02);
+    }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+    Rng rng(17);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto copy = v;
+    rng.shuffle(copy);
+    std::sort(copy.begin(), copy.end());
+    EXPECT_EQ(copy, v);
+}
+
+TEST(Rng, SplitMix64KnownValues) {
+    // Reference values from the splitmix64 reference implementation.
+    std::uint64_t state = 0;
+    const std::uint64_t first = splitmix64(state);
+    EXPECT_EQ(first, 0xe220a8397b1dcdafULL);
+}
+
+}  // namespace
+}  // namespace pqs::util

@@ -1,0 +1,151 @@
+#include "geom/spatial_grid.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace pqs::geom {
+namespace {
+
+std::vector<util::NodeId> brute_force(const std::vector<Vec2>& pts,
+                                      Vec2 center, double radius,
+                                      util::NodeId exclude, Metric metric,
+                                      double side) {
+    std::vector<util::NodeId> out;
+    for (util::NodeId i = 0; i < pts.size(); ++i) {
+        if (i == exclude) {
+            continue;
+        }
+        if (metric_distance(metric, center, pts[i], side) <= radius) {
+            out.push_back(i);
+        }
+    }
+    return out;
+}
+
+TEST(SpatialGrid, RejectsBadParams) {
+    EXPECT_THROW(SpatialGrid(0.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(SpatialGrid(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(SpatialGrid, InsertQueryRemove) {
+    SpatialGrid grid(100.0, 10.0);
+    grid.insert(0, {5.0, 5.0});
+    grid.insert(1, {8.0, 5.0});
+    grid.insert(2, {50.0, 50.0});
+    EXPECT_EQ(grid.size(), 3u);
+
+    auto near = grid.query({5.0, 5.0}, 5.0);
+    std::sort(near.begin(), near.end());
+    EXPECT_EQ(near, (std::vector<util::NodeId>{0, 1}));
+
+    near = grid.query({5.0, 5.0}, 5.0, /*exclude=*/0);
+    EXPECT_EQ(near, (std::vector<util::NodeId>{1}));
+
+    grid.remove(1);
+    EXPECT_EQ(grid.size(), 2u);
+    EXPECT_FALSE(grid.contains(1));
+    near = grid.query({5.0, 5.0}, 5.0);
+    EXPECT_EQ(near, (std::vector<util::NodeId>{0}));
+}
+
+TEST(SpatialGrid, DoubleInsertThrows) {
+    SpatialGrid grid(10.0, 1.0);
+    grid.insert(3, {1.0, 1.0});
+    EXPECT_THROW(grid.insert(3, {2.0, 2.0}), std::logic_error);
+}
+
+TEST(SpatialGrid, RemoveMissingThrows) {
+    SpatialGrid grid(10.0, 1.0);
+    EXPECT_THROW(grid.remove(0), std::logic_error);
+    EXPECT_THROW(grid.position(0), std::logic_error);
+    EXPECT_THROW(grid.move(0, {1.0, 1.0}), std::logic_error);
+}
+
+TEST(SpatialGrid, MoveAcrossCells) {
+    SpatialGrid grid(100.0, 10.0);
+    grid.insert(0, {5.0, 5.0});
+    grid.move(0, {95.0, 95.0});
+    EXPECT_EQ(grid.position(0).x, 95.0);
+    EXPECT_TRUE(grid.query({5.0, 5.0}, 8.0).empty());
+    EXPECT_EQ(grid.query({95.0, 95.0}, 8.0).size(), 1u);
+}
+
+TEST(SpatialGrid, QueryMatchesBruteForcePlane) {
+    util::Rng rng(99);
+    const double side = 200.0;
+    SpatialGrid grid(side, 25.0);
+    std::vector<Vec2> pts;
+    for (util::NodeId i = 0; i < 300; ++i) {
+        pts.push_back({rng.uniform(0.0, side), rng.uniform(0.0, side)});
+        grid.insert(i, pts.back());
+    }
+    for (int trial = 0; trial < 50; ++trial) {
+        const Vec2 center{rng.uniform(0.0, side), rng.uniform(0.0, side)};
+        const double radius = rng.uniform(1.0, 60.0);
+        auto got = grid.query(center, radius);
+        auto want = brute_force(pts, center, radius, util::kInvalidNode,
+                                Metric::kPlane, side);
+        std::sort(got.begin(), got.end());
+        std::sort(want.begin(), want.end());
+        EXPECT_EQ(got, want) << "trial " << trial;
+    }
+}
+
+TEST(SpatialGrid, QueryMatchesBruteForceTorus) {
+    util::Rng rng(7);
+    const double side = 100.0;
+    SpatialGrid grid(side, 20.0, Metric::kTorus);
+    std::vector<Vec2> pts;
+    for (util::NodeId i = 0; i < 200; ++i) {
+        pts.push_back({rng.uniform(0.0, side), rng.uniform(0.0, side)});
+        grid.insert(i, pts.back());
+    }
+    for (int trial = 0; trial < 50; ++trial) {
+        const Vec2 center{rng.uniform(0.0, side), rng.uniform(0.0, side)};
+        const double radius = rng.uniform(1.0, 45.0);
+        auto got = grid.query(center, radius);
+        auto want = brute_force(pts, center, radius, util::kInvalidNode,
+                                Metric::kTorus, side);
+        std::sort(got.begin(), got.end());
+        std::sort(want.begin(), want.end());
+        EXPECT_EQ(got, want) << "trial " << trial;
+    }
+}
+
+TEST(SpatialGrid, TorusWrapsAcrossBoundary) {
+    SpatialGrid grid(100.0, 10.0, Metric::kTorus);
+    grid.insert(0, {1.0, 50.0});
+    grid.insert(1, {99.0, 50.0});
+    const auto near = grid.query({1.0, 50.0}, 5.0, 0);
+    EXPECT_EQ(near, (std::vector<util::NodeId>{1}));
+}
+
+TEST(SpatialGrid, SparseIdsSupported) {
+    SpatialGrid grid(10.0, 1.0);
+    grid.insert(1000, {5.0, 5.0});
+    EXPECT_TRUE(grid.contains(1000));
+    EXPECT_FALSE(grid.contains(999));
+    EXPECT_EQ(grid.query({5.0, 5.0}, 1.0).front(), 1000u);
+}
+
+TEST(Vec2, Arithmetic) {
+    const Vec2 a{1.0, 2.0};
+    const Vec2 b{3.0, 4.0};
+    EXPECT_EQ((a + b), (Vec2{4.0, 6.0}));
+    EXPECT_EQ((b - a), (Vec2{2.0, 2.0}));
+    EXPECT_EQ((a * 2.0), (Vec2{2.0, 4.0}));
+    EXPECT_DOUBLE_EQ((Vec2{3.0, 4.0}).norm(), 5.0);
+    EXPECT_DOUBLE_EQ(distance_sq(a, b), 8.0);
+}
+
+TEST(Vec2, TorusDistance) {
+    EXPECT_DOUBLE_EQ(torus_distance({0.5, 0.0}, {99.5, 0.0}, 100.0), 1.0);
+    EXPECT_DOUBLE_EQ(torus_distance({0.0, 1.0}, {0.0, 99.0}, 100.0), 2.0);
+    EXPECT_DOUBLE_EQ(torus_distance({10.0, 10.0}, {20.0, 10.0}, 100.0), 10.0);
+}
+
+}  // namespace
+}  // namespace pqs::geom

@@ -1,0 +1,368 @@
+#include "core/theory.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace pqs::core {
+namespace {
+
+TEST(Intersection, UpperBoundFormula) {
+    // Lemma 5.2: Pr(miss) <= exp(-|Qa||Ql|/n).
+    EXPECT_NEAR(nonintersection_upper_bound(30, 30, 900), std::exp(-1.0),
+                1e-12);
+    EXPECT_NEAR(nonintersection_upper_bound(0, 30, 900), 1.0, 1e-12);
+}
+
+TEST(Intersection, ExactBelowBound) {
+    // The exact hypergeometric miss probability is below the exponential
+    // bound for all parameter combinations.
+    for (const std::size_t n : {50u, 100u, 800u}) {
+        for (const std::size_t q : {5u, 10u, 30u}) {
+            const double exact = nonintersection_exact(q, q, n);
+            const double bound = nonintersection_upper_bound(q, q, n);
+            EXPECT_LE(exact, bound + 1e-12)
+                << "n=" << n << " q=" << q;
+        }
+    }
+}
+
+TEST(Intersection, PigeonholeCertainty) {
+    EXPECT_DOUBLE_EQ(nonintersection_exact(60, 50, 100), 0.0);
+    EXPECT_DOUBLE_EQ(intersection_probability(60, 50, 100), 1.0);
+}
+
+TEST(Intersection, ExactMatchesSmallCase) {
+    // n=4, |Qa|=|Ql|=2: Pr(miss) = (2/4)*(1/3) = 1/6.
+    EXPECT_NEAR(nonintersection_exact(2, 2, 4), 1.0 / 6.0, 1e-12);
+}
+
+TEST(Intersection, ZeroNThrows) {
+    EXPECT_THROW(nonintersection_upper_bound(1, 1, 0), std::invalid_argument);
+    EXPECT_THROW(nonintersection_exact(1, 1, 0), std::invalid_argument);
+}
+
+TEST(Sizing, Corollary53Product) {
+    // |Qa||Ql| >= n ln(1/eps); for eps=0.1, n=800: 800*2.3026 = 1842.
+    EXPECT_NEAR(min_quorum_product(800, 0.1), 800.0 * std::log(10.0), 1e-9);
+    EXPECT_THROW(min_quorum_product(800, 0.0), std::invalid_argument);
+    EXPECT_THROW(min_quorum_product(800, 1.0), std::invalid_argument);
+}
+
+TEST(Sizing, SymmetricSizeExample) {
+    // Paper example: 1-eps = 0.9 => product 2.3n => q ~ 1.52 sqrt(n).
+    const std::size_t q = symmetric_quorum_size(800, 0.1);
+    EXPECT_NEAR(static_cast<double>(q), std::sqrt(800.0 * std::log(10.0)),
+                1.0);
+    // The sized quorums actually meet the bound.
+    EXPECT_LE(nonintersection_upper_bound(q, q, 800), 0.1 + 1e-9);
+}
+
+TEST(Sizing, LookupSizeForAdvertise) {
+    const std::size_t ql = lookup_size_for(56, 800, 0.1);
+    EXPECT_LE(nonintersection_upper_bound(56, ql, 800), 0.1 + 1e-9);
+    // And it is minimal: one less violates the bound.
+    EXPECT_GT(nonintersection_upper_bound(56, ql - 1, 800), 0.1 - 0.003);
+    EXPECT_THROW(lookup_size_for(0, 800, 0.1), std::invalid_argument);
+}
+
+TEST(OptimalSizing, Lemma56Ratio) {
+    // |Ql|/|Qa| = (1/tau) * cost_a/cost_l. Paper example: tau=10, D=5,
+    // cost_l=1 => ratio 1/2 (advertise twice the lookup size).
+    EXPECT_DOUBLE_EQ(optimal_size_ratio(10.0, 5.0, 1.0), 0.5);
+    EXPECT_THROW(optimal_size_ratio(0.0, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(OptimalSizing, SizesMeetProductAndRatio) {
+    const SizePair s = optimal_sizes(800, 0.1, 10.0, 5.0, 1.0);
+    EXPECT_GE(static_cast<double>(s.advertise) * s.lookup,
+              min_quorum_product(800, 0.1) * 0.99);
+    const double ratio =
+        static_cast<double>(s.lookup) / static_cast<double>(s.advertise);
+    EXPECT_NEAR(ratio, 0.5, 0.1);
+}
+
+TEST(OptimalSizing, OptimalBeatsNeighborConfigurations) {
+    // TotalCost at the optimum is no worse than at perturbed sizes that
+    // satisfy the same product constraint.
+    const std::size_t n = 800;
+    const double eps = 0.1;
+    const double tau = 10.0;
+    const double cost_a = 5.0;
+    const double cost_l = 1.0;
+    const SizePair opt = optimal_sizes(n, eps, tau, cost_a, cost_l);
+    const double product = min_quorum_product(n, eps);
+    const double n_lookup = 1000.0;
+    const double n_advertise = n_lookup / tau;
+    const double best = total_access_cost(n_advertise, n_lookup,
+                                          opt.advertise, opt.lookup, cost_a,
+                                          cost_l);
+    for (const double factor : {0.5, 0.8, 1.25, 2.0}) {
+        const auto ql = static_cast<std::size_t>(
+            static_cast<double>(opt.lookup) * factor);
+        if (ql == 0) {
+            continue;
+        }
+        const auto qa =
+            static_cast<std::size_t>(std::ceil(product / ql));
+        const double cost = total_access_cost(n_advertise, n_lookup, qa, ql,
+                                              cost_a, cost_l);
+        EXPECT_GE(cost, best * 0.99)
+            << "perturbation factor " << factor;
+    }
+}
+
+struct DegradationCase {
+    ChurnKind kind;
+    LookupSizing sizing;
+};
+
+class Degradation : public ::testing::TestWithParam<DegradationCase> {};
+
+TEST_P(Degradation, BoundsBehaveMonotonically) {
+    const auto [kind, sizing] = GetParam();
+    const double eps0 = 0.05;
+    double prev = degraded_miss_bound(eps0, 0.0, kind, sizing);
+    EXPECT_NEAR(prev, eps0, 1e-12);
+    for (double f = 0.1; f < 0.95; f += 0.1) {
+        const double cur = degraded_miss_bound(eps0, f, kind, sizing);
+        EXPECT_GE(cur, prev - 1e-12) << "f=" << f;
+        EXPECT_LT(cur, 1.0);
+        prev = cur;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCases, Degradation,
+    ::testing::Values(
+        DegradationCase{ChurnKind::kFailuresOnly, LookupSizing::kFixed},
+        DegradationCase{ChurnKind::kFailuresOnly,
+                        LookupSizing::kAdjustedToNetworkSize},
+        DegradationCase{ChurnKind::kJoinsOnly, LookupSizing::kFixed},
+        DegradationCase{ChurnKind::kJoinsOnly,
+                        LookupSizing::kAdjustedToNetworkSize},
+        DegradationCase{ChurnKind::kFailuresAndJoins, LookupSizing::kFixed},
+        DegradationCase{ChurnKind::kFailuresAndJoins,
+                        LookupSizing::kAdjustedToNetworkSize}));
+
+TEST(Degradation, FailuresOnlyFixedIsInvariant) {
+    // §6.1 case 1a: the miss probability does not change at all.
+    for (double f = 0.0; f < 0.9; f += 0.1) {
+        EXPECT_DOUBLE_EQ(
+            degraded_miss_bound(0.05, f, ChurnKind::kFailuresOnly,
+                                LookupSizing::kFixed),
+            0.05);
+    }
+}
+
+TEST(Degradation, PaperExampleThirtyPercentChurn) {
+    // §6.1: starting from 0.95 intersection, 30% churn (fail+join)
+    // degrades to "only slightly below 0.9".
+    const double miss =
+        degraded_miss_bound(0.05, 0.3, ChurnKind::kFailuresAndJoins,
+                            LookupSizing::kFixed);
+    EXPECT_GT(1.0 - miss, 0.87);
+    EXPECT_LT(1.0 - miss, 0.93);
+}
+
+TEST(Degradation, InvalidArguments) {
+    EXPECT_THROW(degraded_miss_bound(0.0, 0.1, ChurnKind::kJoinsOnly,
+                                     LookupSizing::kFixed),
+                 std::invalid_argument);
+    EXPECT_THROW(degraded_miss_bound(0.1, 1.0, ChurnKind::kJoinsOnly,
+                                     LookupSizing::kFixed),
+                 std::invalid_argument);
+}
+
+TEST(FaultTolerance, MalkhiFormula) {
+    // Fault tolerance of size-q probabilistic quorums: n - q + 1.
+    EXPECT_EQ(fault_tolerance(800, 57), 800u - 57u + 1u);
+    EXPECT_THROW(fault_tolerance(10, 0), std::invalid_argument);
+    EXPECT_THROW(fault_tolerance(10, 11), std::invalid_argument);
+}
+
+TEST(FaultTolerance, FailureProbabilityBound) {
+    // e^{-Omega(n)}: shrinks with n, grows with p, hits 1 past the
+    // tolerable crash probability p > 1 - k/sqrt(n).
+    EXPECT_LT(failure_probability_bound(800, 1.0, 0.5),
+              failure_probability_bound(100, 1.0, 0.5));
+    EXPECT_LT(failure_probability_bound(400, 1.0, 0.3),
+              failure_probability_bound(400, 1.0, 0.6));
+    EXPECT_DOUBLE_EQ(failure_probability_bound(100, 1.0, 0.95), 1.0);
+    EXPECT_LT(failure_probability_bound(800, 1.0, 0.5), 1e-30);
+    EXPECT_THROW(failure_probability_bound(0, 1.0, 0.5),
+                 std::invalid_argument);
+    EXPECT_THROW(failure_probability_bound(10, 1.0, 1.5),
+                 std::invalid_argument);
+}
+
+TEST(FaultTolerance, MajorityBaseline) {
+    EXPECT_EQ(majority_quorum_size(800), 401u);
+    EXPECT_EQ(majority_quorum_size(801), 401u);
+    EXPECT_EQ(majority_quorum_size(1), 1u);
+    EXPECT_THROW(majority_quorum_size(0), std::invalid_argument);
+    // Majority quorums always intersect (pigeonhole).
+    EXPECT_DOUBLE_EQ(
+        nonintersection_exact(majority_quorum_size(100),
+                              majority_quorum_size(100), 100),
+        0.0);
+}
+
+TEST(Rgg, ConnectivityRadiusShrinksWithN) {
+    EXPECT_GT(rgg_connectivity_radius(100), rgg_connectivity_radius(10000));
+    EXPECT_THROW(rgg_connectivity_radius(1), std::invalid_argument);
+}
+
+TEST(Rgg, DiameterGrowsWithNAndShrinksWithDensity) {
+    EXPECT_GT(rgg_diameter_hops(800, 10.0), rgg_diameter_hops(100, 10.0));
+    EXPECT_GT(rgg_diameter_hops(800, 7.0), rgg_diameter_hops(800, 25.0));
+    EXPECT_THROW(rgg_diameter_hops(800, 0.0), std::invalid_argument);
+}
+
+TEST(RandomWalkTheory, PctBoundLinear) {
+    EXPECT_DOUBLE_EQ(pct_upper_bound(100, 0.85), 170.0);
+}
+
+TEST(RandomWalkTheory, CrossingTimeBound) {
+    // Omega(r^-2): quadruples when the relative range halves.
+    const double a = crossing_time_lower_bound(1000.0, 200.0);
+    const double b = crossing_time_lower_bound(1000.0, 100.0);
+    EXPECT_NEAR(b / a, 4.0, 1e-9);
+    EXPECT_THROW(crossing_time_lower_bound(100.0, 200.0),
+                 std::invalid_argument);
+}
+
+TEST(CostTable, Fig3Ordering) {
+    // For |Q| = sqrt(n) on the paper's default density, the per-access
+    // message ordering is UNIQUE-PATH < PATH < FLOODING << RANDOM <<
+    // RANDOM(sampling) (Figs. 3, 15, 16).
+    const std::size_t n = 800;
+    const auto q = static_cast<std::size_t>(std::sqrt(n));
+    const double up =
+        access_cost_messages(StrategyKind::kUniquePath, q, n, 10.0);
+    const double path = access_cost_messages(StrategyKind::kPath, q, n, 10.0);
+    const double flood =
+        access_cost_messages(StrategyKind::kFlooding, q, n, 10.0);
+    const double random =
+        access_cost_messages(StrategyKind::kRandom, q, n, 10.0);
+    const double sampling =
+        access_cost_messages(StrategyKind::kRandomSampling, q, n, 10.0);
+    EXPECT_LT(up, path);
+    EXPECT_LT(path, flood * 1.5);  // comparable, PATH no worse than ~flood
+    EXPECT_LT(flood, random);
+    EXPECT_LT(random, sampling);
+}
+
+TEST(CostTable, RandomOptCheaperThanRandom) {
+    const std::size_t n = 800;
+    const auto q = static_cast<std::size_t>(std::sqrt(n));
+    EXPECT_LT(access_cost_messages(StrategyKind::kRandomOpt, q, n, 10.0),
+              access_cost_messages(StrategyKind::kRandom, q, n, 10.0));
+}
+
+TEST(CostTable, NamesStable) {
+    EXPECT_EQ(strategy_name(StrategyKind::kUniquePath), "UNIQUE-PATH");
+    EXPECT_EQ(strategy_name(StrategyKind::kFlooding), "FLOODING");
+}
+
+TEST(SizeEstimation, BirthdayParadoxFormula) {
+    // k samples, c collisions => n ~ k(k-1)/(2c).
+    EXPECT_DOUBLE_EQ(estimate_network_size(100, 5), 100.0 * 99.0 / 10.0);
+    EXPECT_THROW(estimate_network_size(1, 1), std::invalid_argument);
+    EXPECT_THROW(estimate_network_size(10, 0), std::invalid_argument);
+}
+
+TEST(SizeEstimation, FromSampleVector) {
+    // Samples with known collision structure: {1,1,2,3} has 1 collision.
+    const double est = estimate_network_size({1, 1, 2, 3});
+    EXPECT_DOUBLE_EQ(est, 4.0 * 3.0 / 2.0);
+}
+
+// Monte Carlo verification of the Mix-and-Match Lemma at the set level:
+// however the lookup set is chosen (clustered, adversarial-prefix,
+// arbitrary), as long as the advertise set is uniform without repetition,
+// the empirical miss rate obeys exp(-|Qa||Ql|/n).
+class MixAndMatchMonteCarlo
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(MixAndMatchMonteCarlo, EmpiricalMissBelowBound) {
+    const auto [picker, ql] = GetParam();
+    const std::size_t n = 200;
+    const std::size_t qa = 20;
+    util::Rng rng(static_cast<std::uint64_t>(picker) * 1000 + ql);
+    const int trials = 4000;
+    int misses = 0;
+    for (int t = 0; t < trials; ++t) {
+        // Lookup set by the parameterized (non-random) rule.
+        std::vector<bool> lookup(n, false);
+        switch (picker) {
+            case 0:  // prefix block 0..ql-1
+                for (std::size_t i = 0; i < ql; ++i) lookup[i] = true;
+                break;
+            case 1:  // strided
+                for (std::size_t i = 0; i < ql; ++i) lookup[(i * 7) % n] = true;
+                break;
+            case 2:  // clustered at a random offset (mimics a walk)
+            default: {
+                const std::size_t off = rng.index(n);
+                for (std::size_t i = 0; i < ql; ++i) {
+                    lookup[(off + i) % n] = true;
+                }
+                break;
+            }
+        }
+        // Advertise set uniform without replacement.
+        bool hit = false;
+        for (const std::size_t idx : rng.sample_without_replacement(n, qa)) {
+            hit |= lookup[idx];
+        }
+        misses += hit ? 0 : 1;
+    }
+    const double empirical = static_cast<double>(misses) / trials;
+    const double bound = nonintersection_upper_bound(qa, ql, n);
+    // Allow 3-sigma binomial slack above the bound.
+    const double sigma = std::sqrt(bound * (1.0 - bound) / trials);
+    EXPECT_LE(empirical, bound + 3.0 * sigma + 1e-9)
+        << "picker=" << picker << " ql=" << ql;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lemma52, MixAndMatchMonteCarlo,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values<std::size_t>(5, 10, 20, 40)));
+
+TEST(MixAndMatch, ExactFormulaMatchesMonteCarlo) {
+    // The exact product formula agrees with simulation to sampling noise.
+    const std::size_t n = 100;
+    const std::size_t qa = 12;
+    const std::size_t ql = 15;
+    util::Rng rng(77);
+    const int trials = 20000;
+    int misses = 0;
+    for (int t = 0; t < trials; ++t) {
+        bool hit = false;
+        for (const std::size_t idx : rng.sample_without_replacement(n, qa)) {
+            hit |= idx < ql;  // lookup set = prefix (arbitrary is fine)
+        }
+        misses += hit ? 0 : 1;
+    }
+    const double expected = nonintersection_exact(qa, ql, n);
+    EXPECT_NEAR(static_cast<double>(misses) / trials, expected, 0.01);
+}
+
+TEST(SizeEstimation, StatisticallySound) {
+    // Draw uniform samples from n=500 and verify the estimate lands close.
+    util::Rng rng(42);
+    std::vector<util::NodeId> samples;
+    for (int i = 0; i < 400; ++i) {
+        samples.push_back(static_cast<util::NodeId>(rng.index(500)));
+    }
+    const double est = estimate_network_size(samples);
+    EXPECT_GT(est, 250.0);
+    EXPECT_LT(est, 1000.0);
+}
+
+}  // namespace
+}  // namespace pqs::core
