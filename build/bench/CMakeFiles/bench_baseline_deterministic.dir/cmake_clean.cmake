@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_deterministic.dir/bench_baseline_deterministic.cpp.o"
+  "CMakeFiles/bench_baseline_deterministic.dir/bench_baseline_deterministic.cpp.o.d"
+  "bench_baseline_deterministic"
+  "bench_baseline_deterministic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_deterministic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crossing_time.dir/bench_crossing_time.cpp.o"
+  "CMakeFiles/bench_crossing_time.dir/bench_crossing_time.cpp.o.d"
+  "bench_crossing_time"
+  "bench_crossing_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crossing_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_random_advertise.dir/bench_fig08_random_advertise.cpp.o"
+  "CMakeFiles/bench_fig08_random_advertise.dir/bench_fig08_random_advertise.cpp.o.d"
+  "bench_fig08_random_advertise"
+  "bench_fig08_random_advertise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_random_advertise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_flooding.dir/bench_fig11_flooding.cpp.o"
+  "CMakeFiles/bench_fig11_flooding.dir/bench_fig11_flooding.cpp.o.d"
+  "bench_fig11_flooding"
+  "bench_fig11_flooding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_flooding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_up_up.dir/bench_fig12_up_up.cpp.o"
+  "CMakeFiles/bench_fig12_up_up.dir/bench_fig12_up_up.cpp.o.d"
+  "bench_fig12_up_up"
+  "bench_fig12_up_up.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_up_up.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

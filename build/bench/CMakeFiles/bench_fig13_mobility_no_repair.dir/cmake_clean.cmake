@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_mobility_no_repair.dir/bench_fig13_mobility_no_repair.cpp.o"
+  "CMakeFiles/bench_fig13_mobility_no_repair.dir/bench_fig13_mobility_no_repair.cpp.o.d"
+  "bench_fig13_mobility_no_repair"
+  "bench_fig13_mobility_no_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_mobility_no_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

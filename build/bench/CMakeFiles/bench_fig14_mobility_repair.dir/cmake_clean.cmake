@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_mobility_repair.dir/bench_fig14_mobility_repair.cpp.o"
+  "CMakeFiles/bench_fig14_mobility_repair.dir/bench_fig14_mobility_repair.cpp.o.d"
+  "bench_fig14_mobility_repair"
+  "bench_fig14_mobility_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_mobility_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14f_churn.dir/bench_fig14f_churn.cpp.o"
+  "CMakeFiles/bench_fig14f_churn.dir/bench_fig14f_churn.cpp.o.d"
+  "bench_fig14f_churn"
+  "bench_fig14f_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14f_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_strategy_comparison.dir/bench_fig15_strategy_comparison.cpp.o"
+  "CMakeFiles/bench_fig15_strategy_comparison.dir/bench_fig15_strategy_comparison.cpp.o.d"
+  "bench_fig15_strategy_comparison"
+  "bench_fig15_strategy_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_strategy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

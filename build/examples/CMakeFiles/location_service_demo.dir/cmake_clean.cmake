@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/location_service_demo.dir/location_service_demo.cpp.o"
+  "CMakeFiles/location_service_demo.dir/location_service_demo.cpp.o.d"
+  "location_service_demo"
+  "location_service_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/location_service_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mix_planner.dir/mix_planner.cpp.o"
+  "CMakeFiles/mix_planner.dir/mix_planner.cpp.o.d"
+  "mix_planner"
+  "mix_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_register.dir/shared_register.cpp.o"
+  "CMakeFiles/shared_register.dir/shared_register.cpp.o.d"
+  "shared_register"
+  "shared_register.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_register.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

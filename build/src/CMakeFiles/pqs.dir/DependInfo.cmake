@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/access_strategy.cpp" "src/CMakeFiles/pqs.dir/core/access_strategy.cpp.o" "gcc" "src/CMakeFiles/pqs.dir/core/access_strategy.cpp.o.d"
+  "/root/repo/src/core/biquorum.cpp" "src/CMakeFiles/pqs.dir/core/biquorum.cpp.o" "gcc" "src/CMakeFiles/pqs.dir/core/biquorum.cpp.o.d"
+  "/root/repo/src/core/flooding_strategy.cpp" "src/CMakeFiles/pqs.dir/core/flooding_strategy.cpp.o" "gcc" "src/CMakeFiles/pqs.dir/core/flooding_strategy.cpp.o.d"
+  "/root/repo/src/core/location_service.cpp" "src/CMakeFiles/pqs.dir/core/location_service.cpp.o" "gcc" "src/CMakeFiles/pqs.dir/core/location_service.cpp.o.d"
+  "/root/repo/src/core/maintenance.cpp" "src/CMakeFiles/pqs.dir/core/maintenance.cpp.o" "gcc" "src/CMakeFiles/pqs.dir/core/maintenance.cpp.o.d"
+  "/root/repo/src/core/path_strategy.cpp" "src/CMakeFiles/pqs.dir/core/path_strategy.cpp.o" "gcc" "src/CMakeFiles/pqs.dir/core/path_strategy.cpp.o.d"
+  "/root/repo/src/core/quorum_spec.cpp" "src/CMakeFiles/pqs.dir/core/quorum_spec.cpp.o" "gcc" "src/CMakeFiles/pqs.dir/core/quorum_spec.cpp.o.d"
+  "/root/repo/src/core/random_opt_strategy.cpp" "src/CMakeFiles/pqs.dir/core/random_opt_strategy.cpp.o" "gcc" "src/CMakeFiles/pqs.dir/core/random_opt_strategy.cpp.o.d"
+  "/root/repo/src/core/random_strategy.cpp" "src/CMakeFiles/pqs.dir/core/random_strategy.cpp.o" "gcc" "src/CMakeFiles/pqs.dir/core/random_strategy.cpp.o.d"
+  "/root/repo/src/core/register.cpp" "src/CMakeFiles/pqs.dir/core/register.cpp.o" "gcc" "src/CMakeFiles/pqs.dir/core/register.cpp.o.d"
+  "/root/repo/src/core/reply_path.cpp" "src/CMakeFiles/pqs.dir/core/reply_path.cpp.o" "gcc" "src/CMakeFiles/pqs.dir/core/reply_path.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/CMakeFiles/pqs.dir/core/scenario.cpp.o" "gcc" "src/CMakeFiles/pqs.dir/core/scenario.cpp.o.d"
+  "/root/repo/src/core/theory.cpp" "src/CMakeFiles/pqs.dir/core/theory.cpp.o" "gcc" "src/CMakeFiles/pqs.dir/core/theory.cpp.o.d"
+  "/root/repo/src/geom/graph.cpp" "src/CMakeFiles/pqs.dir/geom/graph.cpp.o" "gcc" "src/CMakeFiles/pqs.dir/geom/graph.cpp.o.d"
+  "/root/repo/src/geom/random_walk.cpp" "src/CMakeFiles/pqs.dir/geom/random_walk.cpp.o" "gcc" "src/CMakeFiles/pqs.dir/geom/random_walk.cpp.o.d"
+  "/root/repo/src/geom/rgg.cpp" "src/CMakeFiles/pqs.dir/geom/rgg.cpp.o" "gcc" "src/CMakeFiles/pqs.dir/geom/rgg.cpp.o.d"
+  "/root/repo/src/geom/spatial_grid.cpp" "src/CMakeFiles/pqs.dir/geom/spatial_grid.cpp.o" "gcc" "src/CMakeFiles/pqs.dir/geom/spatial_grid.cpp.o.d"
+  "/root/repo/src/mac/csma_mac.cpp" "src/CMakeFiles/pqs.dir/mac/csma_mac.cpp.o" "gcc" "src/CMakeFiles/pqs.dir/mac/csma_mac.cpp.o.d"
+  "/root/repo/src/membership/oracle_membership.cpp" "src/CMakeFiles/pqs.dir/membership/oracle_membership.cpp.o" "gcc" "src/CMakeFiles/pqs.dir/membership/oracle_membership.cpp.o.d"
+  "/root/repo/src/membership/rawms.cpp" "src/CMakeFiles/pqs.dir/membership/rawms.cpp.o" "gcc" "src/CMakeFiles/pqs.dir/membership/rawms.cpp.o.d"
+  "/root/repo/src/mobility/mobility.cpp" "src/CMakeFiles/pqs.dir/mobility/mobility.cpp.o" "gcc" "src/CMakeFiles/pqs.dir/mobility/mobility.cpp.o.d"
+  "/root/repo/src/mobility/random_waypoint.cpp" "src/CMakeFiles/pqs.dir/mobility/random_waypoint.cpp.o" "gcc" "src/CMakeFiles/pqs.dir/mobility/random_waypoint.cpp.o.d"
+  "/root/repo/src/net/abstract_network.cpp" "src/CMakeFiles/pqs.dir/net/abstract_network.cpp.o" "gcc" "src/CMakeFiles/pqs.dir/net/abstract_network.cpp.o.d"
+  "/root/repo/src/net/aodv.cpp" "src/CMakeFiles/pqs.dir/net/aodv.cpp.o" "gcc" "src/CMakeFiles/pqs.dir/net/aodv.cpp.o.d"
+  "/root/repo/src/net/node_stack.cpp" "src/CMakeFiles/pqs.dir/net/node_stack.cpp.o" "gcc" "src/CMakeFiles/pqs.dir/net/node_stack.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/pqs.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/pqs.dir/net/packet.cpp.o.d"
+  "/root/repo/src/net/world.cpp" "src/CMakeFiles/pqs.dir/net/world.cpp.o" "gcc" "src/CMakeFiles/pqs.dir/net/world.cpp.o.d"
+  "/root/repo/src/phy/channel.cpp" "src/CMakeFiles/pqs.dir/phy/channel.cpp.o" "gcc" "src/CMakeFiles/pqs.dir/phy/channel.cpp.o.d"
+  "/root/repo/src/phy/propagation.cpp" "src/CMakeFiles/pqs.dir/phy/propagation.cpp.o" "gcc" "src/CMakeFiles/pqs.dir/phy/propagation.cpp.o.d"
+  "/root/repo/src/phy/radio.cpp" "src/CMakeFiles/pqs.dir/phy/radio.cpp.o" "gcc" "src/CMakeFiles/pqs.dir/phy/radio.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/pqs.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/pqs.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/pqs.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/pqs.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/pqs.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/pqs.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/pqs.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/pqs.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/pqs.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/pqs.dir/util/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_biquorum.dir/test_biquorum.cpp.o"
+  "CMakeFiles/test_biquorum.dir/test_biquorum.cpp.o.d"
+  "test_biquorum"
+  "test_biquorum.pdb"
+  "test_biquorum[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_biquorum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

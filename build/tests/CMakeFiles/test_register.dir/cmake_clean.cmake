@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_register.dir/test_register.cpp.o"
+  "CMakeFiles/test_register.dir/test_register.cpp.o.d"
+  "test_register"
+  "test_register.pdb"
+  "test_register[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_register.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reply_path.dir/test_reply_path.cpp.o"
+  "CMakeFiles/test_reply_path.dir/test_reply_path.cpp.o.d"
+  "test_reply_path"
+  "test_reply_path.pdb"
+  "test_reply_path[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reply_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

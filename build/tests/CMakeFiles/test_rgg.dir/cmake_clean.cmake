@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rgg.dir/test_rgg.cpp.o"
+  "CMakeFiles/test_rgg.dir/test_rgg.cpp.o.d"
+  "test_rgg"
+  "test_rgg.pdb"
+  "test_rgg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rgg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
