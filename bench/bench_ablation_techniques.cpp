@@ -79,7 +79,8 @@ int main() {
     for (const Variant& v : variants) {
         core::ScenarioParams p = baseline(170);
         v.apply(p);
-        report(v.name, core::run_scenario_averaged(p, bench::runs(), 170));
+        report(v.name,
+               core::run_scenario_averaged(p, bench::runs(), 170).mean);
     }
 
     std::printf("\nserial vs parallel RANDOM lookup (static, §8.2):\n");
@@ -95,7 +96,7 @@ int main() {
             static_cast<std::size_t>(std::lround(1.15 * rtn));
         p.spec.lookup.serial = serial;
         report(serial ? "RANDOM serial (early halt)" : "RANDOM parallel",
-               core::run_scenario_averaged(p, bench::runs(), 171));
+               core::run_scenario_averaged(p, bench::runs(), 171).mean);
     }
     std::printf("\n(paper: serial access halves the contacted lookup nodes "
                 "at the cost of latency, §8.2)\n");

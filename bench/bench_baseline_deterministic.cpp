@@ -57,7 +57,7 @@ int main() {
         p.membership_view = n;
         p.lookup_count = std::min<std::size_t>(p.lookup_count, 100);
         const auto r = core::run_scenario_averaged(
-            p, std::max(1, bench::runs() / 2), 180);
+            p, std::max(1, bench::runs() / 2), 180).mean;
         std::printf("%-16s %8zu %8zu %10.3f %14.1f %14.1f %16.1f\n",
                     config.name, config.qa, config.ql, r.hit_ratio,
                     r.msgs_per_advertise, r.msgs_per_lookup,

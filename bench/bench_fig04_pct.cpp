@@ -4,6 +4,11 @@
 //  (b) the same across densities (n = 400);
 //  (c) PCT(sqrt(n)) / sqrt(n) — the "1.7 sqrt(n)" constant of §4.2;
 //  (d) PCT at larger coverage fractions (e.g. n/2).
+//
+// Ported to the parallel ExperimentRunner: graphs are built once on the
+// main thread, then the independent walk trials fan out via the runner's
+// generic map() with per-trial derived seeds, so every panel is
+// byte-identical for every PQS_THREADS value.
 #include <cmath>
 #include <cstdio>
 
@@ -17,18 +22,32 @@ using namespace pqs;
 namespace {
 
 // Average steps to reach each unique-count target, over sources and runs.
-std::vector<double> mean_pct(const geom::Graph& g, geom::WalkKind kind,
+// Walk trials execute in parallel; accumulation happens in trial order.
+std::vector<double> mean_pct(const exp::ExperimentRunner& runner,
+                             std::uint64_t stream_seed, const geom::Graph& g,
+                             geom::WalkKind kind,
                              const std::vector<std::size_t>& targets,
-                             int trials, util::Rng& rng) {
+                             int trials) {
+    const auto walks = runner.map<std::vector<double>>(
+        stream_seed, static_cast<std::size_t>(trials),
+        [&](std::size_t, util::Rng& rng) {
+            const auto start =
+                static_cast<util::NodeId>(rng.index(g.node_count()));
+            const auto res = geom::partial_cover_steps(g, start, kind,
+                                                       targets, 2000000, rng);
+            std::vector<double> steps(targets.size(), -1.0);
+            for (std::size_t i = 0; i < targets.size(); ++i) {
+                if (res[i]) {
+                    steps[i] = static_cast<double>(*res[i]);
+                }
+            }
+            return steps;
+        });
     std::vector<util::Accumulator> acc(targets.size());
-    for (int t = 0; t < trials; ++t) {
-        const auto start =
-            static_cast<util::NodeId>(rng.index(g.node_count()));
-        const auto res = geom::partial_cover_steps(g, start, kind, targets,
-                                                   2000000, rng);
+    for (const std::vector<double>& walk : walks) {
         for (std::size_t i = 0; i < targets.size(); ++i) {
-            if (res[i]) {
-                acc[i].add(static_cast<double>(*res[i]));
+            if (walk[i] >= 0.0) {
+                acc[i].add(walk[i]);
             }
         }
     }
@@ -51,8 +70,12 @@ std::vector<std::size_t> targets_for(std::size_t n) {
 
 int main() {
     bench::banner("Figure 4", "random-walk partial cover time on RGGs");
-    util::Rng rng(4242);
+    util::Rng rng(4242);  // graph placements only; walks seed via the runner
     const int trials = bench::runs() * 15;
+    const exp::ExperimentRunner runner = bench::runner(4242);
+    // Distinct deterministic seed stream per mean_pct call, advanced in
+    // main-thread program order.
+    std::uint64_t stream = 0;
 
     util::CsvWriter series = bench::csv(
         "fig04_pct", {"n", "unique", "path_steps_per_unique",
@@ -64,10 +87,11 @@ int main() {
         const geom::Rgg rgg =
             geom::make_connected_rgg({n, 200.0, 10.0}, rng);
         const auto targets = targets_for(n);
-        const auto simple =
-            mean_pct(rgg.graph, geom::WalkKind::kSimple, targets, trials, rng);
-        const auto unique = mean_pct(rgg.graph, geom::WalkKind::kSelfAvoiding,
-                                     targets, trials, rng);
+        const auto simple = mean_pct(runner, ++stream, rgg.graph,
+                                     geom::WalkKind::kSimple, targets, trials);
+        const auto unique =
+            mean_pct(runner, ++stream, rgg.graph,
+                     geom::WalkKind::kSelfAvoiding, targets, trials);
         for (std::size_t i = 0; i < targets.size(); ++i) {
             const double path_ratio =
                 simple[i] / static_cast<double>(targets[i]);
@@ -86,10 +110,10 @@ int main() {
     for (const double d : bench::densities()) {
         const geom::Rgg rgg = geom::make_connected_rgg({400, 200.0, d}, rng);
         const std::vector<std::size_t> t{60};
-        const auto simple =
-            mean_pct(rgg.graph, geom::WalkKind::kSimple, t, trials, rng);
-        const auto unique = mean_pct(rgg.graph, geom::WalkKind::kSelfAvoiding,
-                                     t, trials, rng);
+        const auto simple = mean_pct(runner, ++stream, rgg.graph,
+                                     geom::WalkKind::kSimple, t, trials);
+        const auto unique = mean_pct(runner, ++stream, rgg.graph,
+                                     geom::WalkKind::kSelfAvoiding, t, trials);
         std::printf("%8.0f %12.2f %12.2f\n", d, simple[0] / 60.0,
                     unique[0] / 60.0);
     }
@@ -101,8 +125,8 @@ int main() {
             geom::make_connected_rgg({n, 200.0, 10.0}, rng);
         const auto q = static_cast<std::size_t>(
             std::lround(std::sqrt(static_cast<double>(n))));
-        const auto pct = mean_pct(rgg.graph, geom::WalkKind::kSimple, {q},
-                                  trials * 2, rng);
+        const auto pct = mean_pct(runner, ++stream, rgg.graph,
+                                  geom::WalkKind::kSimple, {q}, trials * 2);
         std::printf("%6zu %10zu %16.2f\n", n, q,
                     pct[0] / static_cast<double>(q));
     }
@@ -112,8 +136,8 @@ int main() {
     for (const std::size_t n : bench::node_counts()) {
         const geom::Rgg rgg =
             geom::make_connected_rgg({n, 200.0, 10.0}, rng);
-        const auto pct = mean_pct(rgg.graph, geom::WalkKind::kSimple, {n / 2},
-                                  trials, rng);
+        const auto pct = mean_pct(runner, ++stream, rgg.graph,
+                                  geom::WalkKind::kSimple, {n / 2}, trials);
         std::printf("%6zu %16.2f\n", n, pct[0] / static_cast<double>(n));
     }
     return 0;

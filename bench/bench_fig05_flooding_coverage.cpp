@@ -4,6 +4,10 @@
 // N_i / N_{i-1}. Coverage under the protocol model equals the number of
 // nodes within TTL hops, measured over random sources and placements.
 // A cross-check runs one real jittered flood on the event-driven stack.
+//
+// Ported to the parallel ExperimentRunner: each (placement + BFS) trial
+// is independent and fans out via the runner's generic map() with
+// per-trial derived seeds; output is byte-identical for every PQS_THREADS.
 #include <cstdio>
 
 #include "bench_util.h"
@@ -16,26 +20,33 @@ using namespace pqs;
 
 namespace {
 
-// Mean nodes-within-TTL over sources and placements.
-std::vector<double> coverage(std::size_t n, double d_avg, int max_ttl,
-                             int trials, util::Rng& rng) {
-    std::vector<util::Accumulator> acc(max_ttl + 1);
-    for (int t = 0; t < trials; ++t) {
-        // d_avg = 7 is marginal for connectivity (§4.2); be persistent.
-        const geom::Rgg rgg =
-            geom::make_connected_rgg({n, 200.0, d_avg}, rng, 2000);
-        const auto src = static_cast<util::NodeId>(rng.index(n));
-        const auto dist = rgg.graph.bfs_distances(src);
-        std::vector<std::size_t> within(max_ttl + 1, 0);
-        for (const std::size_t d : dist) {
-            if (d <= static_cast<std::size_t>(max_ttl)) {
-                for (int i = static_cast<int>(d); i <= max_ttl; ++i) {
-                    ++within[i];
+// Mean nodes-within-TTL over sources and placements (parallel trials,
+// trial-order accumulation).
+std::vector<double> coverage(const exp::ExperimentRunner& runner,
+                             std::uint64_t stream_seed, std::size_t n,
+                             double d_avg, int max_ttl, int trials) {
+    const auto counts = runner.map<std::vector<double>>(
+        stream_seed, static_cast<std::size_t>(trials),
+        [&](std::size_t, util::Rng& rng) {
+            // d_avg = 7 is marginal for connectivity (§4.2); be persistent.
+            const geom::Rgg rgg =
+                geom::make_connected_rgg({n, 200.0, d_avg}, rng, 2000);
+            const auto src = static_cast<util::NodeId>(rng.index(n));
+            const auto dist = rgg.graph.bfs_distances(src);
+            std::vector<double> within(max_ttl + 1, 0.0);
+            for (const std::size_t d : dist) {
+                if (d <= static_cast<std::size_t>(max_ttl)) {
+                    for (int i = static_cast<int>(d); i <= max_ttl; ++i) {
+                        within[i] += 1.0;
+                    }
                 }
             }
-        }
+            return within;
+        });
+    std::vector<util::Accumulator> acc(max_ttl + 1);
+    for (const std::vector<double>& within : counts) {
         for (int i = 0; i <= max_ttl; ++i) {
-            acc[i].add(static_cast<double>(within[i]));
+            acc[i].add(within[i]);
         }
     }
     std::vector<double> out;
@@ -49,9 +60,10 @@ std::vector<double> coverage(std::size_t n, double d_avg, int max_ttl,
 
 int main() {
     bench::banner("Figure 5", "flooding coverage and coverage granularity");
-    util::Rng rng(5);
     const int trials = bench::runs() * 10;
     const int max_ttl = 8;
+    const exp::ExperimentRunner runner = bench::runner(5);
+    std::uint64_t stream = 0;  // advanced per coverage() call, main thread
 
     std::printf("\n(a) coverage N(TTL) vs TTL, d_avg=10:\n");
     std::printf("%6s", "TTL");
@@ -62,7 +74,8 @@ int main() {
     std::printf("\n");
     std::vector<std::vector<double>> size_cov;
     for (const std::size_t n : ns) {
-        size_cov.push_back(coverage(n, 10.0, max_ttl, trials, rng));
+        size_cov.push_back(
+            coverage(runner, ++stream, n, 10.0, max_ttl, trials));
     }
     for (int ttl = 1; ttl <= max_ttl; ++ttl) {
         std::printf("%6d", ttl);
@@ -92,7 +105,7 @@ int main() {
     std::printf("\n(b,d) density sweep at n=400:\n");
     std::printf("%8s %6s %12s %8s\n", "d_avg", "TTL", "coverage", "CG");
     for (const double d : bench::densities()) {
-        const auto cov = coverage(400, d, max_ttl, trials, rng);
+        const auto cov = coverage(runner, ++stream, 400, d, max_ttl, trials);
         for (int ttl = 1; ttl <= 6; ++ttl) {
             const double cg =
                 ttl >= 2 && cov[ttl - 1] > 0 ? cov[ttl] / cov[ttl - 1] : 0.0;

@@ -36,7 +36,7 @@ int main() {
             p.spec.lookup.quorum_size = 1;  // lookups unused in this panel
             p.lookup_count = 0;
             const auto r =
-                core::run_scenario_averaged(p, bench::runs(), 80 + n);
+                core::run_scenario_averaged(p, bench::runs(), 80 + n).mean;
             std::printf("%6zu %8.2f %8zu %14.1f %16.1f %12.2f\n", n, mult,
                         qa, r.msgs_per_advertise, r.routing_per_advertise,
                         r.advertise_ok_ratio);
@@ -60,7 +60,7 @@ int main() {
                 std::lround(2.0 * rtn));
             p.spec.lookup.quorum_size = ql;
             const auto r =
-                core::run_scenario_averaged(p, bench::runs(), 880 + n);
+                core::run_scenario_averaged(p, bench::runs(), 880 + n).mean;
             std::printf("%6zu %10.2f %8zu %10.3f %14.1f\n", n, mult, ql,
                         r.hit_ratio, r.msgs_per_lookup);
             hit_series.row({static_cast<double>(n), static_cast<double>(ql),

@@ -28,7 +28,7 @@ void panel(bool mobile) {
             p.spec.lookup.kind = StrategyKind::kRandomOpt;
             p.spec.lookup.quorum_size = x;
             const auto r =
-                core::run_scenario_averaged(p, bench::runs(), 90 + n + x);
+                core::run_scenario_averaged(p, bench::runs(), 90 + n + x).mean;
             std::printf("%6zu %10zu %10.3f %14.1f %16.1f\n", n, x,
                         r.hit_ratio, r.msgs_per_lookup,
                         r.routing_per_lookup);

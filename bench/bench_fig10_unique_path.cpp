@@ -33,7 +33,7 @@ int main() {
             p.spec.lookup.kind = StrategyKind::kUniquePath;
             p.spec.lookup.quorum_size = ql;
             const auto r =
-                core::run_scenario_averaged(p, bench::runs(), 100 + n);
+                core::run_scenario_averaged(p, bench::runs(), 100 + n).mean;
             std::printf("%6zu %10.2f %8zu %10.3f %14.1f %16.1f\n", n, mult,
                         ql, r.hit_ratio, r.msgs_per_lookup,
                         r.routing_per_lookup);

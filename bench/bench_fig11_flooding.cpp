@@ -3,6 +3,10 @@
 // Reproduces the paper's coarse-granularity story: the hit ratio jumps
 // super-linearly with TTL, and pushing it from ~0.85 to ~0.9 forces a
 // disproportionate message increase (§8.4).
+//
+// Ported to the parallel ExperimentRunner: each panel is a declarative
+// (n × TTL) SweepGrid whose trials execute concurrently under
+// PQS_THREADS; tables and CSV are byte-identical for every thread count.
 #include <cmath>
 #include <cstdio>
 
@@ -16,13 +20,23 @@ namespace {
 void panel(bool mobile) {
     util::CsvWriter series = bench::csv(
         mobile ? "fig11_flooding_mobile" : "fig11_flooding_static",
-        {"n", "ttl", "hit", "msgs_per_lookup", "covered"});
+        {"n", "ttl", "hit", "hit_sd", "msgs_per_lookup", "covered"});
     std::printf("\n(%s)\n", mobile ? "mobile 0.5-2 m/s" : "static");
-    std::printf("%6s %6s %10s %14s %14s\n", "n", "TTL", "hit",
-                "msgs/lookup", "covered");
+    std::printf("%6s %6s %10s %8s %14s %14s\n", "n", "TTL", "hit",
+                "sd(hit)", "msgs/lookup", "covered");
+
+    exp::SweepGrid grid;
+    std::vector<double> ns;
     for (const std::size_t n : bench::node_counts()) {
-        for (const int ttl : {1, 2, 3, 4, 5}) {
-            core::ScenarioParams p = bench::base_scenario(n, 110 + n + ttl);
+        ns.push_back(static_cast<double>(n));
+    }
+    grid.axis("n", ns).axis("ttl", {1, 2, 3, 4, 5});
+
+    const exp::ExperimentRunner runner = bench::runner(mobile ? 111 : 110);
+    const exp::RunReport report =
+        runner.run(grid, [&](const exp::SweepPoint& point) {
+            const std::size_t n = point.index_at("n");
+            core::ScenarioParams p = bench::base_scenario(n, 110);
             if (mobile) {
                 bench::make_mobile(p, 0.5, 2.0);
             }
@@ -30,16 +44,23 @@ void panel(bool mobile) {
             p.spec.advertise.quorum_size = static_cast<std::size_t>(
                 std::lround(2.0 * std::sqrt(static_cast<double>(n))));
             p.spec.lookup.kind = StrategyKind::kFlooding;
-            p.spec.lookup.flood_ttl = ttl;
-            const auto r =
-                core::run_scenario_averaged(p, bench::runs(), 110 + n + ttl);
-            std::printf("%6zu %6d %10.3f %14.1f %14.1f\n", n, ttl,
-                        r.hit_ratio, r.msgs_per_lookup, r.avg_lookup_nodes);
-            series.row({static_cast<double>(n), static_cast<double>(ttl),
-                        r.hit_ratio, r.msgs_per_lookup,
-                        r.avg_lookup_nodes});
-        }
+            p.spec.lookup.flood_ttl = static_cast<int>(point.at("ttl"));
+            return p;
+        });
+
+    for (const exp::PointSummary& summary : report.points) {
+        const exp::SweepPoint point = grid.point(summary.point);
+        const core::ScenarioResult& r = summary.stats.mean;
+        const core::ScenarioResult& sd = summary.stats.stddev;
+        std::printf("%6zu %6d %10.3f %8.3f %14.1f %14.1f\n",
+                    point.index_at("n"), static_cast<int>(point.at("ttl")),
+                    r.hit_ratio, sd.hit_ratio, r.msgs_per_lookup,
+                    r.avg_lookup_nodes);
+        series.row({point.at("n"), point.at("ttl"), r.hit_ratio,
+                    sd.hit_ratio, r.msgs_per_lookup, r.avg_lookup_nodes});
     }
+    exp::report_perf(report,
+                     mobile ? "fig11_flooding_mobile" : "fig11_flooding_static");
 }
 
 }  // namespace

@@ -28,7 +28,7 @@ int main() {
         p.spec.advertise.quorum_size = q;
         p.spec.lookup.kind = StrategyKind::kUniquePath;
         p.spec.lookup.quorum_size = q;
-        const auto r = core::run_scenario_averaged(p, bench::runs(), 120);
+        const auto r = core::run_scenario_averaged(p, bench::runs(), 120).mean;
         std::printf("%10zu %10zu %14.2f %10.3f %14.1f\n", q, 2 * q,
                     2.0 * static_cast<double>(q) / static_cast<double>(n),
                     r.hit_ratio, r.msgs_per_lookup);

@@ -4,6 +4,10 @@
 //  (b) intersection ratio (walk touched an advertiser) — flat: RW
 //      salvation keeps the walk itself immune to mobility;
 //  (c) reply drop ratio — grows with speed; it alone explains (a).
+//
+// Ported to the parallel ExperimentRunner: the speed sweep's trials run
+// concurrently under PQS_THREADS, and the paper's 10-run error bars are
+// reported as per-metric standard deviations.
 #include <cmath>
 #include <cstdio>
 
@@ -18,27 +22,39 @@ int main() {
     const std::size_t n = bench::big_n();
     std::printf("n = %zu, advertise RANDOM 2sqrt(n), lookup UNIQUE-PATH "
                 "1.15sqrt(n)\n", n);
-    std::printf("%10s %10s %14s %14s\n", "max m/s", "hit",
+    std::printf("%10s %10s %8s %14s %14s\n", "max m/s", "hit", "sd(hit)",
                 "intersection", "reply drops");
     const double rtn = std::sqrt(static_cast<double>(n));
-    for (const double vmax : {2.0, 5.0, 10.0, 20.0}) {
-        core::ScenarioParams p = bench::base_scenario(n, 130);
-        bench::make_mobile(p, 0.5, vmax);
-        p.spec.advertise.kind = StrategyKind::kRandom;
-        p.spec.advertise.quorum_size =
-            static_cast<std::size_t>(std::lround(2.0 * rtn));
-        p.spec.lookup.kind = StrategyKind::kUniquePath;
-        p.spec.lookup.quorum_size =
-            static_cast<std::size_t>(std::lround(1.15 * rtn));
-        // Disable the §6.2 reply techniques (this is the "before" figure).
-        p.spec.lookup.reply_local_repair = false;
-        p.spec.lookup.reply_global_repair_fallback = false;
-        const auto r = core::run_scenario_averaged(p, bench::runs(), 130);
-        std::printf("%10.0f %10.3f %14.3f %14.3f\n", vmax, r.hit_ratio,
-                    r.intersect_ratio, r.reply_drop_ratio);
+
+    exp::SweepGrid grid;
+    grid.axis("vmax", {2.0, 5.0, 10.0, 20.0});
+    const exp::ExperimentRunner runner = bench::runner(130);
+    const exp::RunReport report =
+        runner.run(grid, [&](const exp::SweepPoint& point) {
+            core::ScenarioParams p = bench::base_scenario(n, 130);
+            bench::make_mobile(p, 0.5, point.at("vmax"));
+            p.spec.advertise.kind = StrategyKind::kRandom;
+            p.spec.advertise.quorum_size =
+                static_cast<std::size_t>(std::lround(2.0 * rtn));
+            p.spec.lookup.kind = StrategyKind::kUniquePath;
+            p.spec.lookup.quorum_size =
+                static_cast<std::size_t>(std::lround(1.15 * rtn));
+            // Disable the §6.2 reply techniques (the "before" figure).
+            p.spec.lookup.reply_local_repair = false;
+            p.spec.lookup.reply_global_repair_fallback = false;
+            return p;
+        });
+
+    for (const exp::PointSummary& summary : report.points) {
+        const core::ScenarioResult& r = summary.stats.mean;
+        const core::ScenarioResult& sd = summary.stats.stddev;
+        std::printf("%10.0f %10.3f %8.3f %14.3f %14.3f\n",
+                    grid.point(summary.point).at("vmax"), r.hit_ratio,
+                    sd.hit_ratio, r.intersect_ratio, r.reply_drop_ratio);
     }
     std::printf("\n(paper: intersection stays ~0.9 at all speeds thanks to "
                 "RW salvation; the hit ratio falls because replies break "
                 "on the reverse path)\n");
+    exp::report_perf(report, "fig13_mobility_no_repair");
     return 0;
 }

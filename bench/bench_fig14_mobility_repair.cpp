@@ -32,7 +32,7 @@ void sweep(double adv_mult) {
         p.spec.lookup.reply_local_repair = true;
         p.spec.lookup.reply_repair_ttl = 3;
         p.spec.lookup.reply_global_repair_fallback = true;
-        const auto r = core::run_scenario_averaged(p, bench::runs(), 140);
+        const auto r = core::run_scenario_averaged(p, bench::runs(), 140).mean;
         std::printf("%10.0f %10.3f %14.3f %14.3f %16.1f %14.1f\n", vmax,
                     r.hit_ratio, r.intersect_ratio, r.reply_drop_ratio,
                     r.msgs_per_lookup, r.routing_per_lookup);

@@ -33,7 +33,7 @@ int main() {
         p.fail_fraction = f;
         p.join_fraction = f;
         p.adjust_lookup_to_network = true;
-        const auto r = core::run_scenario_averaged(p, bench::runs(), 145);
+        const auto r = core::run_scenario_averaged(p, bench::runs(), 145).mean;
         const double bound =
             1.0 - core::degraded_miss_bound(
                       core::nonintersection_upper_bound(

@@ -3,6 +3,10 @@
 // d_avg = 10. For every advertise x lookup combination the table reports
 // the advertise cost and the lookup cost on a hit (early halting applies)
 // and on a miss (the full quorum is paid), in static and mobile networks.
+//
+// Ported to the parallel ExperimentRunner: each panel is one
+// (combo × hit/miss-phase) grid whose trials all execute concurrently
+// under PQS_THREADS; tables are byte-identical for every thread count.
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -20,64 +24,77 @@ struct Combo {
     StrategyKind lookup;
 };
 
-struct Row {
-    double adv_cost = 0.0;
-    double adv_routing = 0.0;
-    double hit_cost = 0.0;
-    double miss_cost = 0.0;
-    double hit_ratio = 0.0;
+constexpr Combo kCombos[] = {
+    {"RANDxRAND", StrategyKind::kRandom, StrategyKind::kRandom},
+    {"RANDxOPT", StrategyKind::kRandom, StrategyKind::kRandomOpt},
+    {"RANDxUP", StrategyKind::kRandom, StrategyKind::kUniquePath},
+    {"RANDxFLOOD", StrategyKind::kRandom, StrategyKind::kFlooding},
+    {"UPxUP", StrategyKind::kUniquePath, StrategyKind::kUniquePath},
 };
+constexpr std::size_t kComboCount = std::size(kCombos);
 
-Row measure(const Combo& combo, std::size_t n, bool mobile) {
+void configure(const Combo& combo, std::size_t n,
+               core::ScenarioParams& p) {
     const double rtn = std::sqrt(static_cast<double>(n));
-    const auto configure = [&](core::ScenarioParams& p) {
-        if (mobile) {
-            bench::make_mobile(p, 0.5, 2.0);
-        }
-        p.spec.advertise.kind = combo.advertise;
-        p.spec.lookup.kind = combo.lookup;
-        if (combo.advertise == StrategyKind::kUniquePath) {
-            // §8.5: UP x UP needs ~n/4.7 per side for 0.9 intersection.
-            p.spec.advertise.quorum_size = static_cast<std::size_t>(
-                std::lround(static_cast<double>(n) / 4.7));
-            p.spec.lookup.quorum_size = p.spec.advertise.quorum_size;
+    p.spec.advertise.kind = combo.advertise;
+    p.spec.lookup.kind = combo.lookup;
+    if (combo.advertise == StrategyKind::kUniquePath) {
+        // §8.5: UP x UP needs ~n/4.7 per side for 0.9 intersection.
+        p.spec.advertise.quorum_size = static_cast<std::size_t>(
+            std::lround(static_cast<double>(n) / 4.7));
+        p.spec.lookup.quorum_size = p.spec.advertise.quorum_size;
+    } else {
+        p.spec.advertise.quorum_size =
+            static_cast<std::size_t>(std::lround(2.0 * rtn));
+        if (combo.lookup == StrategyKind::kRandomOpt) {
+            p.spec.lookup.quorum_size = static_cast<std::size_t>(
+                std::max(2.0, std::lround(std::log(
+                                  static_cast<double>(n))) *
+                                  1.0));
+        } else if (combo.lookup == StrategyKind::kFlooding) {
+            p.spec.lookup.flood_ttl = 3;
+            p.spec.lookup.quorum_size = 1;
         } else {
-            p.spec.advertise.quorum_size =
-                static_cast<std::size_t>(std::lround(2.0 * rtn));
-            if (combo.lookup == StrategyKind::kRandomOpt) {
-                p.spec.lookup.quorum_size = static_cast<std::size_t>(
-                    std::max(2.0, std::lround(std::log(
-                                      static_cast<double>(n))) *
-                                      1.0));
-            } else if (combo.lookup == StrategyKind::kFlooding) {
-                p.spec.lookup.flood_ttl = 3;
-                p.spec.lookup.quorum_size = 1;
-            } else {
-                p.spec.lookup.quorum_size =
-                    static_cast<std::size_t>(std::lround(1.15 * rtn));
-            }
+            p.spec.lookup.quorum_size =
+                static_cast<std::size_t>(std::lround(1.15 * rtn));
         }
-    };
+    }
+}
 
-    Row row;
-    {
-        core::ScenarioParams p = bench::base_scenario(n, 160);
-        configure(p);
-        const auto r = core::run_scenario_averaged(p, bench::runs(), 160);
-        row.adv_cost = r.msgs_per_advertise;
-        row.adv_routing = r.routing_per_advertise;
-        row.hit_cost = r.msgs_per_lookup;
-        row.hit_ratio = r.hit_ratio;
+void table(std::size_t n, bool mobile) {
+    // Phase 0 measures advertise cost + lookup cost on a hit; phase 1
+    // re-runs with never-advertised keys for the miss cost.
+    exp::SweepGrid grid;
+    grid.axis("combo", {0, 1, 2, 3, 4}).axis("miss", {0, 1});
+    const exp::ExperimentRunner runner = bench::runner(mobile ? 161 : 160);
+    const exp::RunReport report =
+        runner.run(grid, [&](const exp::SweepPoint& point) {
+            core::ScenarioParams p = bench::base_scenario(n, 160);
+            if (mobile) {
+                bench::make_mobile(p, 0.5, 2.0);
+            }
+            configure(kCombos[point.index_at("combo")], n, p);
+            if (point.index_at("miss") != 0) {
+                p.lookup_missing_keys = true;
+                p.lookup_count =
+                    std::max<std::size_t>(30, bench::lookup_count() / 4);
+            }
+            return p;
+        });
+
+    std::printf("\n%s:\n", mobile ? "mobile 0.5-2 m/s" : "static");
+    std::printf("%-12s %12s %14s %12s %12s %8s\n", "combo", "adv msgs",
+                "adv routing", "lkp hit", "lkp miss", "hit%");
+    for (std::size_t c = 0; c < kComboCount; ++c) {
+        const core::ScenarioResult& hit = report.points[2 * c].stats.mean;
+        const core::ScenarioResult& miss =
+            report.points[2 * c + 1].stats.mean;
+        std::printf("%-12s %12.1f %14.1f %12.1f %12.1f %8.2f\n",
+                    kCombos[c].name, hit.msgs_per_advertise,
+                    hit.routing_per_advertise, hit.msgs_per_lookup,
+                    miss.msgs_per_lookup, hit.hit_ratio);
     }
-    {
-        core::ScenarioParams p = bench::base_scenario(n, 161);
-        configure(p);
-        p.lookup_missing_keys = true;
-        p.lookup_count = std::max<std::size_t>(30, bench::lookup_count() / 4);
-        const auto r = core::run_scenario_averaged(p, bench::runs(), 161);
-        row.miss_cost = r.msgs_per_lookup;
-    }
-    return row;
+    exp::report_perf(report, mobile ? "fig16_mobile" : "fig16_static");
 }
 
 }  // namespace
@@ -90,25 +107,8 @@ int main() {
                 "%.0f, target intersection 0.9\n",
                 n, 2.0 * rtn, 1.15 * rtn);
 
-    const Combo combos[] = {
-        {"RANDxRAND", StrategyKind::kRandom, StrategyKind::kRandom},
-        {"RANDxOPT", StrategyKind::kRandom, StrategyKind::kRandomOpt},
-        {"RANDxUP", StrategyKind::kRandom, StrategyKind::kUniquePath},
-        {"RANDxFLOOD", StrategyKind::kRandom, StrategyKind::kFlooding},
-        {"UPxUP", StrategyKind::kUniquePath, StrategyKind::kUniquePath},
-    };
-
     for (const bool mobile : {false, true}) {
-        std::printf("\n%s:\n", mobile ? "mobile 0.5-2 m/s" : "static");
-        std::printf("%-12s %12s %14s %12s %12s %8s\n", "combo",
-                    "adv msgs", "adv routing", "lkp hit", "lkp miss",
-                    "hit%");
-        for (const Combo& combo : combos) {
-            const Row row = measure(combo, n, mobile);
-            std::printf("%-12s %12.1f %14.1f %12.1f %12.1f %8.2f\n",
-                        combo.name, row.adv_cost, row.adv_routing,
-                        row.hit_cost, row.miss_cost, row.hit_ratio);
-        }
+        table(n, mobile);
     }
     std::printf("\n(paper, n=800 static: advertise RANDOM ~600 msgs "
                 "(+routing ~1600), UNIQUE-PATH hit ~20 / miss ~35 msgs, "

@@ -60,7 +60,7 @@ int main() {
             static_cast<std::size_t>(std::lround(2.0 * rtn));
         p.spec.lookup.kind = config.kind;
         config.set(p.spec.lookup);
-        const auto r = core::run_scenario_averaged(p, bench::runs(), 190);
+        const auto r = core::run_scenario_averaged(p, bench::runs(), 190).mean;
         std::printf("%-14s %10.3f %14.3f %16.1f\n", config.name,
                     r.hit_ratio, r.avg_lookup_latency_s, r.msgs_per_lookup);
         series.row({static_cast<double>(index++), r.hit_ratio,

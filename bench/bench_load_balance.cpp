@@ -4,6 +4,10 @@
 // the (25 fixed) lookup origins; RANDOM-OPT loads route corridors.
 // Reported as mean/max requests served per node and the coefficient of
 // variation (stddev/mean; 0 = perfectly balanced).
+//
+// Ported to the parallel ExperimentRunner: the four strategy points (and
+// their seeds) execute concurrently under PQS_THREADS; the table and CSV
+// are byte-identical for every thread count.
 #include <cmath>
 #include <cstdio>
 
@@ -19,10 +23,11 @@ int main() {
     std::printf("n = %zu, advertise RANDOM 2 sqrt(n), static, %zu lookups "
                 "from 25 nodes\n\n",
                 n, bench::lookup_count());
-    std::printf("%-14s %10s %12s %12s %10s\n", "lookup via", "hit",
-                "mean load", "max load", "CV");
+    std::printf("%-14s %10s %8s %12s %12s %10s\n", "lookup via", "hit",
+                "sd(hit)", "mean load", "max load", "CV");
     util::CsvWriter series = bench::csv(
-        "load_balance", {"strategy", "hit", "mean_load", "max_load", "cv"});
+        "load_balance",
+        {"strategy", "hit", "hit_sd", "mean_load", "max_load", "cv"});
 
     struct Config {
         const char* name;
@@ -49,22 +54,32 @@ int main() {
         {"FLOODING", StrategyKind::kFlooding,
          [](core::StrategyConfig& c) { c.flood_ttl = 3; }},
     };
-    int index = 0;
-    for (const Config& config : configs) {
-        core::ScenarioParams p = bench::base_scenario(n, 200);
-        p.spec.advertise.kind = StrategyKind::kRandom;
-        p.spec.advertise.quorum_size =
-            static_cast<std::size_t>(std::lround(2.0 * rtn));
-        p.spec.lookup.kind = config.kind;
-        config.set(p.spec.lookup);
-        const auto r = core::run_scenario_averaged(p, bench::runs(), 200);
-        std::printf("%-14s %10.3f %12.1f %12.1f %10.2f\n", config.name,
-                    r.hit_ratio, r.load.mean, r.load.max, r.load.cv);
-        series.row({static_cast<double>(index++), r.hit_ratio, r.load.mean,
-                    r.load.max, r.load.cv});
+    constexpr std::size_t kConfigs = std::size(configs);
+
+    const exp::ExperimentRunner runner = bench::runner(200);
+    const exp::RunReport report =
+        runner.run(kConfigs, [&](std::size_t point) {
+            core::ScenarioParams p = bench::base_scenario(n, 200);
+            p.spec.advertise.kind = StrategyKind::kRandom;
+            p.spec.advertise.quorum_size =
+                static_cast<std::size_t>(std::lround(2.0 * rtn));
+            p.spec.lookup.kind = configs[point].kind;
+            configs[point].set(p.spec.lookup);
+            return p;
+        });
+
+    for (std::size_t i = 0; i < kConfigs; ++i) {
+        const core::ScenarioResult& r = report.points[i].stats.mean;
+        const core::ScenarioResult& sd = report.points[i].stats.stddev;
+        std::printf("%-14s %10.3f %8.3f %12.1f %12.1f %10.2f\n",
+                    configs[i].name, r.hit_ratio, sd.hit_ratio, r.load.mean,
+                    r.load.max, r.load.cv);
+        series.row({static_cast<double>(i), r.hit_ratio, sd.hit_ratio,
+                    r.load.mean, r.load.max, r.load.cv});
     }
     std::printf("\n(the paper's §3 goal is balancing load equally; RANDOM's "
                 "uniform choice is the gold standard, FLOODING from few "
                 "origins is the most skewed)\n");
+    exp::report_perf(report, "load_balance");
     return 0;
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/scenario.h"
+#include "exp/experiment_runner.h"
 #include "util/csv.h"
 
 namespace pqs::bench {
@@ -122,8 +123,22 @@ inline void make_mobile(core::ScenarioParams& p, double vmin, double vmax) {
 inline void banner(const char* figure, const char* what) {
     std::printf("==============================================================\n");
     std::printf("%s — %s\n", figure, what);
-    std::printf("scale=%s (set PQS_SCALE=smoke|default|paper)\n", scale_name());
+    std::printf("scale=%s (set PQS_SCALE=smoke|default|paper; "
+                "PQS_THREADS=<k> parallelizes trials)\n",
+                scale_name());
     std::printf("==============================================================\n");
+}
+
+// Experiment runner configured for this scale: runs() seeds per grid
+// point, PQS_THREADS workers, all trial seeds derived from `run_seed`.
+// Tables/CSV written from the returned report are byte-identical for
+// every thread count; per-trial wall times go to stderr via
+// exp::report_perf.
+inline exp::ExperimentRunner runner(std::uint64_t run_seed) {
+    exp::RunnerOptions opts;
+    opts.runs_per_point = runs();
+    opts.run_seed = run_seed;
+    return exp::ExperimentRunner(opts);
 }
 
 }  // namespace pqs::bench

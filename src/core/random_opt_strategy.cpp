@@ -110,7 +110,13 @@ void RandomOptStrategy::access(AccessKind kind, util::NodeId origin,
         finish(op, false, 0);
         return;
     }
+    // Fill in every counter before the first send: send_routed can deliver
+    // locally and complete the op synchronously (reply -> finish -> resolve),
+    // which erases the ops_ entry and would invalidate `entry` mid-loop.
     entry.state.targets = targets.size();
+    entry.state.outstanding = targets.size();
+    entry.state.all_sent = true;
+    const std::shared_ptr<IntersectionProbe> op_probe = entry.state.probe;
     for (const util::NodeId target : targets) {
         auto msg = std::make_shared<QuorumRequestMsg>();
         msg->strategy_tag = tag_;
@@ -120,15 +126,10 @@ void RandomOptStrategy::access(AccessKind kind, util::NodeId origin,
         msg->value = value;
         msg->origin = origin;
         msg->want_reply = kind == AccessKind::kLookup;
-        msg->probe = entry.state.probe;
-        ++entry.state.outstanding;
+        msg->probe = op_probe;
         ctx_.world.stack(origin).send_routed(
             target, msg,
             [this, op](bool delivered) { on_target_resolved(op, delivered); });
-    }
-    if (auto* e = ops_.find(op)) {
-        e->state.all_sent = true;
-        maybe_finish(op);
     }
 }
 

@@ -147,8 +147,11 @@ void RandomStrategy::access(AccessKind kind, util::NodeId origin,
         send_to_target(op, origin, util::kInvalidNode);  // advances cursor
         return;
     }
-    // Parallel access to the whole quorum.
-    for (const util::NodeId target : entry.state.targets) {
+    // Parallel access to the whole quorum. Iterate a copy: a send can
+    // deliver locally and resolve the op synchronously, erasing the ops_
+    // entry (and the vector inside it) mid-loop.
+    const std::vector<util::NodeId> targets = entry.state.targets;
+    for (const util::NodeId target : targets) {
         send_to_target(op, origin, target);
     }
     if (auto* e = ops_.find(op)) {

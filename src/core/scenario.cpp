@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace pqs::core {
 
@@ -72,6 +73,8 @@ util::NodeId random_alive(net::World& world, util::Rng& rng) {
 
 ScenarioResult run_scenario(const ScenarioParams& params) {
     net::World world(params.world);
+    const util::ScopedLogClock log_clock(
+        [&world] { return sim::to_seconds(world.simulator().now()); });
     std::unique_ptr<membership::OracleMembership> membership;
     if (params.use_membership) {
         membership::OracleMembershipParams mp;
@@ -215,51 +218,85 @@ ScenarioResult run_scenario(const ScenarioParams& params) {
     result.routing_per_lookup =
         (after_lkp.routing - before_lkp.routing) / n_lkp;
     result.load = summarize_load(service.biquorum().context());
+    result.sim_events =
+        static_cast<double>(world.simulator().events_processed());
     result.totals = world.metrics();
     return result;
 }
 
-ScenarioResult run_scenario_averaged(ScenarioParams params, int runs,
-                                     std::uint64_t seed_base) {
-    ScenarioResult avg;
-    for (int r = 0; r < runs; ++r) {
-        params.world.seed = seed_base + static_cast<std::uint64_t>(r);
-        const ScenarioResult one = run_scenario(params);
-        avg.n = one.n;
-        avg.advertise_quorum = one.advertise_quorum;
-        avg.lookup_quorum = one.lookup_quorum;
-        avg.hit_ratio += one.hit_ratio;
-        avg.intersect_ratio += one.intersect_ratio;
-        avg.reply_drop_ratio += one.reply_drop_ratio;
-        avg.avg_lookup_nodes += one.avg_lookup_nodes;
-        avg.avg_lookup_latency_s += one.avg_lookup_latency_s;
-        avg.advertise_ok_ratio += one.advertise_ok_ratio;
-        avg.avg_advertise_nodes += one.avg_advertise_nodes;
-        avg.msgs_per_advertise += one.msgs_per_advertise;
-        avg.routing_per_advertise += one.routing_per_advertise;
-        avg.msgs_per_lookup += one.msgs_per_lookup;
-        avg.routing_per_lookup += one.routing_per_lookup;
-        avg.load.mean += one.load.mean;
-        avg.load.max += one.load.max;
-        avg.load.cv += one.load.cv;
-        avg.totals.merge(one.totals);
+namespace {
+
+// X-macro over every scalar metric of ScenarioResult; the single source of
+// truth for aggregation, so adding a field here is all it takes.
+#define PQS_SCENARIO_METRICS(X)   \
+    X(hit_ratio)                  \
+    X(intersect_ratio)            \
+    X(reply_drop_ratio)           \
+    X(avg_lookup_nodes)           \
+    X(avg_lookup_latency_s)       \
+    X(advertise_ok_ratio)         \
+    X(avg_advertise_nodes)        \
+    X(msgs_per_advertise)         \
+    X(routing_per_advertise)      \
+    X(msgs_per_lookup)            \
+    X(routing_per_lookup)         \
+    X(load.mean)                  \
+    X(load.max)                   \
+    X(load.cv)                    \
+    X(sim_events)
+
+}  // namespace
+
+const std::vector<ScenarioMetric>& scenario_metrics() {
+    static const std::vector<ScenarioMetric> metrics = {
+#define PQS_METRIC_ENTRY(field)                                     \
+    ScenarioMetric{#field,                                          \
+                   [](const ScenarioResult& r) { return r.field; }, \
+                   [](ScenarioResult& r, double v) { r.field = v; }},
+        PQS_SCENARIO_METRICS(PQS_METRIC_ENTRY)
+#undef PQS_METRIC_ENTRY
+    };
+    return metrics;
+}
+
+ScenarioAggregate aggregate_scenarios(
+    const std::vector<ScenarioResult>& results) {
+    ScenarioAggregate agg;
+    agg.runs = static_cast<int>(results.size());
+    if (results.empty()) {
+        return agg;
     }
-    const double k = std::max(1, runs);
-    avg.hit_ratio /= k;
-    avg.intersect_ratio /= k;
-    avg.reply_drop_ratio /= k;
-    avg.avg_lookup_nodes /= k;
-    avg.avg_lookup_latency_s /= k;
-    avg.advertise_ok_ratio /= k;
-    avg.avg_advertise_nodes /= k;
-    avg.msgs_per_advertise /= k;
-    avg.routing_per_advertise /= k;
-    avg.msgs_per_lookup /= k;
-    avg.routing_per_lookup /= k;
-    avg.load.mean /= k;
-    avg.load.max /= k;
-    avg.load.cv /= k;
-    return avg;
+    // Copy non-metric context (n, quorum sizes) from the first run, then
+    // merge raw counters across runs in index order.
+    agg.mean = results.front();
+    agg.mean.totals.clear();
+    agg.stddev.n = agg.mean.n;
+    agg.stddev.advertise_quorum = agg.mean.advertise_quorum;
+    agg.stddev.lookup_quorum = agg.mean.lookup_quorum;
+    for (const ScenarioResult& one : results) {
+        agg.mean.totals.merge(one.totals);
+    }
+    for (const ScenarioMetric& metric : scenario_metrics()) {
+        util::Accumulator acc;
+        for (const ScenarioResult& one : results) {
+            acc.add(metric.get(one));
+        }
+        metric.set(agg.mean, acc.mean());
+        metric.set(agg.stddev, acc.count() > 1 ? acc.stddev() : 0.0);
+    }
+    return agg;
+}
+
+ScenarioAggregate run_scenario_averaged(ScenarioParams params, int runs,
+                                        std::uint64_t seed_base) {
+    const std::size_t count = runs > 0 ? static_cast<std::size_t>(runs) : 0;
+    std::vector<ScenarioResult> results(count);
+    util::parallel_for(count, /*threads=*/0, [&](std::size_t r) {
+        ScenarioParams p = params;
+        p.world.seed = seed_base + static_cast<std::uint64_t>(r);
+        results[r] = run_scenario(p);
+    });
+    return aggregate_scenarios(results);
 }
 
 }  // namespace pqs::core

@@ -67,13 +67,45 @@ struct ScenarioResult {
     // §3 load metric over the whole run (advertise + lookup phases).
     LoadSummary load;
 
+    // Simulator events processed by the run (deterministic for a seed);
+    // stored as double so it participates in the generic aggregation and
+    // stays exact up to 2^53 events.
+    double sim_events = 0.0;
+
     util::MetricSet totals;  // raw world counters at the end
 };
 
+// One scalar metric of a ScenarioResult, addressable generically so
+// multi-run aggregation (means, error bars, cross-thread-count equality
+// checks) never needs a hand-written field-by-field loop.
+struct ScenarioMetric {
+    const char* name;
+    double (*get)(const ScenarioResult&);
+    void (*set)(ScenarioResult&, double);
+};
+
+// Every scalar metric of ScenarioResult, in declaration order.
+const std::vector<ScenarioMetric>& scenario_metrics();
+
+// Multi-run summary: per-metric mean and sample standard deviation (the
+// paper plots 10-run means with error bars on every figure point).
+struct ScenarioAggregate {
+    ScenarioResult mean;    // also carries n/quorum sizes and merged totals
+    ScenarioResult stddev;  // sample stddev per metric; zero when runs < 2
+    int runs = 0;
+};
+
+// Reduces independent runs (in the given order, so results are identical
+// for any execution schedule that preserves indexing) into mean + stddev.
+ScenarioAggregate aggregate_scenarios(
+    const std::vector<ScenarioResult>& results);
+
 ScenarioResult run_scenario(const ScenarioParams& params);
 
-// Averages `runs` scenario executions with seeds seed_base+0..runs-1.
-ScenarioResult run_scenario_averaged(ScenarioParams params, int runs,
-                                     std::uint64_t seed_base = 1);
+// Aggregates `runs` scenario executions with seeds seed_base+0..runs-1.
+// Runs execute in parallel on the PQS_THREADS pool (see util/parallel.h);
+// the aggregate is bit-identical for every thread count.
+ScenarioAggregate run_scenario_averaged(ScenarioParams params, int runs,
+                                        std::uint64_t seed_base = 1);
 
 }  // namespace pqs::core

@@ -1,0 +1,103 @@
+#include "exp/experiment_runner.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/parallel.h"
+
+namespace pqs::exp {
+
+std::uint64_t trial_seed(std::uint64_t run_seed, std::uint64_t trial_index) {
+    std::uint64_t state = run_seed ^ trial_index;
+    return util::splitmix64(state);
+}
+
+ExperimentRunner::ExperimentRunner(RunnerOptions options)
+    : options_(options),
+      threads_(options.threads != 0 ? options.threads
+                                    : util::default_thread_count()) {}
+
+RunReport ExperimentRunner::run(
+    std::size_t points,
+    const std::function<core::ScenarioParams(std::size_t)>& make) const {
+    using Clock = std::chrono::steady_clock;
+    const int runs = std::max(1, options_.runs_per_point);
+    const std::size_t trial_count =
+        points * static_cast<std::size_t>(runs);
+
+    RunReport report;
+    report.threads = threads_;
+    report.trials.resize(trial_count);
+
+    const auto run_start = Clock::now();
+    util::parallel_for(trial_count, threads_, [&](std::size_t trial) {
+        TrialRecord& record = report.trials[trial];
+        record.point = trial / static_cast<std::size_t>(runs);
+        record.rep = static_cast<int>(trial % static_cast<std::size_t>(runs));
+        record.seed = trial_seed(options_.run_seed, trial);
+        core::ScenarioParams params = make(record.point);
+        params.world.seed = record.seed;
+        const auto trial_start = Clock::now();
+        record.result = core::run_scenario(params);
+        record.wall_seconds =
+            std::chrono::duration<double>(Clock::now() - trial_start).count();
+    });
+    report.wall_seconds =
+        std::chrono::duration<double>(Clock::now() - run_start).count();
+
+    // Reduce on the caller's thread in grid order: bit-identical output
+    // for every thread count.
+    report.points.reserve(points);
+    std::vector<core::ScenarioResult> reps(static_cast<std::size_t>(runs));
+    for (std::size_t p = 0; p < points; ++p) {
+        PointSummary summary;
+        summary.point = p;
+        for (int r = 0; r < runs; ++r) {
+            const TrialRecord& record =
+                report.trials[p * static_cast<std::size_t>(runs) +
+                              static_cast<std::size_t>(r)];
+            reps[static_cast<std::size_t>(r)] = record.result;
+            summary.wall_seconds += record.wall_seconds;
+        }
+        summary.stats = core::aggregate_scenarios(reps);
+        const double events = summary.stats.mean.sim_events *
+                              static_cast<double>(runs);
+        report.total_events += events;
+        summary.events_per_second =
+            summary.wall_seconds > 0.0 ? events / summary.wall_seconds : 0.0;
+        report.points.push_back(std::move(summary));
+    }
+    report.events_per_second = report.wall_seconds > 0.0
+                                   ? report.total_events / report.wall_seconds
+                                   : 0.0;
+    return report;
+}
+
+RunReport ExperimentRunner::run(
+    const SweepGrid& grid,
+    const std::function<core::ScenarioParams(const SweepPoint&)>& make)
+    const {
+    return run(grid.size(), [&](std::size_t index) {
+        return make(grid.point(index));
+    });
+}
+
+void report_perf(const RunReport& report, const char* label,
+                 std::FILE* stream) {
+    std::fprintf(stream,
+                 "[perf] %s: %zu trials on %zu thread%s, %.2fs wall, "
+                 "%.3g events, %.3g events/s\n",
+                 label, report.trials.size(), report.threads,
+                 report.threads == 1 ? "" : "s", report.wall_seconds,
+                 report.total_events, report.events_per_second);
+    for (const TrialRecord& trial : report.trials) {
+        std::fprintf(stream,
+                     "[perf]   trial point=%zu rep=%d seed=%016llx "
+                     "wall=%.3fs events=%.0f\n",
+                     trial.point, trial.rep,
+                     static_cast<unsigned long long>(trial.seed),
+                     trial.wall_seconds, trial.result.sim_events);
+    }
+}
+
+}  // namespace pqs::exp

@@ -1,0 +1,110 @@
+// Deterministic parallel experiment runner (§2.4, §8 evaluation protocol).
+//
+// Every figure of the paper is a sweep over fully independent trials:
+// (grid point × seed) pairs whose scenarios share nothing. The runner
+// fans those trials out over a fixed-size thread pool (PQS_THREADS env,
+// default hardware_concurrency) while keeping the *results* bit-identical
+// for every thread count:
+//
+//   - each trial's seed is derived from the position alone —
+//     splitmix64(run_seed ^ trial_index) — never from execution order;
+//   - trial results land in a slot indexed by trial, and all aggregation
+//     (mean + stddev per grid point, CSV rows, tables) happens on the
+//     caller's thread in grid order after the pool has joined.
+//
+// Wall-clock timings are measured per trial for the perf report but are
+// deliberately kept out of the deterministic result set.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "core/scenario.h"
+#include "exp/sweep_grid.h"
+
+namespace pqs::exp {
+
+// Seed for trial `trial_index` of a run: splitmix64(run_seed ^ trial_index).
+// Stable by contract — tests and recorded experiments depend on it.
+std::uint64_t trial_seed(std::uint64_t run_seed, std::uint64_t trial_index);
+
+struct RunnerOptions {
+    // Worker threads; 0 means PQS_THREADS env / hardware_concurrency.
+    std::size_t threads = 0;
+    // Independent seeds per grid point (paper: 10 runs per point).
+    int runs_per_point = 1;
+    // Root seed of the whole experiment; every trial seed derives from it.
+    std::uint64_t run_seed = 1;
+};
+
+// One executed trial (grid point × repetition).
+struct TrialRecord {
+    std::size_t point = 0;
+    int rep = 0;
+    std::uint64_t seed = 0;
+    double wall_seconds = 0.0;  // host time, informational only
+    core::ScenarioResult result;
+};
+
+// Per-point reduction across the point's repetitions.
+struct PointSummary {
+    std::size_t point = 0;
+    core::ScenarioAggregate stats;  // mean + stddev, deterministic
+    double wall_seconds = 0.0;      // summed trial wall time (cpu-seconds)
+    double events_per_second = 0.0; // simulator events / wall second
+};
+
+struct RunReport {
+    std::vector<PointSummary> points;  // grid order
+    std::vector<TrialRecord> trials;   // trial-index order
+    std::size_t threads = 1;
+    double wall_seconds = 0.0;         // end-to-end elapsed on the host
+    double total_events = 0.0;
+    double events_per_second = 0.0;    // aggregate over the whole run
+};
+
+class ExperimentRunner {
+public:
+    explicit ExperimentRunner(RunnerOptions options = {});
+
+    std::size_t threads() const { return threads_; }
+    const RunnerOptions& options() const { return options_; }
+
+    // Runs `points` × runs_per_point scenario trials. `make` receives the
+    // flat point index and must be pure (it is called from worker threads);
+    // the runner overwrites the returned params' world.seed per trial.
+    RunReport run(std::size_t points,
+                  const std::function<core::ScenarioParams(std::size_t)>&
+                      make) const;
+
+    // Same, with the point decoded through a SweepGrid.
+    RunReport run(const SweepGrid& grid,
+                  const std::function<core::ScenarioParams(const SweepPoint&)>&
+                      make) const;
+
+    // Generic deterministic fan-out for non-scenario experiments (e.g. the
+    // random-walk and flooding-coverage figures): evaluates
+    // fn(trial, rng) for trial in [0, count) on the pool, where `rng` is
+    // freshly seeded with trial_seed(stream_seed, trial). Results return
+    // in trial order; T must be default-constructible.
+    template <typename T>
+    std::vector<T> map(std::uint64_t stream_seed, std::size_t count,
+                       const std::function<T(std::size_t, util::Rng&)>& fn)
+        const;
+
+private:
+    RunnerOptions options_;
+    std::size_t threads_ = 1;
+};
+
+// Prints the perf summary (threads, wall time, events/sec, slowest trials)
+// to `stream` — stderr by default so stdout tables and CSV series remain
+// byte-identical across thread counts.
+void report_perf(const RunReport& report, const char* label,
+                 std::FILE* stream = stderr);
+
+}  // namespace pqs::exp
+
+#include "exp/experiment_runner_inl.h"

@@ -1,0 +1,22 @@
+// Template member definitions for ExperimentRunner (included from
+// experiment_runner.h; do not include directly).
+#pragma once
+
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace pqs::exp {
+
+template <typename T>
+std::vector<T> ExperimentRunner::map(
+    std::uint64_t stream_seed, std::size_t count,
+    const std::function<T(std::size_t, util::Rng&)>& fn) const {
+    std::vector<T> out(count);
+    util::parallel_for(count, threads_, [&](std::size_t trial) {
+        util::Rng rng(trial_seed(stream_seed, trial));
+        out[trial] = fn(trial, rng);
+    });
+    return out;
+}
+
+}  // namespace pqs::exp

@@ -1,0 +1,66 @@
+#include "exp/sweep_grid.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pqs::exp {
+
+double SweepPoint::at(const std::string& axis) const {
+    if (grid_ == nullptr) {
+        throw std::logic_error("SweepPoint::at: point not bound to a grid");
+    }
+    return values.at(grid_->axis_index(axis));
+}
+
+std::size_t SweepPoint::index_at(const std::string& axis) const {
+    return static_cast<std::size_t>(at(axis));
+}
+
+SweepGrid& SweepGrid::axis(std::string name, std::vector<double> values) {
+    if (values.empty()) {
+        throw std::invalid_argument("SweepGrid::axis: empty axis '" + name +
+                                    "'");
+    }
+    axes_.push_back(Axis{std::move(name), std::move(values)});
+    return *this;
+}
+
+const std::string& SweepGrid::axis_name(std::size_t i) const {
+    return axes_.at(i).name;
+}
+
+std::size_t SweepGrid::axis_index(const std::string& name) const {
+    for (std::size_t i = 0; i < axes_.size(); ++i) {
+        if (axes_[i].name == name) {
+            return i;
+        }
+    }
+    throw std::out_of_range("SweepGrid: no axis named '" + name + "'");
+}
+
+std::size_t SweepGrid::size() const {
+    std::size_t product = 1;
+    for (const Axis& axis : axes_) {
+        product *= axis.values.size();
+    }
+    return product;
+}
+
+SweepPoint SweepGrid::point(std::size_t index) const {
+    if (index >= size()) {
+        throw std::out_of_range("SweepGrid::point: index out of range");
+    }
+    SweepPoint p;
+    p.index = index;
+    p.grid_ = this;
+    p.values.resize(axes_.size());
+    // Row-major: the last axis varies fastest.
+    for (std::size_t i = axes_.size(); i-- > 0;) {
+        const std::vector<double>& values = axes_[i].values;
+        p.values[i] = values[index % values.size()];
+        index /= values.size();
+    }
+    return p;
+}
+
+}  // namespace pqs::exp

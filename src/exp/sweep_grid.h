@@ -1,0 +1,60 @@
+// Declarative description of an experiment sweep: named axes, each with an
+// ordered list of values, crossed into a flat grid of trial points. The
+// paper's figures are exactly this shape — (node count × density ×
+// strategy knob × 10 seeds) of fully independent trials — so a bench
+// declares its grid once and hands it to the ExperimentRunner instead of
+// nesting loops around run_scenario_averaged.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pqs::exp {
+
+class SweepGrid;
+
+// One point of a sweep: the flat index plus one value per axis, in the
+// order the axes were declared.
+struct SweepPoint {
+    std::size_t index = 0;
+    std::vector<double> values;
+
+    // Value of the named axis (declared on the originating grid).
+    double at(const std::string& axis) const;
+    // Value of the named axis, cast for the common "the axis is really an
+    // integer" case (node counts, TTLs, enum indices).
+    std::size_t index_at(const std::string& axis) const;
+
+private:
+    friend class SweepGrid;
+    const SweepGrid* grid_ = nullptr;
+};
+
+class SweepGrid {
+public:
+    // Appends an axis. Later axes vary fastest (row-major enumeration), so
+    // declaring (n, ttl) yields n=50:{ttl...}, n=100:{ttl...}, ...
+    SweepGrid& axis(std::string name, std::vector<double> values);
+
+    std::size_t axis_count() const { return axes_.size(); }
+    const std::string& axis_name(std::size_t i) const;
+    // Position of the named axis; throws std::out_of_range if absent.
+    std::size_t axis_index(const std::string& name) const;
+
+    // Total number of points (product of axis sizes; 1 for an empty grid
+    // so a grid-less experiment still has its single trial point).
+    std::size_t size() const;
+
+    // Decodes a flat index into per-axis values.
+    SweepPoint point(std::size_t index) const;
+
+private:
+    struct Axis {
+        std::string name;
+        std::vector<double> values;
+    };
+    std::vector<Axis> axes_;
+};
+
+}  // namespace pqs::exp

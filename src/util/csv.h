@@ -1,11 +1,20 @@
 // Minimal CSV writer for exporting bench series (set PQS_CSV_DIR to a
 // directory and every figure bench also dumps its data points as CSV, one
 // file per series, ready for plotting).
+//
+// Thread safety: direct row() calls are serialized by a mutex, and a trial
+// running on a worker thread can instead collect its rows into a local
+// RowBuffer and commit() the whole block at once, so rows belonging to one
+// trial are never interleaved with another trial's. Deterministic output
+// (independent of thread count) additionally requires committing buffers
+// in a fixed order — the experiment runner does this by writing rows from
+// the main thread after all trials have joined.
 #pragma once
 
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -20,6 +29,24 @@ inline std::string csv_dir_from_env() {
 
 class CsvWriter {
 public:
+    // Rows accumulated locally (e.g. by one trial on a worker thread) and
+    // appended to the file as one atomic block via CsvWriter::commit().
+    class RowBuffer {
+    public:
+        void row(const std::vector<double>& values) {
+            for (std::size_t i = 0; i < values.size(); ++i) {
+                data_ += (i ? "," : "");
+                data_ += format(values[i]);
+            }
+            data_ += '\n';
+        }
+        bool empty() const { return data_.empty(); }
+
+    private:
+        friend class CsvWriter;
+        std::string data_;
+    };
+
     // Disabled (all writes are no-ops) when dir is empty.
     CsvWriter(const std::string& dir, const std::string& name,
               const std::vector<std::string>& columns) {
@@ -44,10 +71,21 @@ public:
         if (!enabled_) {
             return;
         }
+        const std::lock_guard<std::mutex> lock(mutex_);
         for (std::size_t i = 0; i < values.size(); ++i) {
             out_ << (i ? "," : "") << format(values[i]);
         }
         out_ << '\n';
+        out_.flush();
+    }
+
+    // Appends all of `buffer`'s rows contiguously.
+    void commit(const RowBuffer& buffer) {
+        if (!enabled_ || buffer.empty()) {
+            return;
+        }
+        const std::lock_guard<std::mutex> lock(mutex_);
+        out_ << buffer.data_;
         out_.flush();
     }
 
@@ -59,6 +97,7 @@ private:
     }
 
     std::ofstream out_;
+    std::mutex mutex_;
     bool enabled_ = false;
 };
 

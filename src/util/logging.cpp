@@ -1,19 +1,26 @@
 #include "util/logging.h"
 
+#include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <mutex>
+#include <utility>
 
 namespace pqs::util {
 
 namespace {
 
-LogLevel g_level = [] {
+std::atomic<LogLevel> g_level = [] {
     const char* env = std::getenv("PQS_LOG");
     return env ? parse_log_level(env) : LogLevel::kOff;
 }();
 
 std::mutex g_log_mutex;
+
+// Per-thread virtual clock: each worker running a trial stamps its lines
+// with its own simulator's time.
+thread_local std::function<double()> t_clock;
 
 const char* level_name(LogLevel level) {
     switch (level) {
@@ -28,9 +35,11 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+    g_level.store(level, std::memory_order_relaxed);
+}
 
 LogLevel parse_log_level(const std::string& text) {
     if (text == "debug") return LogLevel::kDebug;
@@ -40,11 +49,24 @@ LogLevel parse_log_level(const std::string& text) {
     return LogLevel::kOff;
 }
 
+ScopedLogClock::ScopedLogClock(std::function<double()> now_seconds)
+    : previous_(std::move(t_clock)) {
+    t_clock = std::move(now_seconds);
+}
+
+ScopedLogClock::~ScopedLogClock() { t_clock = std::move(previous_); }
+
 namespace detail {
 
 void emit(LogLevel level, const std::string& message) {
+    char stamp[48];
+    stamp[0] = '\0';
+    if (t_clock) {
+        std::snprintf(stamp, sizeof(stamp), " t=%.6fs", t_clock());
+    }
     const std::lock_guard<std::mutex> lock(g_log_mutex);
-    std::clog << "[pqs:" << level_name(level) << "] " << message << '\n';
+    std::clog << "[pqs:" << level_name(level) << stamp << "] " << message
+              << '\n';
 }
 
 }  // namespace detail

@@ -1,8 +1,15 @@
 // Minimal leveled logging. Disabled by default so simulation hot paths pay
 // only a branch; enable with PQS_LOG=debug|info|warn|error in the
 // environment or programmatically via set_log_level().
+//
+// Thread safety: the level is an atomic (parallel trials may tighten or
+// relax it), and emission is serialized by a mutex so concurrent trials
+// never interleave within a line. A trial that wants its lines stamped
+// with virtual time installs a thread-local clock (ScopedLogClock); each
+// worker thread sees only its own simulator's clock.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -14,6 +21,20 @@ LogLevel log_level();
 void set_log_level(LogLevel level);
 // Parses "debug"/"info"/"warn"/"error"/"off"; unknown strings mean kOff.
 LogLevel parse_log_level(const std::string& text);
+
+// Installs a thread-local virtual clock (returning seconds) for the guard's
+// lifetime; emitted lines gain a "t=<seconds>s" stamp. Nesting restores the
+// previous clock on destruction.
+class ScopedLogClock {
+public:
+    explicit ScopedLogClock(std::function<double()> now_seconds);
+    ~ScopedLogClock();
+    ScopedLogClock(const ScopedLogClock&) = delete;
+    ScopedLogClock& operator=(const ScopedLogClock&) = delete;
+
+private:
+    std::function<double()> previous_;
+};
 
 namespace detail {
 void emit(LogLevel level, const std::string& message);

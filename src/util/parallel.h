@@ -1,0 +1,27 @@
+// Minimal fixed-size worker pool for embarrassingly parallel loops. The
+// simulation itself is single-threaded per trial; parallelism enters only
+// at the trial level (independent scenario runs with independent seeds),
+// so a dynamic-scheduling parallel_for is all the machinery we need.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace pqs::util {
+
+// Worker count honoring the PQS_THREADS environment variable; falls back
+// to std::thread::hardware_concurrency(), never returns 0.
+std::size_t default_thread_count();
+
+// Runs body(i) for every i in [0, count) across `threads` workers with
+// dynamic scheduling (shared atomic index), blocking until all complete.
+// threads == 0 means default_thread_count(); threads == 1 (or count <= 1)
+// runs inline on the caller. The first exception thrown by any body is
+// rethrown on the caller after every worker has joined.
+//
+// Ordering guarantee: callers that store results indexed by `i` and reduce
+// them after return get the same answer for every thread count.
+void parallel_for(std::size_t count, std::size_t threads,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace pqs::util

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <thread>
+#include <vector>
 
 namespace pqs::util {
 namespace {
@@ -50,6 +52,53 @@ TEST_F(CsvFixture, CreatesNestedDirectories) {
     ASSERT_TRUE(w.enabled());
     w.row({1});
     EXPECT_TRUE(std::filesystem::exists(nested / "x.csv"));
+}
+
+TEST_F(CsvFixture, BufferedRowsCommitAsOneBlock) {
+    {
+        CsvWriter w(dir.string(), "series", {"n", "hit"});
+        ASSERT_TRUE(w.enabled());
+        CsvWriter::RowBuffer first;
+        first.row({1, 0.1});
+        first.row({2, 0.2});
+        CsvWriter::RowBuffer second;
+        second.row({3, 0.3});
+        // Commit out of build order: rows within a buffer stay contiguous.
+        w.commit(second);
+        w.commit(first);
+        CsvWriter::RowBuffer empty;
+        w.commit(empty);  // no-op
+    }
+    EXPECT_EQ(slurp(dir / "series.csv"), "n,hit\n3,0.3\n1,0.1\n2,0.2\n");
+}
+
+TEST_F(CsvFixture, ParallelRowsNeverInterleaveWithinALine) {
+    {
+        CsvWriter w(dir.string(), "par", {"v"});
+        ASSERT_TRUE(w.enabled());
+        std::vector<std::thread> threads;
+        for (int t = 0; t < 4; ++t) {
+            threads.emplace_back([&w, t] {
+                for (int i = 0; i < 25; ++i) {
+                    w.row({static_cast<double>(t * 1000 + i)});
+                }
+            });
+        }
+        for (auto& t : threads) {
+            t.join();
+        }
+    }
+    // 1 header + 100 well-formed single-number lines, any order.
+    std::istringstream in(slurp(dir / "par.csv"));
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "v");
+    int lines = 0;
+    while (std::getline(in, line)) {
+        ++lines;
+        EXPECT_NO_THROW((void)std::stod(line)) << line;
+    }
+    EXPECT_EQ(lines, 100);
 }
 
 TEST(CsvEnv, ReadsEnvironment) {

@@ -112,10 +112,15 @@ TEST(Scenario, AveragedRunsAggregate) {
     ScenarioParams p = base_params(60, 7);
     p.advertise_count = 10;
     p.lookup_count = 30;
-    const ScenarioResult r = run_scenario_averaged(p, 3, 100);
-    EXPECT_EQ(r.n, 60u);
-    EXPECT_GT(r.hit_ratio, 0.0);
-    EXPECT_LE(r.hit_ratio, 1.0);
+    const ScenarioAggregate agg = run_scenario_averaged(p, 3, 100);
+    EXPECT_EQ(agg.runs, 3);
+    EXPECT_EQ(agg.mean.n, 60u);
+    EXPECT_GT(agg.mean.hit_ratio, 0.0);
+    EXPECT_LE(agg.mean.hit_ratio, 1.0);
+    // The paper's error bars: stddev is populated and finite.
+    EXPECT_GE(agg.stddev.hit_ratio, 0.0);
+    EXPECT_LE(agg.stddev.hit_ratio, 1.0);
+    EXPECT_GT(agg.mean.sim_events, 0.0);
 }
 
 TEST(Scenario, MissingKeyLookupsAllMiss) {
