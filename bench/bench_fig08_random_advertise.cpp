@@ -28,7 +28,8 @@ int main() {
         const double rtn = std::sqrt(static_cast<double>(n));
         for (const double mult : {0.5, 1.0, 1.5, 2.0, 2.5, 3.0}) {
             const auto qa = static_cast<std::size_t>(
-                std::max(1.0, std::lround(mult * rtn) * 1.0));
+                std::max(1.0,
+                         static_cast<double>(std::lround(mult * rtn))));
             core::ScenarioParams p = bench::base_scenario(n, 80 + n);
             p.spec.advertise.kind = StrategyKind::kRandom;
             p.spec.lookup.kind = StrategyKind::kRandom;
@@ -52,7 +53,8 @@ int main() {
         const double rtn = std::sqrt(static_cast<double>(n));
         for (const double mult : {0.25, 0.5, 0.75, 1.0, 1.15, 1.5, 2.0}) {
             const auto ql = static_cast<std::size_t>(
-                std::max(1.0, std::lround(mult * rtn) * 1.0));
+                std::max(1.0,
+                         static_cast<double>(std::lround(mult * rtn))));
             core::ScenarioParams p = bench::base_scenario(n, 880 + n);
             p.spec.advertise.kind = StrategyKind::kRandom;
             p.spec.lookup.kind = StrategyKind::kRandom;

@@ -24,7 +24,8 @@ int main() {
         const double rtn = std::sqrt(static_cast<double>(n));
         for (const double mult : {0.25, 0.5, 0.75, 1.0, 1.15, 1.5, 2.0}) {
             const auto ql = static_cast<std::size_t>(
-                std::max(1.0, std::lround(mult * rtn) * 1.0));
+                std::max(1.0,
+                         static_cast<double>(std::lround(mult * rtn))));
             core::ScenarioParams p = bench::base_scenario(n, 100 + n);
             bench::make_mobile(p, 0.5, 2.0);
             p.spec.advertise.kind = StrategyKind::kRandom;

@@ -45,8 +45,8 @@ int main() {
         entries.push_back({StrategyKind::kUniquePath, "UNIQUE-PATH", mult,
                            [mult, rtn](core::StrategyConfig& c) {
                                c.quorum_size = static_cast<std::size_t>(
-                                   std::max(1.0,
-                                            std::lround(mult * rtn) * 1.0));
+                                   std::max(1.0, static_cast<double>(
+                                                     std::lround(mult * rtn))));
                            }});
     }
     for (const int ttl : {1, 2, 3, 4, 5}) {

@@ -48,9 +48,8 @@ void configure(const Combo& combo, std::size_t n,
             static_cast<std::size_t>(std::lround(2.0 * rtn));
         if (combo.lookup == StrategyKind::kRandomOpt) {
             p.spec.lookup.quorum_size = static_cast<std::size_t>(
-                std::max(2.0, std::lround(std::log(
-                                  static_cast<double>(n))) *
-                                  1.0));
+                std::max(2.0, static_cast<double>(std::lround(
+                                  std::log(static_cast<double>(n))))));
         } else if (combo.lookup == StrategyKind::kFlooding) {
             p.spec.lookup.flood_ttl = 3;
             p.spec.lookup.quorum_size = 1;

@@ -39,8 +39,8 @@ int main() {
         {"RANDOM-OPT", StrategyKind::kRandomOpt,
          [&](core::StrategyConfig& c) {
              c.quorum_size = static_cast<std::size_t>(
-                 std::max(2.0, std::lround(std::log(
-                                   static_cast<double>(n))) * 1.0));
+                 std::max(2.0, static_cast<double>(std::lround(
+                                   std::log(static_cast<double>(n))))));
          }},
         {"UNIQUE-PATH", StrategyKind::kUniquePath,
          [&](core::StrategyConfig& c) {

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# One-command local CI for the PQS simulator — the gate every PR must
+# pass. Mirrors what reviewers will run:
+#
+#   1. warnings-as-errors build (-Wall -Wextra -Wshadow -Wconversion)
+#   2. full ctest suite, which includes the project linter (pqs_lint)
+#      and its fixture self-test (test_lint_fixtures)
+#   3. ASan+UBSan build with the debug invariant layer forced on
+#      (PQS_DCHECKS=ON) and the test suite rerun under it
+#   4. clang-format --dry-run gate (soft-skipped if clang-format is
+#      not installed; same for the optional clang-tidy build)
+#
+# Usage: scripts/check.sh [--with-tidy]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ROOT=$PWD
+JOBS=$(nproc 2>/dev/null || echo 2)
+WITH_TIDY=0
+[[ "${1:-}" == "--with-tidy" ]] && WITH_TIDY=1
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "1/4 warnings-as-errors build + tests (build-check)"
+cmake -B build-check -S "$ROOT" -DPQS_WERROR=ON >/dev/null
+cmake --build build-check -j "$JOBS"
+ctest --test-dir build-check --output-on-failure -j "$JOBS"
+
+step "2/4 project linter (standalone rerun for a readable report)"
+python3 tools/pqs_lint/pqs_lint.py --root "$ROOT"
+python3 tools/pqs_lint/check_fixtures.py --root "$ROOT"
+
+step "3/4 ASan+UBSan build with PQS_DCHECKS=ON (build-asan)"
+cmake -B build-asan -S "$ROOT" -DPQS_WERROR=ON \
+      -DPQS_SANITIZE=address,undefined -DPQS_DCHECKS=ON >/dev/null
+cmake --build build-asan -j "$JOBS"
+# halt_on_error so UBSan findings fail the run instead of scrolling by.
+UBSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+step "4/4 formatting / tidy gates"
+if command -v clang-format >/dev/null 2>&1; then
+    find src bench tests examples -name '*.cpp' -o -name '*.h' \
+        | xargs clang-format --dry-run -Werror
+    echo "clang-format: clean"
+else
+    echo "clang-format not installed — skipping the format gate"
+fi
+if [[ "$WITH_TIDY" == 1 ]]; then
+    if command -v clang-tidy >/dev/null 2>&1; then
+        cmake -B build-tidy -S "$ROOT" -DPQS_CLANG_TIDY=ON >/dev/null
+        cmake --build build-tidy -j "$JOBS"
+    else
+        echo "clang-tidy not installed — skipping the tidy build"
+    fi
+fi
+
+printf '\nAll checks passed.\n'

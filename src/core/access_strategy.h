@@ -14,6 +14,7 @@
 #include "core/store.h"
 #include "membership/membership.h"
 #include "net/world.h"
+#include "util/check.h"
 #include "util/ids.h"
 
 namespace pqs::core {
@@ -106,6 +107,13 @@ struct QuorumReplyMsg final : net::AppMessage {
 };
 
 // Pending operations with timeout and single resolution.
+//
+// find()/open() hand out generation-checked Handles rather than raw
+// pointers: a resolve (including one triggered reentrantly by a
+// synchronous send_routed/deliver chain) bumps the entry out of the
+// table, and any handle acquired before it aborts under PQS_DCHECK on
+// its next dereference instead of silently reading freed memory. After
+// any call that can re-enter the service, re-find() the op.
 template <typename State>
 class OpTable {
 public:
@@ -116,16 +124,65 @@ public:
         AccessCallback callback;
         sim::Time started = 0;
         sim::EventId timer = sim::kInvalidEvent;
+        std::uint64_t generation = 0;
+    };
+
+    class Handle {
+    public:
+        Handle() = default;
+
+        // True when the lookup succeeded. Staleness is checked on
+        // dereference, not here: re-find() is the way to re-validate.
+        explicit operator bool() const { return entry_ != nullptr; }
+
+        Entry* operator->() const {
+            check_live();
+            return entry_;
+        }
+        Entry& operator*() const {
+            check_live();
+            return *entry_;
+        }
+
+        // A handle whose entry has been resolved (or reopened) since
+        // acquisition. Debug-only diagnostic; release builds skip it.
+        bool stale() const {
+            return entry_ != nullptr &&
+                   table_->generation_of(id_) != generation_;
+        }
+
+    private:
+        friend class OpTable;
+        Handle(OpTable* table, util::AccessId id, Entry* entry)
+            : table_(table), id_(id), entry_(entry),
+              generation_(entry->generation) {}
+
+        void check_live() const {
+            PQS_DCHECK(entry_ != nullptr,
+                       "dereference of empty OpTable handle");
+            PQS_DCHECK(!stale(),
+                       "stale OpTable handle for op origin="
+                           << id_.origin << " seq=" << id_.seq
+                           << " — the entry was resolved across a reentrant "
+                              "send/deliver; re-find() it instead of holding "
+                              "the handle");
+        }
+
+        OpTable* table_ = nullptr;
+        util::AccessId id_{};
+        Entry* entry_ = nullptr;
+        std::uint64_t generation_ = 0;
     };
 
     // Opens an op. On timeout the op resolves with a default result marked
     // timed_out, after `timeout_fill` (if given) patched in what is known
     // (e.g. the intersection probe).
-    Entry& open(util::AccessId id, AccessCallback callback, sim::Time timeout,
+    Handle open(util::AccessId id, AccessCallback callback, sim::Time timeout,
                 std::function<void(AccessResult&)> timeout_fill = {}) {
         Entry& entry = ops_[id];
         entry.callback = std::move(callback);
         entry.started = simulator_.now();
+        entry.generation = next_generation_++;
         entry.timer = simulator_.schedule_in(
             timeout, [this, id, fill = std::move(timeout_fill)] {
                 AccessResult result;
@@ -135,12 +192,22 @@ public:
                 }
                 resolve(id, result);
             });
-        return entry;
+        return Handle(this, id, &entry);
     }
 
-    Entry* find(util::AccessId id) {
+    Handle find(util::AccessId id) {
         const auto it = ops_.find(id);
-        return it == ops_.end() ? nullptr : &it->second;
+        if (it == ops_.end()) {
+            return Handle();
+        }
+        return Handle(this, id, &it->second);
+    }
+
+    // Generation currently stored for `id`; 0 when the op is not open.
+    // Generations start at 1, so 0 never matches a live handle.
+    std::uint64_t generation_of(util::AccessId id) const {
+        const auto it = ops_.find(id);
+        return it == ops_.end() ? 0 : it->second.generation;
     }
 
     // Resolves and erases; fills latency. No-op if already resolved.
@@ -166,6 +233,7 @@ public:
 private:
     sim::Simulator& simulator_;
     std::unordered_map<util::AccessId, Entry> ops_;
+    std::uint64_t next_generation_ = 1;
 };
 
 class AccessStrategy {

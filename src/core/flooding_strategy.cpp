@@ -66,8 +66,8 @@ void FloodingStrategy::attach_node(util::NodeId id) {
                 const RoundKey round{reply->op, reply->round_ttl};
                 if (reply->op.origin == id) {
                     // Reached the flood's originator.
-                    auto* entry = ops_.find(reply->op);
-                    if (entry != nullptr) {
+                    auto entry = ops_.find(reply->op);
+                    if (entry) {
                         AccessResult result;
                         result.ok = true;
                         result.intersected = true;
@@ -149,8 +149,8 @@ void FloodingStrategy::send_reply_chain(util::NodeId id, const FloodMsg& msg,
     }
     if (it->second == id) {
         // We are the originator (hit in the local store).
-        auto* entry = ops_.find(msg.op);
-        if (entry != nullptr) {
+        auto entry = ops_.find(msg.op);
+        if (entry) {
             AccessResult result;
             result.ok = true;
             result.intersected = true;
@@ -168,15 +168,15 @@ void FloodingStrategy::access(AccessKind kind, util::NodeId origin,
                               AccessCallback done) {
     const util::AccessId op = next_op(origin);
     auto tracker = std::make_shared<FloodTracker>();
-    auto& entry = ops_.open(op, std::move(done), ctx_.op_timeout,
+    auto entry = ops_.open(op, std::move(done), ctx_.op_timeout,
                             [tracker](AccessResult& r) {
                                 r.intersected = tracker->hit;
                                 r.nodes_contacted = tracker->covered;
                             });
-    entry.state.kind = kind;
-    entry.state.key = key;
-    entry.state.value = value;
-    entry.state.tracker = std::move(tracker);
+    entry->state.kind = kind;
+    entry->state.key = key;
+    entry->state.value = value;
+    entry->state.tracker = std::move(tracker);
 
     const int first_ttl = (config_.expanding_ring &&
                            kind == AccessKind::kLookup)
@@ -187,8 +187,8 @@ void FloodingStrategy::access(AccessKind kind, util::NodeId origin,
 
 void FloodingStrategy::launch_round(util::AccessId op, util::NodeId origin,
                                     int ttl) {
-    auto* entry = ops_.find(op);
-    if (entry == nullptr || !ctx_.world.alive(origin)) {
+    auto entry = ops_.find(op);
+    if (!entry || !ctx_.world.alive(origin)) {
         return;
     }
     OpState& state = entry->state;
@@ -234,8 +234,8 @@ void FloodingStrategy::launch_round(util::AccessId op, util::NodeId origin,
     // Round completion: resolve advertises; for lookups either escalate the
     // ring or declare a miss if no reply arrived.
     ctx_.world.simulator().schedule_in(settle_time(ttl), [this, op, origin] {
-        auto* e = ops_.find(op);
-        if (e == nullptr) {
+        auto e = ops_.find(op);
+        if (!e) {
             return;  // already resolved by a reply
         }
         OpState& s = e->state;

@@ -81,16 +81,16 @@ void PathStrategy::access(AccessKind kind, util::NodeId origin,
     const util::AccessId op = next_op(origin);
     auto tracker = std::make_shared<WalkTracker>();
     auto reply_tracker = std::make_shared<ReplyTracker>();
-    auto& entry =
+    auto entry =
         ops_.open(op, std::move(done), ctx_.op_timeout,
                   [tracker, reply_tracker](AccessResult& r) {
                       r.intersected = tracker->hit;
                       r.nodes_contacted = tracker->unique;
                   });
-    entry.state.kind = kind;
-    entry.state.key = key;
-    entry.state.tracker = tracker;
-    entry.state.reply_tracker = reply_tracker;
+    entry->state.kind = kind;
+    entry->state.key = key;
+    entry->state.tracker = tracker;
+    entry->state.reply_tracker = reply_tracker;
 
     auto msg = std::make_shared<WalkMsg>();
     msg->strategy_tag = tag_;
@@ -109,23 +109,31 @@ void PathStrategy::access(AccessKind kind, util::NodeId origin,
 
     // The walk terminal event resolves advertises (full coverage) and
     // lookup misses; lookup hits resolve when the reply message arrives.
-    tracker->on_terminal = [this, op, tracker] {
-        auto* e = ops_.find(op);
-        if (e == nullptr) {
+    // Captured weakly: the tracker owning a closure that owns the tracker
+    // is a shared_ptr cycle, and a walk still in flight at simulation end
+    // never fires terminal() to break it.
+    tracker->on_terminal = [this, op,
+                            weak = std::weak_ptr<WalkTracker>(tracker)] {
+        const auto walk = weak.lock();
+        if (!walk) {
+            return;
+        }
+        auto e = ops_.find(op);
+        if (!e) {
             return;
         }
         if (e->state.kind == AccessKind::kAdvertise) {
             AccessResult result;
-            result.ok = tracker->covered;
-            result.nodes_contacted = tracker->unique;
+            result.ok = walk->covered;
+            result.nodes_contacted = walk->unique;
             ops_.resolve(op, result);
             return;
         }
-        if (!tracker->hit) {
+        if (!walk->hit) {
             // The walk ended without touching an advertiser: definite miss.
             AccessResult result;
             result.ok = false;
-            result.nodes_contacted = tracker->unique;
+            result.nodes_contacted = walk->unique;
             ops_.resolve(op, result);
         }
         // Otherwise wait for the reverse-path reply (or the op timeout if
@@ -239,8 +247,8 @@ void PathStrategy::forward(util::NodeId at,
 
 void PathStrategy::on_reverse_reply(util::NodeId /*origin*/,
                                     const ReverseReplyMsg& msg) {
-    auto* entry = ops_.find(msg.op);
-    if (entry == nullptr) {
+    auto entry = ops_.find(msg.op);
+    if (!entry) {
         return;  // duplicate or post-timeout reply
     }
     AccessResult result;

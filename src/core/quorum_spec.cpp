@@ -1,20 +1,33 @@
 #include "core/quorum_spec.h"
 
+#include "core/theory.h"
+#include "util/check.h"
+
 namespace pqs::core {
 
 void BiquorumSpec::resolve_sizes(std::size_t n) {
+    const bool derived =
+        advertise.quorum_size == 0 || lookup.quorum_size == 0;
     if (advertise.quorum_size == 0 && lookup.quorum_size == 0) {
         const std::size_t q = symmetric_quorum_size(n, eps);
         advertise.quorum_size = q;
         lookup.quorum_size = q;
-        return;
-    }
-    if (advertise.quorum_size == 0) {
+    } else if (advertise.quorum_size == 0) {
         advertise.quorum_size = lookup_size_for(lookup.quorum_size, n, eps);
-    }
-    if (lookup.quorum_size == 0) {
+    } else if (lookup.quorum_size == 0) {
         lookup.quorum_size = lookup_size_for(advertise.quorum_size, n, eps);
     }
+    // Corollary 5.3: any size this function derived must honor the
+    // |Qa|·|Qℓ| ≥ n·ln(1/ε) product bound. Explicitly-set pairs are
+    // exempt — the degradation benches deliberately undersize quorums.
+    const double product = static_cast<double>(advertise.quorum_size) *
+                           static_cast<double>(lookup.quorum_size);
+    PQS_DCHECK(!derived || product + 1e-9 >= min_quorum_product(n, eps),
+               "derived quorum sizes violate Corollary 5.3: |Qa|="
+                   << advertise.quorum_size << " |Ql|=" << lookup.quorum_size
+                   << " n=" << n << " eps=" << eps);
+    static_cast<void>(derived);
+    static_cast<void>(product);
 }
 
 }  // namespace pqs::core

@@ -85,14 +85,14 @@ void RandomOptStrategy::access(AccessKind kind, util::NodeId origin,
                                AccessCallback done) {
     const util::AccessId op = next_op(origin);
     auto probe = std::make_shared<IntersectionProbe>();
-    auto& entry = ops_.open(op, std::move(done), ctx_.op_timeout,
+    auto entry = ops_.open(op, std::move(done), ctx_.op_timeout,
                             [probe](AccessResult& r) {
                                 r.intersected = probe->intersected;
                             });
-    entry.state.kind = kind;
-    entry.state.key = key;
-    entry.state.value = value;
-    entry.state.probe = std::move(probe);
+    entry->state.kind = kind;
+    entry->state.key = key;
+    entry->state.value = value;
+    entry->state.probe = std::move(probe);
 
     std::vector<util::NodeId> targets;
     if (ctx_.membership != nullptr) {
@@ -113,10 +113,10 @@ void RandomOptStrategy::access(AccessKind kind, util::NodeId origin,
     // Fill in every counter before the first send: send_routed can deliver
     // locally and complete the op synchronously (reply -> finish -> resolve),
     // which erases the ops_ entry and would invalidate `entry` mid-loop.
-    entry.state.targets = targets.size();
-    entry.state.outstanding = targets.size();
-    entry.state.all_sent = true;
-    const std::shared_ptr<IntersectionProbe> op_probe = entry.state.probe;
+    entry->state.targets = targets.size();
+    entry->state.outstanding = targets.size();
+    entry->state.all_sent = true;
+    const std::shared_ptr<IntersectionProbe> op_probe = entry->state.probe;
     for (const util::NodeId target : targets) {
         auto msg = std::make_shared<QuorumRequestMsg>();
         msg->strategy_tag = tag_;
@@ -135,8 +135,8 @@ void RandomOptStrategy::access(AccessKind kind, util::NodeId origin,
 
 void RandomOptStrategy::on_target_resolved(util::AccessId op,
                                            bool delivered) {
-    auto* entry = ops_.find(op);
-    if (entry == nullptr) {
+    auto entry = ops_.find(op);
+    if (!entry) {
         return;
     }
     if (entry->state.outstanding > 0) {
@@ -149,8 +149,8 @@ void RandomOptStrategy::on_target_resolved(util::AccessId op,
 }
 
 void RandomOptStrategy::maybe_finish(util::AccessId op) {
-    auto* entry = ops_.find(op);
-    if (entry == nullptr || !entry->state.all_sent ||
+    auto entry = ops_.find(op);
+    if (!entry || !entry->state.all_sent ||
         entry->state.outstanding > 0) {
         return;
     }
@@ -166,8 +166,8 @@ void RandomOptStrategy::maybe_finish(util::AccessId op) {
 }
 
 void RandomOptStrategy::finish(util::AccessId op, bool hit, Value value) {
-    auto* entry = ops_.find(op);
-    if (entry == nullptr) {
+    auto entry = ops_.find(op);
+    if (!entry) {
         return;
     }
     const OpState& state = entry->state;

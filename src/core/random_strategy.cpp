@@ -90,8 +90,8 @@ void RandomStrategy::attach_node(util::NodeId id) {
             if (const auto reply =
                     std::dynamic_pointer_cast<const QuorumReplyMsg>(msg);
                 reply && reply->strategy_tag == tag_) {
-                auto* entry = ops_.find(reply->op);
-                if (entry == nullptr) {
+                auto entry = ops_.find(reply->op);
+                if (!entry) {
                     return true;  // late reply for a resolved op
                 }
                 if (reply->found) {
@@ -121,40 +121,40 @@ void RandomStrategy::access(AccessKind kind, util::NodeId origin,
                             util::Key key, Value value, AccessCallback done) {
     const util::AccessId op = next_op(origin);
     auto probe = std::make_shared<IntersectionProbe>();
-    auto& entry = ops_.open(op, std::move(done), ctx_.op_timeout,
+    auto entry = ops_.open(op, std::move(done), ctx_.op_timeout,
                             [probe](AccessResult& r) {
                                 r.intersected = probe->intersected;
                             });
-    entry.state.kind = kind;
-    entry.state.key = key;
-    entry.state.value = value;
-    entry.state.probe = std::move(probe);
-    entry.state.serial = config_.serial && kind == AccessKind::kLookup;
-    entry.state.replacements_left = config_.replacement_targets;
+    entry->state.kind = kind;
+    entry->state.key = key;
+    entry->state.value = value;
+    entry->state.probe = std::move(probe);
+    entry->state.serial = config_.serial && kind == AccessKind::kLookup;
+    entry->state.replacements_left = config_.replacement_targets;
 
     if (mode_ == Mode::kSampling) {
         launch_sampling_walks(op, origin);
         return;
     }
 
-    entry.state.targets = pick_targets(origin, config_.quorum_size);
-    entry.state.target_quorum = entry.state.targets.size();
-    if (entry.state.targets.empty()) {
+    entry->state.targets = pick_targets(origin, config_.quorum_size);
+    entry->state.target_quorum = entry->state.targets.size();
+    if (entry->state.targets.empty()) {
         finish(op, false, 0);
         return;
     }
-    if (entry.state.serial) {
+    if (entry->state.serial) {
         send_to_target(op, origin, util::kInvalidNode);  // advances cursor
         return;
     }
     // Parallel access to the whole quorum. Iterate a copy: a send can
     // deliver locally and resolve the op synchronously, erasing the ops_
     // entry (and the vector inside it) mid-loop.
-    const std::vector<util::NodeId> targets = entry.state.targets;
+    const std::vector<util::NodeId> targets = entry->state.targets;
     for (const util::NodeId target : targets) {
         send_to_target(op, origin, target);
     }
-    if (auto* e = ops_.find(op)) {
+    if (auto e = ops_.find(op)) {
         e->state.all_sent = true;
         maybe_finish(op);
     }
@@ -162,8 +162,8 @@ void RandomStrategy::access(AccessKind kind, util::NodeId origin,
 
 void RandomStrategy::send_to_target(util::AccessId op, util::NodeId origin,
                                     util::NodeId target) {
-    auto* entry = ops_.find(op);
-    if (entry == nullptr) {
+    auto entry = ops_.find(op);
+    if (!entry) {
         return;
     }
     OpState& state = entry->state;
@@ -196,8 +196,8 @@ void RandomStrategy::send_to_target(util::AccessId op, util::NodeId origin,
 
 void RandomStrategy::on_target_resolved(util::AccessId op,
                                         util::NodeId origin, bool delivered) {
-    auto* entry = ops_.find(op);
-    if (entry == nullptr) {
+    auto entry = ops_.find(op);
+    if (!entry) {
         return;
     }
     OpState& state = entry->state;
@@ -226,8 +226,8 @@ void RandomStrategy::on_target_resolved(util::AccessId op,
 }
 
 void RandomStrategy::maybe_finish(util::AccessId op) {
-    auto* entry = ops_.find(op);
-    if (entry == nullptr) {
+    auto entry = ops_.find(op);
+    if (!entry) {
         return;
     }
     OpState& state = entry->state;
@@ -250,8 +250,8 @@ void RandomStrategy::maybe_finish(util::AccessId op) {
 }
 
 void RandomStrategy::finish(util::AccessId op, bool hit, Value value) {
-    auto* entry = ops_.find(op);
-    if (entry == nullptr) {
+    auto entry = ops_.find(op);
+    if (!entry) {
         return;
     }
     const OpState& state = entry->state;
@@ -281,7 +281,7 @@ void RandomStrategy::finish(util::AccessId op, bool hit, Value value) {
 void RandomStrategy::on_reverse_reply(util::NodeId /*origin*/,
                                       const ReverseReplyMsg& msg) {
     // Sampling-mode lookups reply along the walk's reverse path.
-    if (ops_.find(msg.op) != nullptr) {
+    if (ops_.find(msg.op)) {
         finish(msg.op, true, msg.value);
     }
 }
@@ -290,7 +290,7 @@ void RandomStrategy::on_reverse_reply(util::NodeId /*origin*/,
 
 void RandomStrategy::launch_sampling_walks(util::AccessId op,
                                            util::NodeId origin) {
-    auto* entry = ops_.find(op);
+    auto entry = ops_.find(op);
     const std::size_t n = ctx_.world.params().n;
     const std::size_t length = config_.sampling_walk_length != 0
                                    ? config_.sampling_walk_length
@@ -384,8 +384,8 @@ void RandomStrategy::sampling_terminal(
                                        msg->path, msg->reply_options,
                                        std::make_shared<ReplyTracker>());
     }
-    auto* entry = ops_.find(msg->op);
-    if (entry == nullptr) {
+    auto entry = ops_.find(msg->op);
+    if (!entry) {
         return;
     }
     OpState& state = entry->state;

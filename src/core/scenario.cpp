@@ -201,8 +201,10 @@ ScenarioResult run_scenario(const ScenarioParams& params) {
     const PhaseCounters after_lkp = snapshot(world);
 
     // ---- aggregate ----
-    const double n_adv = std::max<double>(1.0, params.advertise_count);
-    const double n_lkp = std::max<double>(1.0, params.lookup_count);
+    const double n_adv =
+        std::max(1.0, static_cast<double>(params.advertise_count));
+    const double n_lkp =
+        std::max(1.0, static_cast<double>(params.lookup_count));
     result.hit_ratio = static_cast<double>(hits) / n_lkp;
     result.intersect_ratio = static_cast<double>(intersections) / n_lkp;
     result.reply_drop_ratio = static_cast<double>(reply_drops) / n_lkp;

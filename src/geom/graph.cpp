@@ -18,6 +18,21 @@ void Graph::add_edge(util::NodeId a, util::NodeId b) {
     ++edge_count_;
 }
 
+bool Graph::is_symmetric() const {
+    for (util::NodeId v = 0; v < adjacency_.size(); ++v) {
+        for (const util::NodeId u : adjacency_[v]) {
+            if (u >= adjacency_.size()) {
+                return false;
+            }
+            const auto& back = adjacency_[u];
+            if (std::find(back.begin(), back.end(), v) == back.end()) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
 double Graph::average_degree() const {
     if (adjacency_.empty()) {
         return 0.0;

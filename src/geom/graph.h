@@ -46,6 +46,10 @@ public:
     // Coverage per ring: result[i] = #nodes at hop distance exactly i.
     std::vector<std::size_t> ring_sizes(util::NodeId source) const;
 
+    // Every edge is stored in both adjacency lists (undirected-graph
+    // invariant; checked under PQS_DCHECK after RGG construction).
+    bool is_symmetric() const;
+
     bool is_connected() const;
     // Size of the connected component containing `v`.
     std::size_t component_size(util::NodeId v) const;

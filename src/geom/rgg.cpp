@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "geom/spatial_grid.h"
+#include "util/check.h"
 
 namespace pqs::geom {
 
@@ -33,6 +34,9 @@ Graph build_unit_disk_graph(const std::vector<Vec2>& positions, double range,
             }
         }
     }
+    PQS_DCHECK(g.is_symmetric(),
+               "unit-disk graph adjacency is asymmetric (spatial-grid "
+               "neighbor query missed a reciprocal edge)");
     return g;
 }
 

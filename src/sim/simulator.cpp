@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/check.h"
+
 namespace pqs::sim {
 
 EventId Simulator::schedule_at(Time when, EventFn fn) {
@@ -22,6 +24,9 @@ std::uint64_t Simulator::run_until(Time until) {
     std::uint64_t ran = 0;
     while (!queue_.empty() && queue_.next_time() <= until) {
         auto fired = queue_.pop();
+        PQS_DCHECK(fired.time >= now_,
+                   "event queue fired t=" << fired.time
+                                          << " behind the clock t=" << now_);
         now_ = fired.time;
         fired.fn();
         ++processed_;
@@ -41,6 +46,9 @@ std::uint64_t Simulator::run_all(std::uint64_t max_events) {
                 "Simulator::run_all: event cap exceeded (runaway protocol?)");
         }
         auto fired = queue_.pop();
+        PQS_DCHECK(fired.time >= now_,
+                   "event queue fired t=" << fired.time
+                                          << " behind the clock t=" << now_);
         now_ = fired.time;
         fired.fn();
         ++processed_;
@@ -54,6 +62,9 @@ bool Simulator::step() {
         return false;
     }
     auto fired = queue_.pop();
+    PQS_DCHECK(fired.time >= now_,
+               "event queue fired t=" << fired.time
+                                      << " behind the clock t=" << now_);
     now_ = fired.time;
     fired.fn();
     ++processed_;

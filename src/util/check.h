@@ -1,0 +1,65 @@
+// Runtime invariant checks for the simulator.
+//
+// PQS_CHECK(cond, msg)  — always on; prints file:line plus the streamed
+//                         message and aborts. For cheap invariants whose
+//                         violation means the process state is garbage.
+// PQS_DCHECK(cond, msg) — debug-only twin for checks too hot for release
+//                         builds (per-event, per-edge). Compiled out (the
+//                         condition is NOT evaluated) unless
+//                         PQS_ENABLE_DCHECKS is 1.
+//
+// PQS_ENABLE_DCHECKS defaults to 1 in builds without NDEBUG (CMake Debug)
+// and 0 otherwise; the PQS_DCHECKS CMake option or a per-target compile
+// definition overrides it. Both macros abort via std::abort so they stay
+// death-testable and cooperate with sanitizer reports (no exception
+// unwinding through event-loop frames).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#ifndef PQS_ENABLE_DCHECKS
+#ifdef NDEBUG
+#define PQS_ENABLE_DCHECKS 0
+#else
+#define PQS_ENABLE_DCHECKS 1
+#endif
+#endif
+
+namespace pqs::util {
+
+// True when PQS_DCHECK statements in this translation unit are active.
+inline constexpr bool kDchecksEnabled = PQS_ENABLE_DCHECKS != 0;
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* condition,
+                                      const std::string& message) {
+    std::fprintf(stderr, "[check] %s:%d: check failed: %s%s%s\n", file, line,
+                 condition, message.empty() ? "" : " — ", message.c_str());
+    std::fflush(stderr);
+    std::abort();
+}
+
+}  // namespace detail
+}  // namespace pqs::util
+
+#define PQS_CHECK(cond, msg)                                              \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            std::ostringstream pqs_check_stream_;                         \
+            pqs_check_stream_ << msg;                                     \
+            ::pqs::util::detail::check_failed(__FILE__, __LINE__, #cond,  \
+                                              pqs_check_stream_.str());   \
+        }                                                                 \
+    } while (false)
+
+#if PQS_ENABLE_DCHECKS
+#define PQS_DCHECK(cond, msg) PQS_CHECK(cond, msg)
+#else
+#define PQS_DCHECK(cond, msg) \
+    do {                      \
+    } while (false)
+#endif

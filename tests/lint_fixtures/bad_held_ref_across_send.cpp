@@ -1,0 +1,19 @@
+// Fixture: the PR 1 bug class. An OpTable entry reference is held across
+// a synchronous send_routed, then dereferenced — the send can resolve the
+// op reentrantly and erase the entry.
+// expect-lint: held-ref-across-send
+#include "core/access_strategy.h"
+
+namespace pqs::core {
+
+void bad_access(OpTable<int>& table, util::AccessId op,
+                net::NodeStack& stack, std::shared_ptr<net::AppMessage> msg) {
+    auto entry = table.ops_.find(op);
+    if (!entry) {
+        return;
+    }
+    stack.send_routed(op.origin, msg, nullptr);
+    entry->state = 7;  // entry may be gone: use-after-free in the old code
+}
+
+}  // namespace pqs::core

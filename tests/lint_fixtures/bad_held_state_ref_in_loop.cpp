@@ -1,0 +1,20 @@
+// Fixture: the exact RandomStrategy::access shape before the PR 1 fix —
+// a state reference derived from an open() handle is read inside a loop
+// whose body performs synchronous sends.
+// expect-lint: held-ref-across-send
+#include "core/access_strategy.h"
+
+namespace pqs::core {
+
+void bad_parallel_fanout(OpTable<int>& table, util::AccessId op,
+                         net::NodeStack& stack,
+                         std::shared_ptr<net::AppMessage> msg) {
+    auto entry = ops_.open(op, nullptr, 30);
+    OpState& state = entry->state;
+    for (std::size_t i = 0; i < state.targets.size(); ++i) {
+        stack.send_routed(state.targets[i], msg, nullptr);
+        state.outstanding += 1;  // state belongs to a possibly-erased entry
+    }
+}
+
+}  // namespace pqs::core

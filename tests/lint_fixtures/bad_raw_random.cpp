@@ -1,0 +1,17 @@
+// Fixture: seeding from wall-clock time and drawing from std::rand —
+// both break bit-for-bit reproducibility of experiment runs. The srand
+// line carries a suppression comment, which doubles as the test that
+// `pqs-lint: allow(...)` silences exactly one line: the std::rand() on
+// the next line must still fire.
+// expect-lint: raw-random
+#include <cstdlib>
+#include <ctime>
+
+namespace pqs {
+
+int bad_jitter() {
+    std::srand(static_cast<unsigned>(time(nullptr)));  // pqs-lint: allow(raw-random)
+    return std::rand() % 10;
+}
+
+}  // namespace pqs

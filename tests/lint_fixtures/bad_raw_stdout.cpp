@@ -1,0 +1,13 @@
+// Fixture: raw std::cout in simulator code — bypasses the leveled logger,
+// interleaves across parallel trials, and pollutes CSV-captured stdout.
+// (Linted as if it lived under src/.)
+// expect-lint: raw-stdout
+#include <iostream>
+
+namespace pqs {
+
+void bad_report(int covered) {
+    std::cout << "covered=" << covered << "\n";
+}
+
+}  // namespace pqs

@@ -1,0 +1,18 @@
+// Fixture: dumping an unordered_map straight into CSV rows — the row
+// order depends on hashing, so two identical runs diff.
+// expect-lint: unordered-output
+#include <unordered_map>
+
+#include "util/csv.h"
+
+namespace pqs {
+
+void bad_dump(util::CsvWriter& writer) {
+    std::unordered_map<int, double> totals;
+    totals[3] = 1.5;
+    for (const auto& [key, value] : totals) {
+        writer.row({static_cast<double>(key), value});
+    }
+}
+
+}  // namespace pqs

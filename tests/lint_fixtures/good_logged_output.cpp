@@ -1,0 +1,15 @@
+// Fixture: output through the leveled logger and an explicit FILE* sink
+// chosen by the caller. Must NOT trigger raw-stdout.
+// (Linted as if it lived under src/.)
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace pqs {
+
+void good_report(int covered, std::FILE* stream) {
+    PQS_INFO("covered=" << covered);
+    std::fprintf(stream, "covered=%d\n", covered);
+}
+
+}  // namespace pqs

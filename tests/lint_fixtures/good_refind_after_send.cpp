@@ -1,0 +1,21 @@
+// Fixture: the sanctioned pattern — copy what the loop needs, send, then
+// re-find() before touching the entry again. Must NOT trigger
+// held-ref-across-send.
+#include "core/access_strategy.h"
+
+namespace pqs::core {
+
+void good_parallel_fanout(OpTable<int>& table, util::AccessId op,
+                          net::NodeStack& stack,
+                          std::shared_ptr<net::AppMessage> msg) {
+    auto entry = ops_.open(op, nullptr, 30);
+    const std::vector<util::NodeId> targets = entry->state.targets;
+    for (const util::NodeId target : targets) {
+        stack.send_routed(target, msg, nullptr);
+    }
+    if (auto e = ops_.find(op)) {
+        e->state.all_sent = true;
+    }
+}
+
+}  // namespace pqs::core

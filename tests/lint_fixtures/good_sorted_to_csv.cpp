@@ -1,0 +1,21 @@
+// Fixture: unordered accumulation, but sorted into a vector before any
+// output. Must NOT trigger unordered-output.
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "util/csv.h"
+
+namespace pqs {
+
+void good_dump(util::CsvWriter& writer) {
+    std::unordered_map<int, double> totals;
+    totals[3] = 1.5;
+    std::vector<std::pair<int, double>> rows(totals.begin(), totals.end());
+    std::sort(rows.begin(), rows.end());
+    for (const auto& [key, value] : rows) {
+        writer.row({static_cast<double>(key), value});
+    }
+}
+
+}  // namespace pqs

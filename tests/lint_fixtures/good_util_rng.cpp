@@ -1,0 +1,9 @@
+// Fixture: randomness drawn from the seeded util::Rng — the only
+// sanctioned source. Must NOT trigger raw-random.
+#include "util/rng.h"
+
+namespace pqs {
+
+std::uint64_t good_jitter(util::Rng& rng) { return rng.uniform_u64(10); }
+
+}  // namespace pqs

@@ -1,0 +1,90 @@
+// Tests for the debug invariant layer: PQS_CHECK / PQS_DCHECK semantics
+// and the generation-checked OpTable handles that turn the PR 1
+// held-reference-across-send bug class into a deterministic abort.
+//
+// This file is built twice (see tests/CMakeLists.txt): test_check with
+// PQS_ENABLE_DCHECKS=1 exercises the abort paths, test_check_release with
+// PQS_ENABLE_DCHECKS=0 proves the checks compile out.
+#include <gtest/gtest.h>
+
+#include "core/access_strategy.h"
+#include "util/check.h"
+
+namespace pqs::core {
+namespace {
+
+TEST(Dcheck, PqsCheckAlwaysAborts) {
+    EXPECT_DEATH(PQS_CHECK(false, "boom " << 42), "boom 42");
+}
+
+TEST(Dcheck, PqsCheckPassesSilently) {
+    PQS_CHECK(1 + 1 == 2, "never printed");
+}
+
+TEST(Dcheck, ConditionEvaluatedOnlyWhenEnabled) {
+    int calls = 0;
+    PQS_DCHECK((++calls, true), "side effect probe");
+#if PQS_ENABLE_DCHECKS
+    EXPECT_EQ(calls, 1);
+    EXPECT_TRUE(util::kDchecksEnabled);
+#else
+    EXPECT_EQ(calls, 0);  // the whole expression must compile out
+    EXPECT_FALSE(util::kDchecksEnabled);
+#endif
+}
+
+TEST(OpTableHandle, LiveHandleReadsAndWrites) {
+    sim::Simulator simulator;
+    OpTable<int> ops(simulator);
+    const util::AccessId id{1, 1};
+    auto handle = ops.open(id, nullptr, sim::kSecond);
+    ASSERT_TRUE(handle);
+    handle->state = 7;
+    EXPECT_EQ(ops.find(id)->state, 7);
+    EXPECT_FALSE(handle.stale());
+}
+
+TEST(OpTableHandle, ResolveMakesHandleStale) {
+    sim::Simulator simulator;
+    OpTable<int> ops(simulator);
+    const util::AccessId id{1, 2};
+    auto handle = ops.open(id, nullptr, sim::kSecond);
+    EXPECT_TRUE(ops.resolve(id, {}));
+    EXPECT_TRUE(handle.stale());
+}
+
+TEST(OpTableHandle, ReopenedIdIsANewGeneration) {
+    sim::Simulator simulator;
+    OpTable<int> ops(simulator);
+    const util::AccessId id{1, 3};
+    auto first = ops.open(id, nullptr, sim::kSecond);
+    EXPECT_TRUE(ops.resolve(id, {}));
+    auto second = ops.open(id, nullptr, sim::kSecond);
+    EXPECT_TRUE(first.stale());   // same key, but a different incarnation
+    EXPECT_FALSE(second.stale());
+}
+
+#if PQS_ENABLE_DCHECKS
+// The acceptance scenario: holding an entry handle across a call that
+// resolves the op (as a synchronous send_routed chain can) must abort
+// deterministically instead of reading freed memory.
+TEST(OpTableHandleDeath, StaleDereferenceAborts) {
+    sim::Simulator simulator;
+    OpTable<int> ops(simulator);
+    const util::AccessId id{2, 1};
+    auto handle = ops.open(id, nullptr, sim::kSecond);
+    ops.resolve(id, {});  // stand-in for the reentrant resolve
+    EXPECT_DEATH({ handle->state = 9; }, "stale OpTable handle");
+}
+
+TEST(OpTableHandleDeath, EmptyDereferenceAborts) {
+    sim::Simulator simulator;
+    OpTable<int> ops(simulator);
+    auto missing = ops.find(util::AccessId{9, 9});
+    EXPECT_FALSE(missing);
+    EXPECT_DEATH({ missing->state = 1; }, "empty OpTable handle");
+}
+#endif  // PQS_ENABLE_DCHECKS
+
+}  // namespace
+}  // namespace pqs::core

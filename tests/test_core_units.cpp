@@ -65,7 +65,7 @@ TEST(OpTableTest, FindGivesMutableState) {
     ops.open(id, nullptr, sim::kSecond);
     ops.find(id)->state = 7;
     EXPECT_EQ(ops.find(id)->state, 7);
-    EXPECT_EQ(ops.find(util::AccessId{2, 99}), nullptr);
+    EXPECT_FALSE(ops.find(util::AccessId{2, 99}));
 }
 
 TEST(ApplyAdvertise, PlainOverwrites) {

@@ -77,7 +77,8 @@ TEST(OptimalSizing, Lemma56Ratio) {
 
 TEST(OptimalSizing, SizesMeetProductAndRatio) {
     const SizePair s = optimal_sizes(800, 0.1, 10.0, 5.0, 1.0);
-    EXPECT_GE(static_cast<double>(s.advertise) * s.lookup,
+    EXPECT_GE(static_cast<double>(s.advertise) *
+                  static_cast<double>(s.lookup),
               min_quorum_product(800, 0.1) * 0.99);
     const double ratio =
         static_cast<double>(s.lookup) / static_cast<double>(s.advertise);
@@ -105,8 +106,8 @@ TEST(OptimalSizing, OptimalBeatsNeighborConfigurations) {
         if (ql == 0) {
             continue;
         }
-        const auto qa =
-            static_cast<std::size_t>(std::ceil(product / ql));
+        const auto qa = static_cast<std::size_t>(
+            std::ceil(product / static_cast<double>(ql)));
         const double cost = total_access_cost(n_advertise, n_lookup, qa, ql,
                                               cost_a, cost_l);
         EXPECT_GE(cost, best * 0.99)

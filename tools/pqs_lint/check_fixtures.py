@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Fixture harness for pqs_lint: every tests/lint_fixtures/bad_* file must
+fire exactly the rules named in its `// expect-lint: <rule>` annotations,
+and every good_* file must lint clean. Run as the test_lint_fixtures ctest.
+
+Usage: check_fixtures.py --root REPO_ROOT
+"""
+
+import argparse
+import glob
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import pqs_lint  # noqa: E402
+
+EXPECT_RE = re.compile(r"//\s*expect-lint:\s*([\w-]+)")
+
+
+def expected_rules(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return set(EXPECT_RE.findall(f.read()))
+
+
+def fired_rules(path):
+    violations = []
+    # Fixtures are linted as if they lived under src/ so the src-scoped
+    # rules (raw-stdout) apply to them too.
+    pqs_lint.lint_file(path, os.path.join("src", os.path.basename(path)),
+                       violations)
+    return {v.rule for v in violations}, violations
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--root", default=".")
+    args = parser.parse_args()
+
+    fixture_dir = os.path.join(os.path.abspath(args.root), "tests",
+                               "lint_fixtures")
+    fixtures = sorted(glob.glob(os.path.join(fixture_dir, "*.cpp")))
+    if not fixtures:
+        print("FAIL: no fixtures found under %s" % fixture_dir)
+        return 1
+
+    failures = 0
+    covered_rules = set()
+    for path in fixtures:
+        name = os.path.basename(path)
+        expect = expected_rules(path)
+        fired, violations = fired_rules(path)
+        covered_rules |= fired
+        if name.startswith("good_") and expect:
+            print("FAIL %s: good_ fixture carries expect-lint annotations"
+                  % name)
+            failures += 1
+            continue
+        if fired == expect:
+            print("ok   %s: %s" % (name, ", ".join(sorted(fired)) or
+                                   "clean"))
+        else:
+            print("FAIL %s: expected {%s} but fired {%s}"
+                  % (name, ", ".join(sorted(expect)),
+                     ", ".join(sorted(fired))))
+            for v in violations:
+                print("     %s" % v)
+            failures += 1
+
+    # Every rule the linter implements must be proven to fire by at least
+    # one bad_ fixture — a rule nothing can trigger is dead weight.
+    missing = set(pqs_lint.ALL_RULES) - covered_rules
+    if missing:
+        print("FAIL: no fixture triggers rule(s): %s"
+              % ", ".join(sorted(missing)))
+        failures += 1
+
+    if failures:
+        print("check_fixtures: %d failure(s)" % failures)
+        return 1
+    print("check_fixtures: all %d fixtures behaved" % len(fixtures))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,392 @@
+#!/usr/bin/env python3
+"""pqs_lint — project-specific C++ lint rules for the pqs simulator.
+
+Generic tools (clang-tidy, sanitizers) cannot express the repo's own
+correctness contracts, so this checker enforces them statically:
+
+  held-ref-across-send
+      A reference / pointer / handle obtained from an OpTable (ops_.find /
+      ops_.open), or a reference derived from it (e.g. `OpState& state =
+      entry->state`), must not be used after a reentrant network call
+      (send_routed / send_unicast / send_broadcast / send / deliver) in the
+      same scope: those calls can deliver synchronously, resolve the op and
+      erase the entry (the PR 1 use-after-free class). Re-find() after the
+      call instead.
+
+  raw-random
+      All randomness must flow from util::Rng (seeded, reproducible).
+      std::rand / srand / std::random_device / time(nullptr) are banned
+      outside src/util/rng.* — any of them silently breaks bit-for-bit
+      determinism of experiments.
+
+  unordered-output
+      Iterating a std::unordered_{map,set,...} directly into stdout/CSV
+      output produces rows whose order depends on hash seeding and layout;
+      published series must be byte-identical across runs and machines.
+      Copy into a sorted container first.
+
+  raw-stdout
+      No raw std::cout / printf in src/ outside the logging util
+      (src/util/logging.*): simulation output must go through the leveled
+      logger or an explicit FILE*/CsvWriter sink chosen by the caller.
+
+Suppress a finding with `// pqs-lint: allow(<rule-id>)` on the same line.
+
+Usage:
+  pqs_lint.py [--root REPO_ROOT] [files...]
+With no files, lints every .h/.cpp under REPO_ROOT/src. Exit code 1 when
+violations are found.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+RULE_HELD_REF = "held-ref-across-send"
+RULE_RAW_RANDOM = "raw-random"
+RULE_UNORDERED_OUTPUT = "unordered-output"
+RULE_RAW_STDOUT = "raw-stdout"
+
+ALL_RULES = (RULE_HELD_REF, RULE_RAW_RANDOM, RULE_UNORDERED_OUTPUT,
+             RULE_RAW_STDOUT)
+
+# Calls that can synchronously re-enter the location service and resolve
+# (erase) a pending op while the caller still holds a table reference.
+REENTRANT_CALLS = ("send_routed", "send_unicast", "send_broadcast",
+                   "deliver", "send")
+
+REENTRANT_RE = re.compile(
+    r"\b(?:%s)\s*\(" % "|".join(REENTRANT_CALLS))
+
+# `auto entry = ops_.find(op)` / `auto& entry = ops_.open(...)` /
+# `Entry* e = table.ops_.find(...)`; the initializer may start on the next
+# line, which strip-and-join below flattens away.
+OPTABLE_BIND_RE = re.compile(
+    r"(?:\bauto\b\s*[&*]?|\b[A-Za-z_][\w:]*(?:<[^;=]*>)?\s*[&*])\s*"
+    r"(\w+)\s*=\s*[\w.\->]*\bops_?\.\s*(?:find|open)\s*\(")
+
+# A reference derived from a held entry: `OpState& state = entry->state;`
+DERIVED_REF_RE = re.compile(
+    r"\b[A-Za-z_][\w:]*&\s+(\w+)\s*=\s*(\w+)\s*(?:->|\.)\s*state\b")
+
+REASSIGN_TEMPLATE = r"\b%s\s*=\s*[\w.\->]*\bops_?\.\s*(?:find|open)\s*\("
+
+RAW_RANDOM_RE = re.compile(
+    r"\bstd::rand\b|\bsrand\s*\(|\brand\s*\(\s*\)|std::random_device\b"
+    r"|\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)")
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<[^;{]*>\s*"
+    r"(\w+)\s*[;={(]")
+
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^:;()]*:\s*([\w.\->]+)\s*\)")
+
+OUTPUT_SINK_RE = re.compile(
+    r"std::cout\b|\bprintf\s*\(|\bfprintf\s*\(|\bputs\s*\(|\.row\s*\("
+    r"|RowBuffer\b|CsvWriter\b|\bcsv\w*\s*(?:\.|->)")
+
+RAW_STDOUT_RE = re.compile(r"std::cout\b|(?<![\w:])(?:std::)?printf\s*\(|"
+                           r"(?<![\w:])puts\s*\(")
+
+ALLOW_RE = re.compile(r"//\s*pqs-lint:\s*allow\(([\w,\s-]+)\)")
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.rule,
+                                   self.message)
+
+
+def parse_allows(raw_lines):
+    """Per-line set of suppressed rule ids from `// pqs-lint: allow(...)`."""
+    allows = {}
+    for i, line in enumerate(raw_lines):
+        m = ALLOW_RE.search(line)
+        if m:
+            allows[i] = {r.strip() for r in m.group(1).split(",")}
+    return allows
+
+
+def strip_comments_and_strings(text):
+    """Blanks comments and string/char literal contents, preserving line
+    structure so reported line numbers stay exact."""
+    out = []
+    i = 0
+    n = len(text)
+    state = None  # None | 'line' | 'block' | '"' | "'"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state is None:
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c in "\"'":
+                state = c
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = None
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = None
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        else:  # inside a string/char literal
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == state:
+                state = None
+                out.append(c)
+            elif c == "\n":  # unterminated (raw string etc.) — bail out
+                state = None
+                out.append(c)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def join_continuations(lines):
+    """Maps each physical line to a 'logical' line: a declaration whose
+    initializer starts on the following line(s) is folded into one string
+    for pattern matching, keyed by the first physical line."""
+    logical = []
+    for i, line in enumerate(lines):
+        text = line
+        j = i
+        # Fold while the line looks unfinished (ends with '=' or '(' or ',')
+        while (j + 1 < len(lines)
+               and re.search(r"[=,(]\s*$", text)
+               and len(text) < 2000):
+            j += 1
+            text = text + " " + lines[j].strip()
+        logical.append(text)
+    return logical
+
+
+class HeldRefChecker:
+    """Flow-approximate scope tracker for rule held-ref-across-send."""
+
+    class Taint:
+        def __init__(self, depth, cond_scoped):
+            self.depth = depth
+            self.cond_scoped = cond_scoped
+            self.went_deeper = False
+            self.barrier_line = None
+
+    def __init__(self, path, violations):
+        self.path = path
+        self.violations = violations
+        self.taints = {}
+        self.depth = 0
+
+    def check_line(self, lineno, line, logical):
+        # 1. Re-binds clear the barrier: a fresh find() after the send is
+        #    exactly the sanctioned pattern.
+        for var in list(self.taints):
+            if re.search(REASSIGN_TEMPLATE % re.escape(var), logical):
+                self.taints[var] = self.Taint(
+                    self.depth, bool(re.match(r"\s*(?:if|while|for)\s*\(",
+                                              logical)))
+
+        # 2. Uses after a barrier.
+        for var, taint in self.taints.items():
+            if taint.barrier_line is None or lineno <= taint.barrier_line:
+                continue
+            if re.search(r"\b%s\b" % re.escape(var), line):
+                self.violations.append(Violation(
+                    self.path, lineno + 1, RULE_HELD_REF,
+                    "'%s' (OpTable entry state bound at line %d) used after "
+                    "the reentrant call at line %d; the entry may have been "
+                    "resolved and erased — re-find() the op instead"
+                    % (var, taint.decl_line + 1, taint.barrier_line + 1)))
+                taint.barrier_line = None  # one report per var
+
+        # 3. New binds.
+        m = OPTABLE_BIND_RE.search(logical)
+        if m:
+            taint = self.Taint(self.depth,
+                               bool(re.match(r"\s*(?:if|while|for)\s*\(",
+                                             logical)))
+            taint.decl_line = lineno
+            self.taints[m.group(1)] = taint
+        dm = DERIVED_REF_RE.search(logical)
+        if dm and dm.group(2) in self.taints:
+            taint = self.Taint(self.depth, False)
+            taint.decl_line = lineno
+            self.taints[dm.group(1)] = taint
+
+        # 4. Barriers: any reentrant call arms every live taint declared on
+        #    an earlier line (same-line uses are argument evaluation, safe).
+        if REENTRANT_RE.search(line):
+            for var, taint in self.taints.items():
+                if taint.barrier_line is None and taint.decl_line < lineno:
+                    taint.barrier_line = lineno
+
+        # 5. Scope bookkeeping.
+        self.depth += line.count("{") - line.count("}")
+        for var in list(self.taints):
+            taint = self.taints[var]
+            if self.depth > taint.depth:
+                taint.went_deeper = True
+            dead = (self.depth < taint.depth
+                    or (taint.cond_scoped and taint.went_deeper
+                        and self.depth <= taint.depth))
+            if dead:
+                del self.taints[var]
+
+
+def lint_file(path, rel, violations):
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        raw = f.read()
+    raw_lines = raw.split("\n")
+    allows = parse_allows(raw_lines)
+    stripped = strip_comments_and_strings(raw)
+    lines = stripped.split("\n")
+    logical = join_continuations(lines)
+
+    def allowed(lineno, rule):
+        return rule in allows.get(lineno, ())
+
+    def report(lineno, rule, message):
+        if not allowed(lineno, rule):
+            violations.append(Violation(path, lineno + 1, rule, message))
+
+    norm = rel.replace(os.sep, "/")
+    in_src = norm.startswith("src/")
+    is_rng_util = norm.startswith("src/util/rng.")
+    is_log_util = norm.startswith("src/util/logging.")
+
+    # --- held-ref-across-send (everywhere) ---
+    held = HeldRefChecker(path, [])
+    for i, line in enumerate(lines):
+        held.check_line(i, line, logical[i])
+    for v in held.violations:
+        if not allowed(v.line - 1, RULE_HELD_REF):
+            violations.append(v)
+
+    # --- raw-random ---
+    if not is_rng_util:
+        for i, line in enumerate(lines):
+            m = RAW_RANDOM_RE.search(line)
+            if m:
+                report(i, RULE_RAW_RANDOM,
+                       "'%s' breaks deterministic seeding; use util::Rng "
+                       "(src/util/rng.h) instead" % m.group(0).strip())
+
+    # --- unordered-output ---
+    unordered_vars = set()
+    for i, line in enumerate(lines):
+        for m in UNORDERED_DECL_RE.finditer(line):
+            unordered_vars.add(m.group(1))
+    for i, line in enumerate(lines):
+        fm = RANGE_FOR_RE.search(line)
+        if not fm:
+            continue
+        seq = fm.group(1)
+        tail = re.split(r"\.|->", seq)[-1]
+        if tail not in unordered_vars:
+            continue
+        # Scan the loop body (up to the matching close of the loop's brace
+        # depth, or the single following statement).
+        depth = 0
+        opened = False
+        for j in range(i, min(i + 60, len(lines))):
+            body = lines[j]
+            if OUTPUT_SINK_RE.search(body) and not allowed(
+                    i, RULE_UNORDERED_OUTPUT):
+                report(i, RULE_UNORDERED_OUTPUT,
+                       "iteration over unordered container '%s' feeds "
+                       "output; hash order is nondeterministic — sort "
+                       "first" % tail)
+                break
+            depth += body.count("{") - body.count("}")
+            if body.count("{") > 0:
+                opened = True
+            if opened and depth <= 0 and j > i:
+                break
+            if not opened and j > i and body.strip().endswith(";"):
+                break
+
+    # --- raw-stdout (src/ only, logging util exempt) ---
+    if in_src and not is_log_util:
+        for i, line in enumerate(lines):
+            m = RAW_STDOUT_RE.search(line)
+            if m:
+                report(i, RULE_RAW_STDOUT,
+                       "raw '%s' in src/; route output through the logging "
+                       "util (PQS_INFO/...) or an explicit FILE*/CsvWriter "
+                       "sink" % m.group(0).strip().rstrip("("))
+
+
+def collect_default_files(root):
+    out = []
+    src = os.path.join(root, "src")
+    for base, _dirs, names in os.walk(src):
+        for name in sorted(names):
+            if name.endswith((".h", ".cpp", ".hpp", ".cc")):
+                out.append(os.path.join(base, name))
+    return sorted(out)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--treat-as-src", action="store_true",
+                        help="apply the src/-scoped rules (raw-stdout) to "
+                             "explicitly listed files regardless of path; "
+                             "used by the fixture tests")
+    parser.add_argument("files", nargs="*",
+                        help="explicit files to lint (default: ROOT/src/**)")
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(args.root)
+    files = [os.path.abspath(f) for f in args.files] or \
+        collect_default_files(root)
+
+    violations = []
+    for path in files:
+        rel = os.path.relpath(path, root)
+        if args.treat_as_src and not rel.replace(os.sep, "/").startswith(
+                "src/"):
+            rel = os.path.join("src", os.path.basename(path))
+        lint_file(path, rel, violations)
+
+    for v in violations:
+        print(v)
+    if violations:
+        print("pqs_lint: %d violation(s) in %d file(s)"
+              % (len(violations), len({v.path for v in violations})))
+        return 1
+    print("pqs_lint: clean (%d files)" % len(files))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
