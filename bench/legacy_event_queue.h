@@ -1,0 +1,93 @@
+// Verbatim copy of the pre-rewrite EventQueue (binary std::priority_queue
+// of keys + std::unordered_map<EventId, std::function> for callbacks),
+// kept in the bench tree so BENCH_kernel.json can always report an honest
+// before/after events/sec comparison on the machine it runs on — the
+// "before" number is measured, not folklore. Not linked into src/.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace pqs::bench {
+
+class LegacyEventQueue {
+public:
+    using EventId = std::uint64_t;
+    using EventFn = std::function<void()>;
+
+    EventId schedule(sim::Time when, EventFn fn) {
+        const EventId id = next_id_++;
+        heap_.push(HeapEntry{when, next_seq_++, id});
+        live_.emplace(id, std::move(fn));
+        ++live_count_;
+        return id;
+    }
+
+    bool cancel(EventId id) {
+        if (live_.erase(id) == 0) {
+            return false;
+        }
+        --live_count_;
+        return true;
+    }
+
+    bool empty() const { return live_count_ == 0; }
+    std::size_t size() const { return live_count_; }
+
+    sim::Time next_time() const {
+        drop_cancelled();
+        return heap_.empty() ? sim::kTimeNever : heap_.top().time;
+    }
+
+    struct Fired {
+        sim::Time time;
+        EventFn fn;
+    };
+
+    Fired pop() {
+        drop_cancelled();
+        if (heap_.empty()) {
+            throw std::logic_error("LegacyEventQueue::pop on empty queue");
+        }
+        const HeapEntry entry = heap_.top();
+        heap_.pop();
+        auto it = live_.find(entry.id);
+        Fired fired{entry.time, std::move(it->second)};
+        live_.erase(it);
+        --live_count_;
+        return fired;
+    }
+
+private:
+    struct HeapEntry {
+        sim::Time time;
+        std::uint64_t seq;
+        EventId id;
+
+        bool operator<(const HeapEntry& other) const {
+            if (time != other.time) return time > other.time;
+            return seq > other.seq;
+        }
+    };
+
+    void drop_cancelled() const {
+        while (!heap_.empty() && !live_.contains(heap_.top().id)) {
+            heap_.pop();
+        }
+    }
+
+    mutable std::priority_queue<HeapEntry> heap_;
+    std::unordered_map<EventId, EventFn> live_;
+    std::size_t live_count_ = 0;
+    std::uint64_t next_seq_ = 0;
+    EventId next_id_ = 1;
+};
+
+}  // namespace pqs::bench

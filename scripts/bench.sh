@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_kernel.json — the kernel perf baseline at the repo
+# root. Run it on the machine whose numbers you want to record (the
+# committed baseline comes from the 1-core CI container), then commit the
+# refreshed file together with a README "Performance" note when the
+# numbers move materially.
+#
+#   scripts/bench.sh          # full workload, best-of-3 micro reps
+#   scripts/bench.sh smoke    # shrunk workload (same as the ctest gate)
+#
+# The emitted JSON is schema-checked here and again by scripts/check.sh;
+# all `counters` fields are deterministic (fixed seeds), so two runs on
+# any machine must differ only in wall_seconds / items_per_second.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ROOT=$PWD
+JOBS=$(nproc 2>/dev/null || echo 2)
+MODE="${1:-full}"
+
+cmake -B build -S "$ROOT" >/dev/null
+cmake --build build -j "$JOBS" --target bench_kernel
+
+case "$MODE" in
+  full)  ./build/bench/bench_kernel --out BENCH_kernel.json ;;
+  smoke) ./build/bench/bench_kernel --smoke --out BENCH_kernel.json ;;
+  *) echo "usage: scripts/bench.sh [full|smoke]" >&2; exit 2 ;;
+esac
+
+python3 scripts/check_bench_json.py BENCH_kernel.json

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Schema sanity check for BENCH_kernel.json (schema pqs.bench_kernel/1).
+
+Validates the structural contract documented in EXPERIMENTS.md so a broken
+bench emitter (or a hand-edited baseline) fails scripts/check.sh instead of
+silently corrupting the bench trajectory:
+
+  - top level: schema == "pqs.bench_kernel/1", mode in {smoke, full},
+    reps >= 1, non-empty `benches` list, `derived` object;
+  - every bench: name/impl strings, work_items > 0, wall_seconds > 0,
+    items_per_second > 0;
+  - the event_churn pair: both impls present, with identical deterministic
+    `checksum` and `final_time` counters (the new and legacy event queues
+    must agree on the same op sequence);
+  - derived.event_churn_speedup present and > 0.
+
+Usage: check_bench_json.py FILE [FILE...]   (exit 1 on any violation)
+"""
+
+import json
+import sys
+
+
+def fail(path, message):
+    print("%s: %s" % (path, message))
+    return 1
+
+
+def check_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as exc:
+        return fail(path, "unreadable or invalid JSON: %s" % exc)
+
+    errors = 0
+    if doc.get("schema") != "pqs.bench_kernel/1":
+        errors += fail(path, "schema must be 'pqs.bench_kernel/1' (got %r)"
+                       % doc.get("schema"))
+    if doc.get("mode") not in ("smoke", "full"):
+        errors += fail(path, "mode must be 'smoke' or 'full' (got %r)"
+                       % doc.get("mode"))
+    if not isinstance(doc.get("reps"), int) or doc["reps"] < 1:
+        errors += fail(path, "reps must be an integer >= 1")
+
+    benches = doc.get("benches")
+    if not isinstance(benches, list) or not benches:
+        return errors + fail(path, "benches must be a non-empty list")
+
+    churn = {}
+    for i, bench in enumerate(benches):
+        where = "benches[%d]" % i
+        if not isinstance(bench, dict):
+            errors += fail(path, where + " is not an object")
+            continue
+        for key in ("name", "impl"):
+            if not isinstance(bench.get(key), str) or not bench.get(key):
+                errors += fail(path, "%s.%s must be a non-empty string"
+                               % (where, key))
+        for key in ("work_items", "wall_seconds", "items_per_second"):
+            value = bench.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                errors += fail(path, "%s.%s must be a positive number"
+                               % (where, key))
+        counters = bench.get("counters", {})
+        if not isinstance(counters, dict):
+            errors += fail(path, where + ".counters must be an object")
+            counters = {}
+        if any(not isinstance(v, int) or v < 0 for v in counters.values()):
+            errors += fail(path, where + ".counters values must be "
+                           "non-negative integers")
+        if bench.get("name") == "event_churn":
+            churn[bench.get("impl")] = counters
+
+    for impl in ("slab4heap", "legacy"):
+        if impl not in churn:
+            errors += fail(path, "event_churn is missing impl %r" % impl)
+    if "slab4heap" in churn and "legacy" in churn:
+        for key in ("checksum", "final_time"):
+            a = churn["slab4heap"].get(key)
+            b = churn["legacy"].get(key)
+            if a is None or a != b:
+                errors += fail(path, "event_churn %s differs between "
+                               "implementations (%r vs %r) — the queues "
+                               "diverged" % (key, a, b))
+
+    derived = doc.get("derived")
+    if not isinstance(derived, dict):
+        errors += fail(path, "derived must be an object")
+    else:
+        speedup = derived.get("event_churn_speedup")
+        if not isinstance(speedup, (int, float)) or speedup <= 0:
+            errors += fail(path, "derived.event_churn_speedup must be a "
+                           "positive number")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    errors = 0
+    for path in argv[1:]:
+        file_errors = check_file(path)
+        if file_errors == 0:
+            print("%s: schema ok" % path)
+        errors += file_errors
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -222,6 +222,7 @@ ScenarioResult run_scenario(const ScenarioParams& params) {
     result.load = summarize_load(service.biquorum().context());
     result.sim_events =
         static_cast<double>(world.simulator().events_processed());
+    result.kernel = world.kernel_stats();
     result.totals = world.metrics();
     return result;
 }
@@ -272,11 +273,13 @@ ScenarioAggregate aggregate_scenarios(
     // merge raw counters across runs in index order.
     agg.mean = results.front();
     agg.mean.totals.clear();
+    agg.mean.kernel = util::KernelStats{};
     agg.stddev.n = agg.mean.n;
     agg.stddev.advertise_quorum = agg.mean.advertise_quorum;
     agg.stddev.lookup_quorum = agg.mean.lookup_quorum;
     for (const ScenarioResult& one : results) {
         agg.mean.totals.merge(one.totals);
+        agg.mean.kernel += one.kernel;
     }
     for (const ScenarioMetric& metric : scenario_metrics()) {
         util::Accumulator acc;

@@ -12,6 +12,7 @@
 #include "core/location_service.h"
 #include "membership/oracle_membership.h"
 #include "net/world.h"
+#include "util/kernel_stats.h"
 #include "util/stats.h"
 
 namespace pqs::core {
@@ -71,6 +72,11 @@ struct ScenarioResult {
     // stored as double so it participates in the generic aggregation and
     // stays exact up to 2^53 events.
     double sim_events = 0.0;
+
+    // Kernel counters (event queue + spatial grid) at the end of the run;
+    // deterministic for a seed. Aggregation sums these across runs (like
+    // `totals`, they are raw counts, not per-run means).
+    util::KernelStats kernel;
 
     util::MetricSet totals;  // raw world counters at the end
 };

@@ -98,6 +98,14 @@ void report_perf(const RunReport& report, const char* label,
                      static_cast<unsigned long long>(trial.seed),
                      trial.wall_seconds, trial.result.sim_events);
     }
+    // Kernel counter block merged over every trial: deterministic for the
+    // run seed, so two runs of the same experiment must print identical
+    // kernel lines even though the wall times above differ.
+    util::KernelStats kernel;
+    for (const TrialRecord& trial : report.trials) {
+        kernel += trial.result.kernel;
+    }
+    util::report_kernel_stats(kernel, label, stream);
 }
 
 }  // namespace pqs::exp

@@ -64,7 +64,9 @@ void SpatialGrid::move(util::NodeId id, Vec2 new_pos) {
     }
     Entry& e = entries_[id];
     const std::size_t new_cell = cell_of(new_pos);
+    ++stats_.grid_moves;
     if (new_cell != e.cell) {
+        ++stats_.grid_cell_crossings;
         unlink(id);
         e.cell = new_cell;
         e.slot = buckets_[new_cell].size();
@@ -87,6 +89,7 @@ Vec2 SpatialGrid::position(util::NodeId id) const {
 void SpatialGrid::query(Vec2 center, double radius,
                         std::vector<util::NodeId>& out,
                         util::NodeId exclude) const {
+    ++stats_.grid_queries;
     const double r_sq = radius * radius;
     const auto reach =
         static_cast<long>(std::ceil(radius / cell_size_));
@@ -117,6 +120,7 @@ void SpatialGrid::query(Vec2 center, double radius,
                 if (id == exclude) {
                     continue;
                 }
+                ++stats_.grid_candidates;
                 const Vec2 p = entries_[id].pos;
                 const double d =
                     metric_ == Metric::kTorus

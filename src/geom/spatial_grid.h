@@ -9,6 +9,7 @@
 
 #include "geom/vec2.h"
 #include "util/ids.h"
+#include "util/kernel_stats.h"
 
 namespace pqs::geom {
 
@@ -43,6 +44,10 @@ public:
         return out;
     }
 
+    // Kernel counters (queries, candidate distance tests, moves, cell
+    // crossings); deterministic for a fixed seed.
+    const util::KernelStats& stats() const { return stats_; }
+
 private:
     struct Entry {
         Vec2 pos;
@@ -61,6 +66,7 @@ private:
     std::vector<std::vector<util::NodeId>> buckets_;
     std::vector<Entry> entries_;  // indexed by NodeId
     std::size_t live_count_ = 0;
+    mutable util::KernelStats stats_;  // query() is logically const
 };
 
 }  // namespace pqs::geom

@@ -67,6 +67,14 @@ public:
     util::Rng& rng() { return rng_; }
     util::MetricSet& metrics() { return metrics_; }
 
+    // Merged kernel counters (event queue + spatial grid); deterministic
+    // for a fixed seed, reported per trial on the [perf] stderr channel.
+    util::KernelStats kernel_stats() const {
+        util::KernelStats stats = simulator_.kernel_stats();
+        stats += grid_->stats();
+        return stats;
+    }
+
     // --- topology ---
     std::size_t node_count() const { return positions_.size(); }
     std::size_t alive_count() const { return alive_count_; }

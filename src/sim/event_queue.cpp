@@ -1,49 +1,152 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 namespace pqs::sim {
 
+namespace {
+
+inline EventId make_id(std::uint32_t slot, std::uint32_t generation) {
+    return (static_cast<EventId>(generation) << 32) |
+           static_cast<EventId>(slot);
+}
+
+inline std::uint32_t id_slot(EventId id) {
+    return static_cast<std::uint32_t>(id & 0xffffffffu);
+}
+
+inline std::uint32_t id_generation(EventId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+}
+
+}  // namespace
+
+std::uint32_t EventQueue::acquire_slot() {
+    if (free_head_ != kNoFreeSlot) {
+        const std::uint32_t slot = free_head_;
+        free_head_ = slab_[slot].next_free;
+        slab_[slot].next_free = kNoFreeSlot;
+        --free_count_;
+        ++stats_.slab_reuses;
+        return slot;
+    }
+    slab_.emplace_back();
+    return static_cast<std::uint32_t>(slab_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t slot) {
+    Slot& s = slab_[slot];
+    s.fn.reset();  // destroy the callback (and its captures) eagerly
+    ++s.generation;
+    s.next_free = free_head_;
+    free_head_ = slot;
+    ++free_count_;
+}
+
+void EventQueue::heap_push(HeapEntry entry) const {
+    // 4-ary sift-up: child i has parent (i - 1) / 4.
+    std::size_t i = heap_.size();
+    heap_.push_back(entry);
+    ++stats_.heap_pushes;
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 4;
+        if (!precedes(entry, heap_[parent])) {
+            break;
+        }
+        heap_[i] = heap_[parent];
+        ++stats_.heap_moves;
+        i = parent;
+    }
+    heap_[i] = entry;
+}
+
+void EventQueue::heap_pop_root() const {
+    ++stats_.heap_pops;
+    const HeapEntry last = heap_.back();
+    heap_.pop_back();
+    if (heap_.empty()) {
+        return;
+    }
+    // 4-ary sift-down of `last` from the root: children of i are
+    // 4i + 1 .. 4i + 4.
+    const std::size_t n = heap_.size();
+    std::size_t i = 0;
+    for (;;) {
+        const std::size_t first_child = 4 * i + 1;
+        if (first_child >= n) {
+            break;
+        }
+        std::size_t best = first_child;
+        const std::size_t last_child = std::min(first_child + 4, n);
+        for (std::size_t c = first_child + 1; c < last_child; ++c) {
+            if (precedes(heap_[c], heap_[best])) {
+                best = c;
+            }
+        }
+        if (!precedes(heap_[best], last)) {
+            break;
+        }
+        heap_[i] = heap_[best];
+        ++stats_.heap_moves;
+        i = best;
+    }
+    heap_[i] = last;
+}
+
+void EventQueue::drop_stale() const {
+    while (!heap_.empty() && !entry_live(heap_[0])) {
+        heap_pop_root();
+        ++stats_.stale_drops;
+    }
+}
+
 EventId EventQueue::schedule(Time when, EventFn fn) {
-    const EventId id = next_id_++;
-    heap_.push(HeapEntry{when, next_seq_++, id});
-    live_.emplace(id, std::move(fn));
+    const std::uint32_t slot = acquire_slot();
+    Slot& s = slab_[slot];
+    s.fn = std::move(fn);
+    if (!s.fn.is_inline()) {
+        ++stats_.callback_heap_allocs;
+    }
+    heap_push(HeapEntry{when, next_seq_++, slot, s.generation});
     ++live_count_;
-    return id;
+    ++stats_.events_scheduled;
+    return make_id(slot, s.generation);
 }
 
 bool EventQueue::cancel(EventId id) {
-    // Lazy deletion: the heap entry stays, pop() skips it.
-    if (live_.erase(id) == 0) {
+    // A released slot's generation is already bumped, so a stale id (fired,
+    // cancelled, or recycled slot) fails the generation check.
+    const std::uint32_t slot = id_slot(id);
+    if (slot >= slab_.size() ||
+        slab_[slot].generation != id_generation(id)) {
         return false;
     }
+    // Reclaim the slot (and destroy the callback) now; the heap entry
+    // becomes a tombstone dropped lazily by drop_stale().
+    release_slot(slot);
     --live_count_;
+    ++stats_.events_cancelled;
     return true;
 }
 
-void EventQueue::drop_cancelled() const {
-    while (!heap_.empty() && !live_.contains(heap_.top().id)) {
-        heap_.pop();
-    }
-}
-
 Time EventQueue::next_time() const {
-    drop_cancelled();
-    return heap_.empty() ? kTimeNever : heap_.top().time;
+    drop_stale();
+    return heap_.empty() ? kTimeNever : heap_[0].time;
 }
 
 EventQueue::Fired EventQueue::pop() {
-    drop_cancelled();
+    drop_stale();
     if (heap_.empty()) {
         throw std::logic_error("EventQueue::pop on empty queue");
     }
-    const HeapEntry entry = heap_.top();
-    heap_.pop();
-    auto it = live_.find(entry.id);
-    Fired fired{entry.time, std::move(it->second)};
-    live_.erase(it);
+    const HeapEntry top = heap_[0];
+    Fired fired{top.time, std::move(slab_[top.slot].fn)};
+    release_slot(top.slot);
+    heap_pop_root();
     --live_count_;
+    ++stats_.events_fired;
     return fired;
 }
 

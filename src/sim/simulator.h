@@ -16,6 +16,10 @@ public:
     std::uint64_t events_processed() const { return processed_; }
     std::size_t pending_events() const { return queue_.size(); }
 
+    // Kernel counters of the underlying event queue (scheduled / fired /
+    // cancelled, heap ops, slab reuse); deterministic for a fixed seed.
+    const util::KernelStats& kernel_stats() const { return queue_.stats(); }
+
     // Schedules at an absolute virtual time (must be >= now).
     EventId schedule_at(Time when, EventFn fn);
     // Schedules `delay` after now (delay >= 0).

@@ -1,0 +1,153 @@
+// Small-buffer, move-only callable: the event-kernel replacement for
+// std::function. A closure whose size fits `Capacity` bytes is stored
+// inline (no heap allocation on construction, move or destruction);
+// larger closures fall back to a single heap allocation. Dispatch goes
+// through a per-type static ops table, so the object itself is just the
+// buffer plus one pointer.
+//
+// Differences from std::function, both deliberate:
+//   - move-only (so move-only captures like unique_ptr work, and no
+//     copy support code bloats the hot path);
+//   - the inline capacity is a template parameter tuned by the caller
+//     (sim::EventFn uses 64 bytes, enough for every scheduling lambda
+//     in the stack: `this` + a PacketPtr + ids + a moved-in
+//     continuation).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace pqs::util {
+
+template <typename Signature, std::size_t Capacity = 64>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+public:
+    InlineFunction() noexcept = default;
+    InlineFunction(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+    template <typename F, typename D = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  !std::is_same_v<D, InlineFunction> &&
+                  std::is_invocable_r_v<R, D&, Args...>>>
+    InlineFunction(F&& f) {  // NOLINT(runtime/explicit)
+        if constexpr (stored_inline<D>()) {
+            ::new (static_cast<void*>(buffer_)) D(std::forward<F>(f));
+            ops_ = ops_for<D, /*Inline=*/true>();
+        } else {
+            ::new (static_cast<void*>(buffer_))
+                (D*)(new D(std::forward<F>(f)));
+            ops_ = ops_for<D, /*Inline=*/false>();
+        }
+    }
+
+    InlineFunction(InlineFunction&& other) noexcept { take(other); }
+
+    InlineFunction& operator=(InlineFunction&& other) noexcept {
+        if (this != &other) {
+            reset();
+            take(other);
+        }
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction&) = delete;
+    InlineFunction& operator=(const InlineFunction&) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    void reset() noexcept {
+        if (ops_ != nullptr) {
+            ops_->destroy(buffer_);
+            ops_ = nullptr;
+        }
+    }
+
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+    R operator()(Args... args) {
+        return ops_->invoke(buffer_, std::forward<Args>(args)...);
+    }
+
+    // True when the stored callable lives in the inline buffer; false for
+    // the heap fallback. Exposed so tests and kernel stats can assert the
+    // no-allocation property of the common path.
+    bool is_inline() const noexcept {
+        return ops_ != nullptr && ops_->inline_stored;
+    }
+
+    static constexpr std::size_t capacity() { return Capacity; }
+
+    // Whether a callable of type D would be stored inline.
+    template <typename D>
+    static constexpr bool stored_inline() {
+        return sizeof(D) <= Capacity &&
+               alignof(D) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<D>;
+    }
+
+private:
+    struct Ops {
+        R (*invoke)(void* target, Args&&... args);
+        // Move-constructs the callable from `src` into `dst`, then destroys
+        // the `src` copy. Used by the move constructor/assignment.
+        void (*relocate)(void* src, void* dst) noexcept;
+        void (*destroy)(void* target) noexcept;
+        bool inline_stored;
+    };
+
+    template <typename D, bool Inline>
+    static const Ops* ops_for() {
+        static constexpr Ops ops = [] {
+            if constexpr (Inline) {
+                return Ops{
+                    [](void* target, Args&&... args) -> R {
+                        return (*static_cast<D*>(target))(
+                            std::forward<Args>(args)...);
+                    },
+                    [](void* src, void* dst) noexcept {
+                        D* from = static_cast<D*>(src);
+                        ::new (dst) D(std::move(*from));
+                        from->~D();
+                    },
+                    [](void* target) noexcept {
+                        static_cast<D*>(target)->~D();
+                    },
+                    /*inline_stored=*/true,
+                };
+            } else {
+                return Ops{
+                    [](void* target, Args&&... args) -> R {
+                        return (**static_cast<D**>(target))(
+                            std::forward<Args>(args)...);
+                    },
+                    [](void* src, void* dst) noexcept {
+                        ::new (dst) (D*)(*static_cast<D**>(src));
+                    },
+                    [](void* target) noexcept {
+                        delete *static_cast<D**>(target);
+                    },
+                    /*inline_stored=*/false,
+                };
+            }
+        }();
+        return &ops;
+    }
+
+    void take(InlineFunction& other) noexcept {
+        if (other.ops_ != nullptr) {
+            other.ops_->relocate(other.buffer_, buffer_);
+            ops_ = other.ops_;
+            other.ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buffer_[Capacity];
+    const Ops* ops_ = nullptr;
+};
+
+}  // namespace pqs::util

@@ -1,0 +1,31 @@
+#include "util/kernel_stats.h"
+
+#include <cstddef>
+
+namespace pqs::util {
+
+const KernelStatsField* kernel_stats_fields(std::size_t* count) {
+    static const KernelStatsField fields[] = {
+#define PQS_KERNEL_STATS_FIELD(field) \
+    KernelStatsField{#field,          \
+                     [](const KernelStats& s) { return s.field; }},
+        PQS_KERNEL_STATS_FIELDS(PQS_KERNEL_STATS_FIELD)
+#undef PQS_KERNEL_STATS_FIELD
+    };
+    *count = sizeof(fields) / sizeof(fields[0]);
+    return fields;
+}
+
+void report_kernel_stats(const KernelStats& stats, const char* label,
+                         std::FILE* stream) {
+    std::fprintf(stream, "[perf] kernel %s:", label);
+    std::size_t count = 0;
+    const KernelStatsField* fields = kernel_stats_fields(&count);
+    for (std::size_t i = 0; i < count; ++i) {
+        std::fprintf(stream, " %s=%llu", fields[i].name,
+                     static_cast<unsigned long long>(fields[i].get(stats)));
+    }
+    std::fprintf(stream, "\n");
+}
+
+}  // namespace pqs::util

@@ -1,0 +1,58 @@
+// Counter block threaded through the simulation kernel: the event queue
+// (schedule/fire/cancel, heap ops, slab recycling), and the spatial grid
+// (queries, candidate scans, moves). Every counter is driven purely by
+// simulation behaviour, so for a fixed seed the whole block is
+// deterministic — bench and regression harnesses assert on it verbatim,
+// while wall-clock time stays a separate, informational measurement.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+
+namespace pqs::util {
+
+// X-macro over every counter; the single source of truth for merging,
+// reporting and JSON export, so adding a counter here is all it takes.
+#define PQS_KERNEL_STATS_FIELDS(X)                                        \
+    X(events_scheduled)  /* EventQueue::schedule calls */                 \
+    X(events_fired)      /* live events returned by pop() */             \
+    X(events_cancelled)  /* successful cancel() calls */                 \
+    X(heap_pushes)       /* heap insertions */                           \
+    X(heap_pops)         /* heap root removals (live + stale) */         \
+    X(heap_moves)        /* entry copies during sift up/down */          \
+    X(stale_drops)       /* lazily-deleted (cancelled) entries skipped */ \
+    X(slab_reuses)       /* event slots recycled from the free list */   \
+    X(callback_heap_allocs) /* callbacks too large for inline storage */ \
+    X(grid_queries)      /* SpatialGrid::query calls */                  \
+    X(grid_candidates)   /* nodes distance-tested by queries */          \
+    X(grid_moves)        /* SpatialGrid::move calls */                   \
+    X(grid_cell_crossings) /* moves that changed grid cell */
+
+struct KernelStats {
+#define PQS_KERNEL_STATS_DECL(field) std::uint64_t field = 0;
+    PQS_KERNEL_STATS_FIELDS(PQS_KERNEL_STATS_DECL)
+#undef PQS_KERNEL_STATS_DECL
+
+    KernelStats& operator+=(const KernelStats& other) {
+#define PQS_KERNEL_STATS_ADD(field) field += other.field;
+        PQS_KERNEL_STATS_FIELDS(PQS_KERNEL_STATS_ADD)
+#undef PQS_KERNEL_STATS_ADD
+        return *this;
+    }
+};
+
+// One named view per counter, in declaration order — lets report/JSON
+// code iterate the block generically.
+struct KernelStatsField {
+    const char* name;
+    std::uint64_t (*get)(const KernelStats&);
+};
+const KernelStatsField* kernel_stats_fields(std::size_t* count);
+
+// Prints the block as a single "[perf] kernel <label>: ..." line to
+// `stream` (stderr by default, matching exp::report_perf: stdout tables
+// stay byte-identical while perf telemetry goes to the side channel).
+void report_kernel_stats(const KernelStats& stats, const char* label,
+                         std::FILE* stream = stderr);
+
+}  // namespace pqs::util

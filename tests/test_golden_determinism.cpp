@@ -1,0 +1,166 @@
+// Golden determinism test: one small fixed-seed full-stack scenario whose
+// integer-valued outcome fingerprint (event counts, kernel counters, hit
+// counts) is asserted verbatim. Any change to the event queue, RNG
+// consumption order, grid, MAC, routing or quorum strategies that alters
+// behaviour shows up here as an exact diff.
+//
+// If a PR changes these numbers *intentionally* (e.g. a protocol fix that
+// legitimately reorders events), update the constants below and justify
+// the new fingerprint in the PR body — never update them to silence an
+// unexplained diff, because that is exactly the regression this test
+// exists to catch.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+
+#include "core/scenario.h"
+
+namespace pqs::core {
+namespace {
+
+struct Fingerprint {
+    std::uint64_t sim_events = 0;
+    std::uint64_t events_scheduled = 0;
+    std::uint64_t events_fired = 0;
+    std::uint64_t events_cancelled = 0;
+    std::uint64_t callback_heap_allocs = 0;
+    std::uint64_t grid_queries = 0;
+    std::uint64_t grid_moves = 0;
+    std::uint64_t grid_cell_crossings = 0;
+    std::uint64_t advertise_quorum = 0;
+    std::uint64_t lookup_quorum = 0;
+    std::uint64_t hits = 0;        // hit_ratio * lookup_count, exact
+    std::uint64_t intersects = 0;  // intersect_ratio * lookup_count, exact
+    std::uint64_t msgs_total = 0;  // world total transmissions, exact
+
+    bool operator==(const Fingerprint& o) const {
+        return sim_events == o.sim_events &&
+               events_scheduled == o.events_scheduled &&
+               events_fired == o.events_fired &&
+               events_cancelled == o.events_cancelled &&
+               callback_heap_allocs == o.callback_heap_allocs &&
+               grid_queries == o.grid_queries &&
+               grid_moves == o.grid_moves &&
+               grid_cell_crossings == o.grid_cell_crossings &&
+               advertise_quorum == o.advertise_quorum &&
+               lookup_quorum == o.lookup_quorum && hits == o.hits &&
+               intersects == o.intersects && msgs_total == o.msgs_total;
+    }
+};
+
+// Printed on mismatch in copy-pasteable initializer form so an intended
+// fingerprint change is a one-block paste (plus the PR-body rationale).
+std::ostream& operator<<(std::ostream& os, const Fingerprint& f) {
+    return os << "{\n"
+              << "    .sim_events = " << f.sim_events << ",\n"
+              << "    .events_scheduled = " << f.events_scheduled << ",\n"
+              << "    .events_fired = " << f.events_fired << ",\n"
+              << "    .events_cancelled = " << f.events_cancelled << ",\n"
+              << "    .callback_heap_allocs = " << f.callback_heap_allocs
+              << ",\n"
+              << "    .grid_queries = " << f.grid_queries << ",\n"
+              << "    .grid_moves = " << f.grid_moves << ",\n"
+              << "    .grid_cell_crossings = " << f.grid_cell_crossings
+              << ",\n"
+              << "    .advertise_quorum = " << f.advertise_quorum << ",\n"
+              << "    .lookup_quorum = " << f.lookup_quorum << ",\n"
+              << "    .hits = " << f.hits << ",\n"
+              << "    .intersects = " << f.intersects << ",\n"
+              << "    .msgs_total = " << f.msgs_total << ",\n"
+              << "}";
+}
+
+ScenarioParams golden_params() {
+    // Small but full-stack: mobile nodes (exercises grid moves + cell
+    // crossings + heartbeat cancels), realistic neighbor discovery, both
+    // strategy kinds, and enough operations for stable integer counts.
+    ScenarioParams p;
+    p.world.n = 64;
+    p.world.seed = 12345;
+    p.world.oracle_neighbors = false;
+    p.world.mobile = true;
+    p.world.waypoint.min_speed = 0.5;
+    p.world.waypoint.max_speed = 2.0;
+    p.spec.advertise.kind = StrategyKind::kRandom;
+    p.spec.lookup.kind = StrategyKind::kUniquePath;
+    p.spec.eps = 0.1;
+    p.advertise_count = 10;
+    p.lookup_count = 30;
+    p.lookup_nodes = 8;
+    p.warmup = 12 * sim::kSecond;
+    p.op_spacing = 100 * sim::kMillisecond;
+    return p;
+}
+
+std::uint64_t to_count(double integral_valued) {
+    return static_cast<std::uint64_t>(std::llround(integral_valued));
+}
+
+Fingerprint fingerprint_of(const ScenarioResult& r,
+                           const ScenarioParams& p) {
+    Fingerprint f;
+    f.sim_events = to_count(r.sim_events);
+    f.events_scheduled = r.kernel.events_scheduled;
+    f.events_fired = r.kernel.events_fired;
+    f.events_cancelled = r.kernel.events_cancelled;
+    f.callback_heap_allocs = r.kernel.callback_heap_allocs;
+    f.grid_queries = r.kernel.grid_queries;
+    f.grid_moves = r.kernel.grid_moves;
+    f.grid_cell_crossings = r.kernel.grid_cell_crossings;
+    f.advertise_quorum = r.advertise_quorum;
+    f.lookup_quorum = r.lookup_quorum;
+    f.hits = to_count(r.hit_ratio * static_cast<double>(p.lookup_count));
+    f.intersects =
+        to_count(r.intersect_ratio * static_cast<double>(p.lookup_count));
+    f.msgs_total = to_count(r.totals.counter("net.data.tx") +
+                            r.totals.counter("net.routing.tx"));
+    return f;
+}
+
+// The golden values, captured on the reference toolchain (gcc, x86-64,
+// this container). All fields are integer event/message counts — no
+// floating-point comparisons — so they are stable across optimization
+// levels and sanitizer builds of the same code.
+const Fingerprint kGolden = {
+    .sim_events = 12796,
+    .events_scheduled = 13081,
+    .events_fired = 12796,
+    .events_cancelled = 157,
+    .callback_heap_allocs = 0,
+    .grid_queries = 4340,
+    .grid_moves = 2944,
+    .grid_cell_crossings = 10,
+    .advertise_quorum = 13,
+    .lookup_quorum = 13,
+    .hits = 30,
+    .intersects = 30,
+    .msgs_total = 5447,
+};
+
+TEST(GoldenDeterminism, FixedSeedScenarioFingerprint) {
+    const ScenarioParams p = golden_params();
+    const Fingerprint got = fingerprint_of(run_scenario(p), p);
+    EXPECT_TRUE(got == kGolden)
+        << "scenario fingerprint changed.\nexpected " << kGolden
+        << "\ngot      " << got
+        << "\nIf the change is intended, update kGolden and justify the "
+           "new numbers in the PR body.";
+}
+
+TEST(GoldenDeterminism, RepeatRunBitIdentical) {
+    // Independent of the hardcoded constants: two in-process runs of the
+    // same seed must agree exactly (catches e.g. state leaking between
+    // runs or iteration over pointer-keyed containers).
+    const ScenarioParams p = golden_params();
+    const Fingerprint a = fingerprint_of(run_scenario(p), p);
+    const Fingerprint b = fingerprint_of(run_scenario(p), p);
+    EXPECT_TRUE(a == b) << "expected " << a << "\ngot      " << b;
+    // The allocation-free claim, end to end: every callback the full
+    // stack schedules fits the inline buffer.
+    EXPECT_EQ(a.callback_heap_allocs, 0u);
+}
+
+}  // namespace
+}  // namespace pqs::core

@@ -131,6 +131,117 @@ TEST(SpatialGrid, SparseIdsSupported) {
     EXPECT_EQ(grid.query({5.0, 5.0}, 1.0).front(), 1000u);
 }
 
+TEST(SpatialGridMove, SameCellUpdatesPositionWithoutCrossing) {
+    SpatialGrid grid(100.0, 10.0);
+    grid.insert(0, {5.0, 5.0});
+    grid.move(0, {9.0, 9.0});  // stays inside cell (0,0)
+    EXPECT_EQ(grid.position(0).x, 9.0);
+    EXPECT_EQ(grid.position(0).y, 9.0);
+    EXPECT_EQ(grid.stats().grid_moves, 1u);
+    EXPECT_EQ(grid.stats().grid_cell_crossings, 0u);
+    // The updated position — not the insert-time one — must drive both
+    // the distance test and the bucket lookup.
+    EXPECT_EQ(grid.query({9.5, 9.5}, 1.0).size(), 1u);
+    EXPECT_TRUE(grid.query({5.0, 5.0}, 1.0).empty());
+}
+
+TEST(SpatialGridMove, CellBoundaryCrossings) {
+    SpatialGrid grid(100.0, 10.0);
+    grid.insert(0, {9.999, 5.0});
+    // Cross the x boundary by a hair: cell (0,0) -> (1,0).
+    grid.move(0, {10.0, 5.0});
+    EXPECT_EQ(grid.stats().grid_cell_crossings, 1u);
+    EXPECT_EQ(grid.query({10.5, 5.0}, 1.0).size(), 1u);
+    // Exactly on the boundary going back below it.
+    grid.move(0, {9.999, 5.0});
+    EXPECT_EQ(grid.stats().grid_cell_crossings, 2u);
+    // Diagonal crossing (both axes at once).
+    grid.move(0, {15.0, 15.0});
+    EXPECT_EQ(grid.stats().grid_cell_crossings, 3u);
+    EXPECT_EQ(grid.stats().grid_moves, 3u);
+    EXPECT_EQ(grid.query({15.0, 15.0}, 1.0).size(), 1u);
+    EXPECT_EQ(grid.size(), 1u);
+}
+
+TEST(SpatialGridMove, CornerCellsAndClamping) {
+    SpatialGrid grid(100.0, 10.0);
+    grid.insert(0, {50.0, 50.0});
+    // All four corners, including the far corner where side/cell lands
+    // exactly on the last cell boundary (x=100 clamps to index 9).
+    for (const Vec2 corner : {Vec2{0.0, 0.0}, Vec2{100.0, 0.0},
+                              Vec2{0.0, 100.0}, Vec2{100.0, 100.0}}) {
+        grid.move(0, corner);
+        EXPECT_EQ(grid.position(0).x, corner.x);
+        const auto near = grid.query(corner, 0.5);
+        ASSERT_EQ(near.size(), 1u) << "corner " << corner.x << ","
+                                   << corner.y;
+        EXPECT_EQ(near.front(), 0u);
+    }
+    // Slightly out-of-range coordinates clamp into the edge cells rather
+    // than indexing out of bounds (mobility integration can overshoot by
+    // an epsilon before the waypoint model reflects).
+    grid.move(0, {-0.25, 100.25});
+    EXPECT_EQ(grid.query({0.0, 100.0}, 1.0).size(), 1u);
+    EXPECT_EQ(grid.size(), 1u);
+}
+
+TEST(SpatialGridMove, SwapRemoveKeepsCohabitantsConsistent) {
+    // Three nodes in one cell; moving the middle one out exercises the
+    // swap-remove slot fixup, then moving it back appends it after the
+    // survivor whose slot changed.
+    SpatialGrid grid(100.0, 10.0);
+    grid.insert(10, {1.0, 1.0});
+    grid.insert(11, {2.0, 2.0});
+    grid.insert(12, {3.0, 3.0});
+    grid.move(11, {55.0, 55.0});
+    auto near = grid.query({2.0, 2.0}, 5.0);
+    std::sort(near.begin(), near.end());
+    EXPECT_EQ(near, (std::vector<util::NodeId>{10, 12}));
+    grid.move(11, {2.0, 2.0});
+    near = grid.query({2.0, 2.0}, 5.0);
+    std::sort(near.begin(), near.end());
+    EXPECT_EQ(near, (std::vector<util::NodeId>{10, 11, 12}));
+    // And removing the node whose slot was fixed up must still unlink
+    // cleanly (regression guard for stale Entry::slot).
+    grid.remove(12);
+    near = grid.query({2.0, 2.0}, 5.0);
+    std::sort(near.begin(), near.end());
+    EXPECT_EQ(near, (std::vector<util::NodeId>{10, 11}));
+}
+
+TEST(SpatialGridMove, RandomWalkMatchesBruteForce) {
+    // Mobility-shaped differential: 60 nodes take 200 random clamped
+    // steps each; after every batch the grid must agree with brute force.
+    util::Rng rng(1234);
+    const double side = 120.0;
+    SpatialGrid grid(side, 15.0);
+    std::vector<Vec2> pts;
+    for (util::NodeId i = 0; i < 60; ++i) {
+        pts.push_back({rng.uniform(0.0, side), rng.uniform(0.0, side)});
+        grid.insert(i, pts.back());
+    }
+    for (int round = 0; round < 200; ++round) {
+        for (util::NodeId i = 0; i < 60; ++i) {
+            Vec2 p = pts[i];
+            p.x = std::clamp(p.x + rng.uniform(-20.0, 20.0), 0.0, side);
+            p.y = std::clamp(p.y + rng.uniform(-20.0, 20.0), 0.0, side);
+            pts[i] = p;
+            grid.move(i, p);
+        }
+        const Vec2 center{rng.uniform(0.0, side), rng.uniform(0.0, side)};
+        const double radius = rng.uniform(1.0, 30.0);
+        auto got = grid.query(center, radius);
+        auto want = brute_force(pts, center, radius, util::kInvalidNode,
+                                Metric::kPlane, side);
+        std::sort(got.begin(), got.end());
+        std::sort(want.begin(), want.end());
+        ASSERT_EQ(got, want) << "round " << round;
+    }
+    EXPECT_EQ(grid.stats().grid_moves, 60u * 200u);
+    EXPECT_GT(grid.stats().grid_cell_crossings, 0u);
+    EXPECT_LT(grid.stats().grid_cell_crossings, 60u * 200u);
+}
+
 TEST(Vec2, Arithmetic) {
     const Vec2 a{1.0, 2.0};
     const Vec2 b{3.0, 4.0};
