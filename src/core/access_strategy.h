@@ -33,12 +33,24 @@ inline void apply_advertise(LocalStore& store, util::Key key, Value value,
     store.store_owner(key, value);
 }
 
+// Operation-level retry (§6.1 under live churn): a failed or timed-out
+// access is re-issued from the same origin after an exponentially growing
+// backoff, as long as the origin itself is still alive. max_attempts = 1
+// disables retries (the default; keeps every existing experiment's
+// behavior and RNG stream untouched).
+struct RetryPolicy {
+    int max_attempts = 1;
+    sim::Time backoff = 500 * sim::kMillisecond;
+    double backoff_factor = 2.0;
+};
+
 // Shared state all strategies operate against. Owned by LocationService.
 struct ServiceContext {
     net::World& world;
     membership::MembershipService* membership = nullptr;
     ReplyPathRouter* reply_router = nullptr;
     sim::Time op_timeout = 30 * sim::kSecond;
+    RetryPolicy retry;
     std::vector<LocalStore> stores;
     // §3 "Load": how many quorum requests each node has served (as an
     // advertise-quorum member storing, or a lookup-quorum member checking).

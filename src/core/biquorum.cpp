@@ -38,7 +38,11 @@ BiquorumSystem::BiquorumSystem(net::World& world, BiquorumSpec spec,
     world.add_spawn_listener([this](util::NodeId id) { attach_node(id); });
 }
 
-BiquorumSystem::~BiquorumSystem() = default;
+BiquorumSystem::~BiquorumSystem() {
+    for (const auto& [token, id] : retry_timers_) {
+        ctx_.world.simulator().cancel(id);
+    }
+}
 
 void BiquorumSystem::attach_node(util::NodeId id) {
     router_.attach_node(id);
@@ -70,13 +74,71 @@ double BiquorumSystem::intersection_guarantee() const {
 
 void BiquorumSystem::advertise(util::NodeId origin, util::Key key,
                                Value value, AccessCallback done) {
-    advertise_->access(AccessKind::kAdvertise, origin, key, value,
-                       std::move(done));
+    access_with_retry(AccessKind::kAdvertise, origin, key, value,
+                      std::move(done), 1);
 }
 
 void BiquorumSystem::lookup(util::NodeId origin, util::Key key,
                             AccessCallback done) {
-    lookup_->access(AccessKind::kLookup, origin, key, 0, std::move(done));
+    access_with_retry(AccessKind::kLookup, origin, key, 0, std::move(done),
+                      1);
+}
+
+namespace {
+
+// Exponential backoff before attempt `attempt + 1`.
+sim::Time retry_delay(const RetryPolicy& policy, int attempt) {
+    double delay = static_cast<double>(policy.backoff);
+    for (int i = 1; i < attempt; ++i) {
+        delay *= policy.backoff_factor;
+    }
+    return static_cast<sim::Time>(delay);
+}
+
+// Everything a deferred retry needs, heap-shared so the scheduled closure
+// stays within the simulator's inline-callback budget.
+struct RetryState {
+    AccessKind kind;
+    util::NodeId origin;
+    util::Key key;
+    Value value;
+    AccessCallback done;
+    int attempt;
+};
+
+}  // namespace
+
+void BiquorumSystem::access_with_retry(AccessKind kind, util::NodeId origin,
+                                       util::Key key, Value value,
+                                       AccessCallback done, int attempt) {
+    AccessStrategy& strategy =
+        kind == AccessKind::kAdvertise ? *advertise_ : *lookup_;
+    strategy.access(
+        kind, origin, key, value,
+        [this, kind, origin, key, value, attempt,
+         done = std::move(done)](const AccessResult& r) mutable {
+            const RetryPolicy& policy = ctx_.retry;
+            if (!r.ok && attempt < policy.max_attempts &&
+                ctx_.world.alive(origin)) {
+                auto state = std::make_shared<RetryState>(RetryState{
+                    kind, origin, key, value, std::move(done), attempt});
+                const std::uint64_t token = next_retry_token_++;
+                retry_timers_[token] = ctx_.world.simulator().schedule_in(
+                    retry_delay(policy, attempt), [this, token, state] {
+                        retry_timers_.erase(token);
+                        access_with_retry(state->kind, state->origin,
+                                          state->key, state->value,
+                                          std::move(state->done),
+                                          state->attempt + 1);
+                    });
+                return;
+            }
+            if (done) {
+                AccessResult final_result = r;
+                final_result.attempts = attempt;
+                done(final_result);
+            }
+        });
 }
 
 }  // namespace pqs::core

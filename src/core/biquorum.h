@@ -5,7 +5,9 @@
 // The LocationService in location_service.h is the paper's main client.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <unordered_map>
 
 #include "core/access_strategy.h"
 #include "core/quorum_spec.h"
@@ -33,9 +35,11 @@ public:
     double intersection_guarantee() const;
 
     // One advertise-quorum access (store key -> value at the quorum).
+    // Honors context().retry: a failed access is re-issued after backoff,
+    // and the final AccessResult reports the attempt count.
     void advertise(util::NodeId origin, util::Key key, Value value,
                    AccessCallback done);
-    // One lookup-quorum access.
+    // One lookup-quorum access (same retry behavior).
     void lookup(util::NodeId origin, util::Key key, AccessCallback done);
 
     LocalStore& store(util::NodeId id) { return ctx_.store(id); }
@@ -45,11 +49,20 @@ public:
     void attach_node(util::NodeId id);
 
 private:
+    // One access plus its (possible) retries. `attempt` is 1-based.
+    void access_with_retry(AccessKind kind, util::NodeId origin,
+                           util::Key key, Value value, AccessCallback done,
+                           int attempt);
+
     BiquorumSpec spec_;
     ServiceContext ctx_;
     ReplyPathRouter router_;
     std::unique_ptr<AccessStrategy> advertise_;
     std::unique_ptr<AccessStrategy> lookup_;
+    // Pending backoff timers, keyed by token so each callback retires its
+    // own entry; cancelled in the destructor (no dangling [this] events).
+    std::unordered_map<std::uint64_t, sim::EventId> retry_timers_;
+    std::uint64_t next_retry_token_ = 0;
 };
 
 }  // namespace pqs::core

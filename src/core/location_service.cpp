@@ -1,5 +1,8 @@
 #include "core/location_service.h"
 
+#include <algorithm>
+#include <vector>
+
 namespace pqs::core {
 
 LocationService::LocationService(net::World& world, BiquorumSpec spec,
@@ -27,8 +30,18 @@ void LocationService::refresh(util::NodeId origin,
     if (origin >= published_.size()) {
         return;
     }
+    // Advertise in sorted key order: unordered_map iteration order is an
+    // implementation detail, and each advertise consumes RNG draws, so the
+    // order must be pinned for runs to be bit-identical across platforms.
+    std::vector<util::Key> keys;
+    keys.reserve(published_[origin].size());
     for (const auto& [key, value] : published_[origin]) {
-        biquorum_.advertise(origin, key, value, per_key_done);
+        keys.push_back(key);
+    }
+    std::sort(keys.begin(), keys.end());
+    for (const util::Key key : keys) {
+        biquorum_.advertise(origin, key, published_[origin].at(key),
+                            per_key_done);
     }
 }
 

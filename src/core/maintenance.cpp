@@ -62,24 +62,38 @@ QuorumRefresher::QuorumRefresher(LocationService& service, Params params)
     }
 }
 
+QuorumRefresher::~QuorumRefresher() { stop(); }
+
+void QuorumRefresher::stop() {
+    sim::Simulator& simulator = service_.world().simulator();
+    for (const auto& [node, id] : timers_) {
+        simulator.cancel(id);
+    }
+    timers_.clear();
+}
+
 void QuorumRefresher::start_node(util::NodeId node) {
     if (interval_ == sim::kTimeNever) {
         return;
     }
-    service_.world().simulator().schedule_in(interval_,
-                                             [this, node] { tick(node); });
+    sim::Simulator& simulator = service_.world().simulator();
+    if (const auto it = timers_.find(node); it != timers_.end()) {
+        simulator.cancel(it->second);
+    }
+    timers_[node] =
+        simulator.schedule_in(interval_, [this, node] { tick(node); });
 }
 
 void QuorumRefresher::tick(util::NodeId node) {
-    if (!service_.world().alive(node)) {
-        return;
-    }
-    if (!service_.published(node).empty()) {
+    // Transient death skips the refresh work but keeps the chain alive so
+    // a recovered node resumes refreshing; the idle tick costs one
+    // liveness check per interval.
+    if (service_.world().alive(node) && !service_.published(node).empty()) {
         service_.refresh(node);
         ++refreshes_;
     }
-    service_.world().simulator().schedule_in(interval_,
-                                             [this, node] { tick(node); });
+    timers_[node] = service_.world().simulator().schedule_in(
+        interval_, [this, node] { tick(node); });
 }
 
 namespace {

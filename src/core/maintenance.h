@@ -5,10 +5,12 @@
 #pragma once
 
 #include <optional>
+#include <unordered_map>
 
 #include "core/location_service.h"
 #include "core/theory.h"
 #include "membership/membership.h"
+#include "sim/simulator.h"
 #include "sim/time.h"
 #include "util/rng.h"
 
@@ -29,6 +31,13 @@ sim::Time refresh_interval(double eps0, double eps_max, ChurnKind kind,
 
 // Periodically re-advertises every key a node has published, with the
 // interval derived from the degradation analysis.
+//
+// A node's refresh chain survives transient death: a tick that finds the
+// node dead skips the refresh work but reschedules itself, so a node that
+// recovers (live churn) resumes refreshing with no outside help. Every
+// pending tick is tracked by event id and cancelled in stop() / the
+// destructor — a refresher destroyed before its simulator leaves no
+// dangling [this] callbacks behind.
 class QuorumRefresher {
 public:
     struct Params {
@@ -40,9 +49,16 @@ public:
     };
 
     QuorumRefresher(LocationService& service, Params params);
+    ~QuorumRefresher();
+    QuorumRefresher(const QuorumRefresher&) = delete;
+    QuorumRefresher& operator=(const QuorumRefresher&) = delete;
 
-    // Begins refreshing for `node`. Safe to call for many nodes.
+    // Begins refreshing for `node`. Safe to call for many nodes; calling
+    // again for a node restarts its chain instead of doubling it.
     void start_node(util::NodeId node);
+
+    // Cancels every node's pending tick. start_node() may be called again.
+    void stop();
 
     sim::Time interval() const { return interval_; }
     std::size_t refreshes_performed() const { return refreshes_; }
@@ -54,6 +70,8 @@ private:
     Params params_;
     sim::Time interval_;
     std::size_t refreshes_ = 0;
+    // Pending tick per node (cancellable).
+    std::unordered_map<util::NodeId, sim::EventId> timers_;
 };
 
 // Estimates the network size by counting collisions among uniform samples

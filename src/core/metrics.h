@@ -29,6 +29,9 @@ struct AccessResult {
     // Virtual time from request to resolution.
     sim::Time latency = 0;
     bool timed_out = false;
+    // How many access attempts this result reflects (1 = first try;
+    // >1 when ServiceContext::retry re-issued a failed access).
+    int attempts = 1;
 };
 
 using AccessCallback = std::function<void(const AccessResult&)>;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <memory>
 
+#include "core/maintenance.h"
+#include "sim/fault_plan.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
@@ -21,13 +23,66 @@ PhaseCounters snapshot(net::World& world) {
                          world.metrics().counter("net.routing.tx")};
 }
 
-// Runs `count` operations back to back: each op's completion schedules the
-// next after `spacing`. Drives the simulator until all ops completed or
-// the deadline passes.
+// Continuation state for run_sequential. Shared-owned by the driver and by
+// every event the driver schedules: a straggler continuation firing after
+// run_sequential returned (deadline, abort) finds the state — including
+// the op closure itself — still alive. The previous version captured a
+// stack-local std::function by reference in those events, which is
+// exactly the use-after-scope this type exists to prevent.
+struct SeqState {
+    net::World& world;
+    std::function<void(std::size_t, std::function<void()>)> op;
+    const sim::Time spacing;
+    const std::size_t count;
+    const bool* abort;
+    std::size_t next = 0;
+    bool finished = false;
+};
+
+void seq_launch(const std::shared_ptr<SeqState>& state) {
+    if ((state->abort != nullptr && *state->abort) ||
+        state->next >= state->count) {
+        state->finished = true;
+        return;
+    }
+    const std::size_t index = state->next++;
+    state->op(index, [state] {
+        state->world.simulator().schedule_in(state->spacing,
+                                             [state] { seq_launch(state); });
+    });
+}
+
+std::optional<util::NodeId> random_alive(net::World& world, util::Rng& rng) {
+    const auto alive = world.alive_nodes();
+    if (alive.empty()) {
+        return std::nullopt;
+    }
+    return alive[rng.index(alive.size())];
+}
+
+// Self-rescheduling helper for the live phase's periodic jobs. The chain
+// owns its state (same shared-ownership discipline as SeqState); the body
+// returns false to stop the chain.
+struct Periodic {
+    net::World& world;
+    const sim::Time period;
+    std::function<bool()> body;
+};
+
+void periodic_fire(const std::shared_ptr<Periodic>& task) {
+    if (!task->body()) {
+        return;
+    }
+    task->world.simulator().schedule_in(task->period,
+                                        [task] { periodic_fire(task); });
+}
+
+}  // namespace
+
 void run_sequential(net::World& world, std::size_t count, sim::Time spacing,
                     sim::Time per_op_budget,
-                    const std::function<void(std::size_t,
-                                             std::function<void()>)>& op) {
+                    std::function<void(std::size_t, std::function<void()>)> op,
+                    const bool* abort) {
     if (count == 0) {
         return;
     }
@@ -37,39 +92,17 @@ void run_sequential(net::World& world, std::size_t count, sim::Time spacing,
         static_cast<sim::Time>(count) * (per_op_budget + spacing) +
         60 * sim::kSecond;
 
-    struct State {
-        std::size_t next = 0;
-        bool finished = false;
-    };
-    auto state = std::make_shared<State>();
-
-    std::function<void()> launch;
-    launch = [&world, &op, state, count, spacing, &launch] {
-        if (state->next >= count) {
-            state->finished = true;
-            return;
-        }
-        const std::size_t index = state->next++;
-        op(index, [&world, spacing, &launch] {
-            world.simulator().schedule_in(spacing, [&launch] { launch(); });
-        });
-    };
-    launch();
-    while (!state->finished && simulator.now() < deadline &&
-           simulator.step()) {
+    auto state = std::make_shared<SeqState>(
+        SeqState{world, std::move(op), spacing, count, abort});
+    seq_launch(state);
+    while (!state->finished && !(abort != nullptr && *abort) &&
+           simulator.now() < deadline && simulator.step()) {
     }
-    if (!state->finished) {
+    if (!state->finished && !(abort != nullptr && *abort)) {
         PQS_WARN("scenario: sequential op driver hit its deadline with "
                  << state->next << "/" << count << " ops launched");
     }
 }
-
-util::NodeId random_alive(net::World& world, util::Rng& rng) {
-    const auto alive = world.alive_nodes();
-    return alive[rng.index(alive.size())];
-}
-
-}  // namespace
 
 ScenarioResult run_scenario(const ScenarioParams& params) {
     net::World world(params.world);
@@ -95,20 +128,29 @@ ScenarioResult run_scenario(const ScenarioParams& params) {
     world.simulator().run_until(world.simulator().now() + params.warmup);
 
     util::Rng rng(params.world.seed ^ 0x5ca1ab1e5eed);
+    bool aborted = false;
 
     // ---- advertise phase ----
     const PhaseCounters before_adv = snapshot(world);
     std::vector<util::Key> keys;
     keys.reserve(params.advertise_count);
+    std::vector<util::NodeId> advertisers;
     util::Accumulator adv_nodes;
     std::size_t adv_ok = 0;
     run_sequential(
         world, params.advertise_count, params.op_spacing, params.op_timeout,
         [&](std::size_t i, std::function<void()> next) {
+            const auto origin = random_alive(world, rng);
+            if (!origin) {
+                PQS_WARN("scenario: no node left alive to advertise from; "
+                         "aborting");
+                aborted = true;
+                return;
+            }
             const util::Key key = 1000 + i;
-            const util::NodeId origin = random_alive(world, rng);
             keys.push_back(key);
-            service.advertise(origin, key, /*value=*/key * 7 + 1,
+            advertisers.push_back(*origin);
+            service.advertise(*origin, key, /*value=*/key * 7 + 1,
                               [&, next = std::move(next)](
                                   const AccessResult& r) {
                                   if (r.ok) {
@@ -118,13 +160,15 @@ ScenarioResult run_scenario(const ScenarioParams& params) {
                                       r.nodes_contacted));
                                   next();
                               });
-        });
+        },
+        &aborted);
     // Drain stragglers so their messages stay in the advertise phase.
     world.simulator().run_until(world.simulator().now() + 2 * sim::kSecond);
     const PhaseCounters after_adv = snapshot(world);
 
-    // ---- churn between phases (Fig. 14(f)) ----
-    if (params.fail_fraction > 0.0) {
+    // ---- churn between phases (Fig. 14(f); superseded by live mode) ----
+    const LiveChurnParams& live = params.live;
+    if (!aborted && !live.enabled && params.fail_fraction > 0.0) {
         auto alive = world.alive_nodes();
         rng.shuffle(alive);
         const auto kill = static_cast<std::size_t>(
@@ -133,14 +177,14 @@ ScenarioResult run_scenario(const ScenarioParams& params) {
             world.fail_node(alive[i]);
         }
     }
-    if (params.join_fraction > 0.0) {
+    if (!aborted && !live.enabled && params.join_fraction > 0.0) {
         const auto join = static_cast<std::size_t>(
             params.join_fraction * static_cast<double>(params.world.n));
         for (std::size_t i = 0; i < join; ++i) {
             world.spawn_node();
         }
     }
-    if (params.adjust_lookup_to_network &&
+    if (!aborted && !live.enabled && params.adjust_lookup_to_network &&
         (params.fail_fraction > 0.0 || params.join_fraction > 0.0)) {
         const double scale =
             std::sqrt(static_cast<double>(world.alive_count()) /
@@ -162,42 +206,197 @@ ScenarioResult run_scenario(const ScenarioParams& params) {
             lookers.push_back(alive[idx]);
         }
     }
+    if (!aborted && lookers.empty()) {
+        PQS_WARN("scenario: no node left alive to look up from; aborting");
+        aborted = true;
+    }
+
+    // Live-churn machinery; constructed only when enabled so the classic
+    // two-phase scenario stays bit-identical (no extra RNG draws, events
+    // or allocations).
+    std::unique_ptr<sim::FaultPlan> plan;
+    std::unique_ptr<QuorumRefresher> refresher;
+    std::shared_ptr<NetworkSizeEstimator> estimator;
+    std::vector<LiveSample> samples;
+    std::vector<double> sample_alive_sum;
+    std::vector<double> sample_quorum_sum;
+    bool live_active = false;
+    sim::Time live_start = 0;
+    if (!aborted && live.enabled) {
+        live_active = true;
+        live_start = world.simulator().now();
+        service.biquorum().context().retry =
+            RetryPolicy{live.op_max_attempts, live.op_retry_backoff, 2.0};
+        world.link().set_fault_injection(
+            net::LinkFaults{live.link_drop, live.link_duplicate});
+
+        sim::FaultPlanParams fp;
+        fp.crash_fraction_per_sec = live.crash_fraction_per_sec;
+        fp.join_fraction_per_sec = live.join_fraction_per_sec;
+        fp.recover_probability = live.recover_probability;
+        fp.recover_delay_mean = live.recover_delay_mean;
+        sim::FaultPlanHooks hooks;
+        hooks.population = [&world] { return world.alive_count(); };
+        hooks.crash_one =
+            [&world](util::Rng& r) -> std::optional<util::NodeId> {
+            const auto alive = world.alive_nodes();
+            if (alive.empty()) {
+                return std::nullopt;
+            }
+            const util::NodeId victim = alive[r.index(alive.size())];
+            world.fail_node(victim);
+            return victim;
+        };
+        hooks.join_one = [&world](util::Rng&) { world.spawn_node(); };
+        hooks.recover = [&world](util::NodeId id) { world.revive_node(id); };
+        plan = std::make_unique<sim::FaultPlan>(world.simulator(), fp,
+                                                std::move(hooks), rng.fork());
+        plan->start();
+
+        if (live.refresh) {
+            QuorumRefresher::Params rp;
+            rp.eps_max = live.refresh_eps_max;
+            rp.churn_kind = ChurnKind::kFailuresAndJoins;
+            rp.sizing = live.resize_lookup_from_estimate
+                            ? LookupSizing::kAdjustedToNetworkSize
+                            : LookupSizing::kFixed;
+            rp.churn_fraction_per_sec =
+                live.crash_fraction_per_sec + live.join_fraction_per_sec;
+            rp.explicit_interval = live.refresh_interval;
+            refresher = std::make_unique<QuorumRefresher>(service, rp);
+            for (const util::NodeId node : advertisers) {
+                refresher->start_node(node);
+            }
+        }
+
+        if (live.resize_lookup_from_estimate && membership != nullptr) {
+            estimator = std::make_shared<NetworkSizeEstimator>(*membership,
+                                                               rng.fork());
+            const std::size_t qa = result.advertise_quorum;
+            const double eps = params.spec.eps;
+            auto task = std::make_shared<Periodic>(Periodic{
+                world, live.estimate_period,
+                [&world, &service, &live_active, &rng, estimator, qa, eps,
+                 probes_wanted = live.estimate_probes] {
+                    if (!live_active) {
+                        return false;
+                    }
+                    const auto alive = world.alive_nodes();
+                    if (alive.empty()) {
+                        return true;
+                    }
+                    std::vector<util::NodeId> probes;
+                    const std::size_t k =
+                        std::min(probes_wanted, alive.size());
+                    for (const std::size_t idx :
+                         rng.sample_without_replacement(alive.size(), k)) {
+                        probes.push_back(alive[idx]);
+                    }
+                    if (const auto est =
+                            estimator->estimate_across(probes, 2)) {
+                        const auto n_est = static_cast<std::size_t>(
+                            std::max<long>(1, std::lround(*est)));
+                        service.biquorum().lookup_strategy().set_quorum_size(
+                            lookup_size_for(qa, n_est, eps));
+                    }
+                    return true;
+                }});
+            world.simulator().schedule_in(live.estimate_period,
+                                          [task] { periodic_fire(task); });
+        }
+    }
+
     const PhaseCounters before_lkp = snapshot(world);
     std::size_t hits = 0;
     std::size_t intersections = 0;
     std::size_t reply_drops = 0;
     util::Accumulator lkp_nodes;
     util::Accumulator lkp_latency;
-    run_sequential(
-        world, params.lookup_count, params.op_spacing, params.op_timeout,
-        [&](std::size_t i, std::function<void()> next) {
-            const util::Key key =
-                params.lookup_missing_keys
-                    ? 900000 + i
-                    : (keys.empty() ? 1 : keys[rng.index(keys.size())]);
-            const util::NodeId origin = lookers[rng.index(lookers.size())];
-            if (!world.alive(origin)) {
-                next();
-                return;
-            }
-            service.lookup(origin, key,
-                           [&, next = std::move(next)](const AccessResult& r) {
-                               if (r.ok) {
-                                   ++hits;
-                               }
-                               if (r.intersected) {
-                                   ++intersections;
-                               }
-                               if (r.intersected && !r.ok) {
-                                   ++reply_drops;
-                               }
-                               lkp_nodes.add(static_cast<double>(
-                                   r.nodes_contacted));
-                               lkp_latency.add(sim::to_seconds(r.latency));
-                               next();
-                           });
-        });
+    if (!aborted) {
+        run_sequential(
+            world, params.lookup_count, params.op_spacing, params.op_timeout,
+            [&](std::size_t i, std::function<void()> next) {
+                const util::Key key =
+                    params.lookup_missing_keys
+                        ? 900000 + i
+                        : (keys.empty() ? 1 : keys[rng.index(keys.size())]);
+                const util::NodeId origin =
+                    lookers[rng.index(lookers.size())];
+                if (!world.alive(origin)) {
+                    next();
+                    return;
+                }
+                service.lookup(
+                    origin, key,
+                    [&, next = std::move(next)](const AccessResult& r) {
+                        if (r.ok) {
+                            ++hits;
+                        }
+                        if (r.intersected) {
+                            ++intersections;
+                        }
+                        if (r.intersected && !r.ok) {
+                            ++reply_drops;
+                        }
+                        lkp_nodes.add(
+                            static_cast<double>(r.nodes_contacted));
+                        lkp_latency.add(sim::to_seconds(r.latency));
+                        if (live_active) {
+                            const auto bucket = static_cast<std::size_t>(
+                                (world.simulator().now() - live_start) /
+                                live.sample_period);
+                            if (bucket >= samples.size()) {
+                                samples.resize(bucket + 1);
+                                sample_alive_sum.resize(bucket + 1, 0.0);
+                                sample_quorum_sum.resize(bucket + 1, 0.0);
+                            }
+                            LiveSample& s = samples[bucket];
+                            s.lookups += 1.0;
+                            s.hits += r.ok ? 1.0 : 0.0;
+                            s.intersections += r.intersected ? 1.0 : 0.0;
+                            sample_alive_sum[bucket] +=
+                                static_cast<double>(world.alive_count());
+                            sample_quorum_sum[bucket] += static_cast<double>(
+                                service.biquorum()
+                                    .lookup_strategy()
+                                    .config()
+                                    .quorum_size);
+                        }
+                        next();
+                    });
+            },
+            &aborted);
+    }
+    if (plan != nullptr) {
+        // Freeze the fault processes, then let in-flight ops drain.
+        plan->stop();
+    }
     world.simulator().run_until(world.simulator().now() + 2 * sim::kSecond);
+    live_active = false;
+    if (live.enabled) {
+        world.link().set_fault_injection(net::LinkFaults{});
+        if (refresher != nullptr) {
+            result.live_refreshes =
+                static_cast<double>(refresher->refreshes_performed());
+            refresher->stop();
+        }
+        if (plan != nullptr) {
+            result.live_crashes = static_cast<double>(plan->crashes());
+            result.live_joins = static_cast<double>(plan->joins());
+            result.live_recoveries = static_cast<double>(plan->recoveries());
+        }
+        for (std::size_t b = 0; b < samples.size(); ++b) {
+            samples[b].t_s = sim::to_seconds(
+                static_cast<sim::Time>(b + 1) * live.sample_period);
+            if (samples[b].lookups > 0.0) {
+                samples[b].alive_nodes =
+                    sample_alive_sum[b] / samples[b].lookups;
+                samples[b].lookup_quorum =
+                    sample_quorum_sum[b] / samples[b].lookups;
+            }
+        }
+        result.live_samples = std::move(samples);
+    }
     const PhaseCounters after_lkp = snapshot(world);
 
     // ---- aggregate ----
@@ -219,6 +418,7 @@ ScenarioResult run_scenario(const ScenarioParams& params) {
     result.msgs_per_lookup = (after_lkp.data - before_lkp.data) / n_lkp;
     result.routing_per_lookup =
         (after_lkp.routing - before_lkp.routing) / n_lkp;
+    result.aborted = aborted ? 1.0 : 0.0;
     result.load = summarize_load(service.biquorum().context());
     result.sim_events =
         static_cast<double>(world.simulator().events_processed());
@@ -246,7 +446,21 @@ namespace {
     X(load.mean)                  \
     X(load.max)                   \
     X(load.cv)                    \
+    X(aborted)                    \
+    X(live_crashes)               \
+    X(live_joins)                 \
+    X(live_recoveries)            \
+    X(live_refreshes)             \
     X(sim_events)
+
+// Same pattern for the per-bucket fields of LiveSample.
+#define PQS_LIVE_SAMPLE_METRICS(X) \
+    X(t_s)                         \
+    X(lookups)                     \
+    X(hits)                        \
+    X(intersections)               \
+    X(alive_nodes)                 \
+    X(lookup_quorum)
 
 }  // namespace
 
@@ -288,6 +502,32 @@ ScenarioAggregate aggregate_scenarios(
         }
         metric.set(agg.mean, acc.mean());
         metric.set(agg.stddev, acc.count() > 1 ? acc.stddev() : 0.0);
+    }
+
+    // Element-wise aggregation of the live-phase buckets. Runs may differ
+    // in bucket count (churn shifts op pacing); each bucket aggregates
+    // over the runs that reached it.
+    std::size_t buckets = 0;
+    for (const ScenarioResult& one : results) {
+        buckets = std::max(buckets, one.live_samples.size());
+    }
+    agg.mean.live_samples.assign(buckets, LiveSample{});
+    agg.stddev.live_samples.assign(buckets, LiveSample{});
+    for (std::size_t b = 0; b < buckets; ++b) {
+#define PQS_LIVE_FIELD_AGG(field)                                     \
+    {                                                                 \
+        util::Accumulator acc;                                        \
+        for (const ScenarioResult& one : results) {                   \
+            if (b < one.live_samples.size()) {                        \
+                acc.add(one.live_samples[b].field);                   \
+            }                                                         \
+        }                                                             \
+        agg.mean.live_samples[b].field = acc.mean();                  \
+        agg.stddev.live_samples[b].field =                            \
+            acc.count() > 1 ? acc.stddev() : 0.0;                     \
+    }
+        PQS_LIVE_SAMPLE_METRICS(PQS_LIVE_FIELD_AGG)
+#undef PQS_LIVE_FIELD_AGG
     }
     return agg;
 }

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <vector>
 
 #include "core/location_service.h"
@@ -16,6 +18,59 @@
 #include "util/stats.h"
 
 namespace pqs::core {
+
+// Continuous-churn mode (§6.1 measured live, Fig. 7(b) companion): the
+// lookup phase runs WHILE a sim::FaultPlan crashes/joins/recovers nodes,
+// instead of applying churn as a single step between phases. Everything
+// here defaults to off; with enabled=false the scenario is bit-identical
+// to the classic two-phase run.
+struct LiveChurnParams {
+    bool enabled = false;
+
+    // Poisson churn rates (fraction of the current population per second).
+    double crash_fraction_per_sec = 0.0;
+    double join_fraction_per_sec = 0.0;
+    // Probability / mean delay of a crashed node's warm restart.
+    double recover_probability = 0.0;
+    sim::Time recover_delay_mean = 30 * sim::kSecond;
+
+    // Link-level fault injection active during the live phase only.
+    double link_drop = 0.0;
+    double link_duplicate = 0.0;
+
+    // Quorum refresh (§6.1 "with refresh" curve): every advertise origin
+    // re-advertises at the interval derived from refresh_eps_max and the
+    // churn rates, or at the explicit override.
+    bool refresh = false;
+    double refresh_eps_max = 0.2;
+    std::optional<sim::Time> refresh_interval;
+
+    // Periodically re-estimate n(t) via the birthday paradox (§6.3) and
+    // resize the lookup quorum to match (§6.1 case (b)). Requires
+    // use_membership.
+    bool resize_lookup_from_estimate = false;
+    sim::Time estimate_period = 10 * sim::kSecond;
+    std::size_t estimate_probes = 16;
+
+    // Operation-level retry for accesses issued during the live phase.
+    int op_max_attempts = 1;
+    sim::Time op_retry_backoff = 500 * sim::kMillisecond;
+
+    // Width of the time buckets the measured intersection probability is
+    // reported in (ScenarioResult::live_samples).
+    sim::Time sample_period = 5 * sim::kSecond;
+};
+
+// One time bucket of the live phase. All fields are doubles so buckets
+// aggregate across runs exactly like scalar metrics.
+struct LiveSample {
+    double t_s = 0.0;           // bucket end, seconds since live start
+    double lookups = 0.0;       // lookups resolved in this bucket
+    double hits = 0.0;
+    double intersections = 0.0;
+    double alive_nodes = 0.0;   // mean alive population at resolution
+    double lookup_quorum = 0.0; // mean configured lookup size
+};
 
 struct ScenarioParams {
     net::WorldParams world;
@@ -41,6 +96,10 @@ struct ScenarioParams {
     double join_fraction = 0.0;
     // Re-derive the lookup quorum size from n(t) after churn (§6.1 case b).
     bool adjust_lookup_to_network = false;
+
+    // Continuous churn during the lookup phase (replaces the step churn
+    // above when enabled).
+    LiveChurnParams live;
 };
 
 struct ScenarioResult {
@@ -67,6 +126,19 @@ struct ScenarioResult {
 
     // §3 load metric over the whole run (advertise + lookup phases).
     LoadSummary load;
+
+    // 1.0 when the scenario aborted cleanly (e.g. churn left no node alive
+    // to look up from); the phases after the abort report zeros.
+    double aborted = 0.0;
+
+    // Live-churn mode accounting (zero when live.enabled is false).
+    double live_crashes = 0.0;
+    double live_joins = 0.0;
+    double live_recoveries = 0.0;
+    double live_refreshes = 0.0;
+
+    // Time-bucketed live-phase outcomes (empty unless live.enabled).
+    std::vector<LiveSample> live_samples;
 
     // Simulator events processed by the run (deterministic for a seed);
     // stored as double so it participates in the generic aggregation and
@@ -113,5 +185,16 @@ ScenarioResult run_scenario(const ScenarioParams& params);
 // the aggregate is bit-identical for every thread count.
 ScenarioAggregate run_scenario_averaged(ScenarioParams params, int runs,
                                         std::uint64_t seed_base = 1);
+
+// Runs `count` operations back to back: each op's completion callback
+// schedules the next launch after `spacing`. Drives the simulator until
+// all ops completed, the deadline passed, or *abort became true. The
+// continuation state is shared-owned by every scheduled event, so ops
+// still in flight when the driver gives up stay safe to resolve later.
+// Exposed for the scenario driver's regression tests.
+void run_sequential(net::World& world, std::size_t count, sim::Time spacing,
+                    sim::Time per_op_budget,
+                    std::function<void(std::size_t, std::function<void()>)> op,
+                    const bool* abort = nullptr);
 
 }  // namespace pqs::core

@@ -36,14 +36,23 @@ void AbstractLink::unicast(PacketPtr p, LinkTxCallback done) {
     world_.simulator().schedule_in(delay, [this, p, from, to,
                                            done = std::move(done)]() mutable {
         // Evaluate deliverability at delivery time: mobility or failures
-        // during the airtime window count against the hop.
-        const bool reachable =
+        // during the airtime window count against the hop. Injected faults
+        // draw randomness only while armed, so fault-free runs keep their
+        // exact RNG stream (golden fingerprints).
+        bool reachable =
             world_.alive(from) && world_.alive(to) &&
             geom::distance(world_.position(from), world_.position(to)) <=
                 world_.range() &&
             !rng_.bernoulli(params_.unicast_loss);
+        if (reachable && faults_.drop > 0.0 && rng_.bernoulli(faults_.drop)) {
+            reachable = false;
+        }
         if (reachable) {
             world_.deliver(to, p);
+            if (faults_.duplicate > 0.0 &&
+                rng_.bernoulli(faults_.duplicate)) {
+                inject_duplicate(p, to);
+            }
             if (done) {
                 done(true);
             }
@@ -76,10 +85,29 @@ void AbstractLink::broadcast(PacketPtr p) {
                     geom::distance(world_.position(from),
                                    world_.position(to)) <= world_.range() &&
                     !rng_.bernoulli(params_.broadcast_loss)) {
+                    if (faults_.drop > 0.0 &&
+                        rng_.bernoulli(faults_.drop)) {
+                        continue;
+                    }
                     world_.deliver(to, p);
+                    if (faults_.duplicate > 0.0 &&
+                        rng_.bernoulli(faults_.duplicate)) {
+                        inject_duplicate(p, to);
+                    }
                 }
             }
         });
+}
+
+void AbstractLink::inject_duplicate(const PacketPtr& p, util::NodeId to) {
+    // The duplicate trails the original by one extra hop delay and must
+    // still find the receiver alive — a node that crashed in between
+    // swallows it.
+    world_.simulator().schedule_in(hop_delay(), [this, p, to] {
+        if (world_.alive(to)) {
+            world_.deliver(to, p);
+        }
+    });
 }
 
 }  // namespace pqs::net

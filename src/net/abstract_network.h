@@ -38,6 +38,9 @@ public:
 
 private:
     sim::Time hop_delay();
+    // Schedules a second delivery of `p` to `to` after one extra hop delay
+    // (LinkFaults::duplicate injection).
+    void inject_duplicate(const PacketPtr& p, util::NodeId to);
 
     World& world_;
     AbstractLinkParams params_;

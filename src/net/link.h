@@ -16,6 +16,18 @@ namespace pqs::net {
 
 using LinkTxCallback = std::function<void(bool success)>;
 
+// Runtime link-fault injection (the live-churn experiments): an extra
+// per-delivery drop probability on top of the configured residual loss,
+// and a probability that a delivered packet arrives twice (the duplicate
+// is delayed by one extra hop delay). Set/cleared at phase boundaries by
+// the scenario driver; both default to benign.
+struct LinkFaults {
+    double drop = 0.0;
+    double duplicate = 0.0;
+
+    bool active() const { return drop > 0.0 || duplicate > 0.0; }
+};
+
 class LinkLayer {
 public:
     virtual ~LinkLayer() = default;
@@ -29,6 +41,14 @@ public:
 
     virtual void on_node_failed(util::NodeId) {}
     virtual void on_node_spawned(util::NodeId) {}
+
+    // Installs runtime fault injection. AbstractLink honors it; the full
+    // MAC stack ignores it (its losses come from the SINR channel).
+    void set_fault_injection(const LinkFaults& faults) { faults_ = faults; }
+    const LinkFaults& fault_injection() const { return faults_; }
+
+protected:
+    LinkFaults faults_;
 };
 
 }  // namespace pqs::net

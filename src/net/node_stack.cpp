@@ -14,25 +14,33 @@ NodeStack::NodeStack(World& world, util::NodeId id, util::Rng rng)
       aodv_(*this, world.params().aodv) {}
 
 void NodeStack::start() {
+    if (heartbeat_timer_ != sim::kInvalidEvent) {
+        world_.simulator().cancel(heartbeat_timer_);
+    }
     running_ = true;
     // Desynchronize heartbeats across nodes within the first cycle.
     const auto cycle = static_cast<std::uint64_t>(world_.params().heartbeat);
-    world_.simulator().schedule_in(
+    heartbeat_timer_ = world_.simulator().schedule_in(
         static_cast<sim::Time>(rng_.uniform_u64(cycle + 1)),
         [this] { heartbeat(); });
 }
 
 void NodeStack::heartbeat() {
+    heartbeat_timer_ = sim::kInvalidEvent;
     if (!running_) {
         return;
     }
     link_broadcast(make_hello(id_));
-    world_.simulator().schedule_in(world_.params().heartbeat,
-                                   [this] { heartbeat(); });
+    heartbeat_timer_ = world_.simulator().schedule_in(
+        world_.params().heartbeat, [this] { heartbeat(); });
 }
 
 void NodeStack::shutdown() {
     running_ = false;
+    if (heartbeat_timer_ != sim::kInvalidEvent) {
+        world_.simulator().cancel(heartbeat_timer_);
+        heartbeat_timer_ = sim::kInvalidEvent;
+    }
     app_handlers_.clear();
     snoop_handlers_.clear();
     overhear_handlers_.clear();

@@ -10,6 +10,7 @@
 #include "net/link.h"
 #include "net/neighbor.h"
 #include "net/packet.h"
+#include "sim/simulator.h"
 #include "util/ids.h"
 #include "util/rng.h"
 
@@ -32,6 +33,7 @@ public:
     Aodv& aodv() { return aodv_; }
 
     // Schedules the heartbeat loop (jittered within the first cycle).
+    // Callable again after shutdown() — a warm restart on node revival.
     void start();
 
     // --- one-hop primitives ---
@@ -104,6 +106,9 @@ private:
     std::vector<SnoopHandler> snoop_handlers_;
     std::vector<OverhearHandler> overhear_handlers_;
     bool running_ = false;
+    // Pending heartbeat event, cancelled on shutdown so a revived node's
+    // restart() can't race a stale [this] callback from its previous life.
+    sim::EventId heartbeat_timer_ = sim::kInvalidEvent;
 };
 
 }  // namespace pqs::net

@@ -199,6 +199,25 @@ void World::fail_node(util::NodeId id) {
     link_->on_node_failed(id);
 }
 
+bool World::revive_node(util::NodeId id) {
+    if (id >= alive_.size() || alive_[id] ||
+        params_.fidelity == Fidelity::kFull) {
+        return false;
+    }
+    alive_[id] = true;
+    ++alive_count_;
+    grid_->insert(id, positions_[id]);
+    link_->on_node_spawned(id);
+    if (started_) {
+        stacks_[id]->start();
+        mobility_->start_node(*this, id, rng_);
+    }
+    for (const auto& listener : spawn_listeners_) {
+        listener(id);
+    }
+    return true;
+}
+
 util::NodeId World::spawn_node() {
     const auto id = static_cast<util::NodeId>(positions_.size());
     positions_.push_back(

@@ -103,6 +103,13 @@ public:
     // --- churn ---
     void fail_node(util::NodeId id);
     util::NodeId spawn_node();
+    // Warm restart of a previously failed node: it rejoins at its last
+    // known position with its stores intact (the paper's recovering node,
+    // §6.1 "failures and joins"). Spawn listeners fire so services can
+    // reinstall the handlers that shutdown() cleared. Returns false if the
+    // node is alive/unknown or the world runs at full fidelity (the MAC /
+    // radio teardown in fail_node is not reversible there).
+    bool revive_node(util::NodeId id);
     // Invoked (in registration order) whenever spawn_node creates a node;
     // lets services install their per-node handlers on late joiners.
     void add_spawn_listener(std::function<void(util::NodeId)> listener) {

@@ -1,0 +1,112 @@
+#include "sim/fault_plan.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace pqs::sim {
+
+FaultPlan::FaultPlan(Simulator& simulator, FaultPlanParams params,
+                     FaultPlanHooks hooks, util::Rng rng)
+    : simulator_(simulator),
+      params_(params),
+      hooks_(std::move(hooks)),
+      rng_(rng) {
+    PQS_CHECK(params_.crash_fraction_per_sec <= 0.0 || hooks_.crash_one,
+              "FaultPlan: crash rate set but no crash_one hook");
+    PQS_CHECK(params_.join_fraction_per_sec <= 0.0 || hooks_.join_one,
+              "FaultPlan: join rate set but no join_one hook");
+    PQS_CHECK(params_.recover_probability <= 0.0 || hooks_.recover,
+              "FaultPlan: recover probability set but no recover hook");
+    PQS_CHECK(hooks_.population, "FaultPlan: population hook is required");
+}
+
+FaultPlan::~FaultPlan() { stop(); }
+
+void FaultPlan::start() {
+    stop();
+    running_ = true;
+    end_time_ = params_.horizon == kTimeNever
+                    ? kTimeNever
+                    : simulator_.now() + params_.horizon;
+    schedule_crash();
+    schedule_join();
+}
+
+void FaultPlan::stop() {
+    running_ = false;
+    if (crash_timer_ != kInvalidEvent) {
+        simulator_.cancel(crash_timer_);
+        crash_timer_ = kInvalidEvent;
+    }
+    if (join_timer_ != kInvalidEvent) {
+        simulator_.cancel(join_timer_);
+        join_timer_ = kInvalidEvent;
+    }
+    for (const auto& [token, id] : recovery_timers_) {
+        simulator_.cancel(id);
+    }
+    recovery_timers_.clear();
+}
+
+std::optional<Time> FaultPlan::next_gap(double fraction_per_sec) {
+    if (fraction_per_sec <= 0.0) {
+        return std::nullopt;
+    }
+    const double population =
+        static_cast<double>(std::max<std::size_t>(1, hooks_.population()));
+    const double gap_s = rng_.exponential(fraction_per_sec * population);
+    const Time when = simulator_.now() + from_seconds(gap_s);
+    if (end_time_ != kTimeNever && when > end_time_) {
+        return std::nullopt;
+    }
+    return when;
+}
+
+void FaultPlan::schedule_crash() {
+    if (const auto when = next_gap(params_.crash_fraction_per_sec)) {
+        crash_timer_ = simulator_.schedule_at(*when, [this] { on_crash(); });
+    } else {
+        crash_timer_ = kInvalidEvent;
+    }
+}
+
+void FaultPlan::schedule_join() {
+    if (const auto when = next_gap(params_.join_fraction_per_sec)) {
+        join_timer_ = simulator_.schedule_at(*when, [this] { on_join(); });
+    } else {
+        join_timer_ = kInvalidEvent;
+    }
+}
+
+void FaultPlan::on_crash() {
+    crash_timer_ = kInvalidEvent;
+    if (const auto victim = hooks_.crash_one(rng_)) {
+        ++crashes_;
+        if (params_.recover_probability > 0.0 &&
+            rng_.bernoulli(params_.recover_probability)) {
+            const double mean_s = to_seconds(params_.recover_delay_mean);
+            const Time delay =
+                mean_s > 0.0 ? from_seconds(rng_.exponential(1.0 / mean_s))
+                             : 0;
+            const std::uint64_t token = next_recovery_token_++;
+            const util::NodeId node = *victim;
+            recovery_timers_[token] =
+                simulator_.schedule_in(delay, [this, token, node] {
+                    recovery_timers_.erase(token);
+                    ++recoveries_;
+                    hooks_.recover(node);
+                });
+        }
+    }
+    schedule_crash();
+}
+
+void FaultPlan::on_join() {
+    join_timer_ = kInvalidEvent;
+    hooks_.join_one(rng_);
+    ++joins_;
+    schedule_join();
+}
+
+}  // namespace pqs::sim

@@ -1,0 +1,117 @@
+// Live churn and fault injection (§6.1 measured in real time): Poisson
+// node crash / join / recovery processes scheduled over simulated time.
+// Where the between-phases churn step in core/scenario.cpp reproduces the
+// paper's *snapshot* degradation (Fig. 14(f)), FaultPlan drives churn
+// *while* operations run, so the measured intersection probability can be
+// compared against the §6.1 closed-form decay curves in real time.
+//
+// Layering: FaultPlan lives below the network layer on purpose — it knows
+// nodes only as opaque ids handed back by the host's hooks, so the same
+// engine can churn a full net::World, a bare membership table, or a unit
+// test double. All randomness flows from the util::Rng passed in (forked
+// from the per-trial seed), so runs stay bit-identical per seed.
+//
+// Lifetime: every event FaultPlan schedules captures `this`; the plan
+// therefore tracks each pending event id and cancels all of them in
+// stop() / the destructor, so a plan destroyed before its simulator never
+// leaves dangling callbacks behind (the QuorumRefresher bug class fixed
+// in the same PR).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+#include "util/ids.h"
+#include "util/rng.h"
+
+namespace pqs::sim {
+
+struct FaultPlanParams {
+    // Poisson rates, expressed as the expected fraction of the *current*
+    // population affected per second (the §6.1 churn rate). A rate of 0
+    // disables that process. The instantaneous event rate is
+    // fraction * max(1, population()) events/sec — the max(1, ·) keeps a
+    // briefly empty network pollable so joins can repopulate it.
+    double crash_fraction_per_sec = 0.0;
+    double join_fraction_per_sec = 0.0;
+
+    // Probability that a crashed node later recovers (warm restart), after
+    // an exponentially distributed delay with the given mean. Recoveries
+    // scheduled before the horizon may still fire after it — recovery is a
+    // consequence of an injected fault, not a new injection.
+    double recover_probability = 0.0;
+    Time recover_delay_mean = 30 * kSecond;
+
+    // Stop injecting new crashes/joins this long after start();
+    // kTimeNever = inject until stop() or destruction.
+    Time horizon = kTimeNever;
+};
+
+// Callbacks into the hosting network.
+struct FaultPlanHooks {
+    // Picks and crashes one node; returns its id, or nullopt when nobody
+    // is left to crash. Required when crash_fraction_per_sec > 0.
+    std::function<std::optional<util::NodeId>(util::Rng&)> crash_one;
+    // Adds one fresh node. Required when join_fraction_per_sec > 0.
+    std::function<void(util::Rng&)> join_one;
+    // Brings a previously crashed node back. Required when
+    // recover_probability > 0.
+    std::function<void(util::NodeId)> recover;
+    // Current alive population; scales the Poisson event rates.
+    std::function<std::size_t()> population;
+};
+
+class FaultPlan {
+public:
+    FaultPlan(Simulator& simulator, FaultPlanParams params,
+              FaultPlanHooks hooks, util::Rng rng);
+    ~FaultPlan();
+    FaultPlan(const FaultPlan&) = delete;
+    FaultPlan& operator=(const FaultPlan&) = delete;
+
+    // Begins the crash/join processes (idempotent; restarts the horizon).
+    void start();
+    // Cancels every pending crash, join and recovery event. Safe to call
+    // repeatedly; start() may be called again afterwards.
+    void stop();
+
+    bool running() const { return running_; }
+    std::size_t crashes() const { return crashes_; }
+    std::size_t joins() const { return joins_; }
+    std::size_t recoveries() const { return recoveries_; }
+    std::size_t pending_recoveries() const { return recovery_timers_.size(); }
+
+private:
+    void schedule_crash();
+    void schedule_join();
+    void on_crash();
+    void on_join();
+    // Next Poisson gap for a per-node fraction rate; nullopt when the
+    // process is disabled or the gap lands past the horizon.
+    std::optional<Time> next_gap(double fraction_per_sec);
+
+    Simulator& simulator_;
+    FaultPlanParams params_;
+    FaultPlanHooks hooks_;
+    util::Rng rng_;
+
+    bool running_ = false;
+    Time end_time_ = kTimeNever;
+    EventId crash_timer_ = kInvalidEvent;
+    EventId join_timer_ = kInvalidEvent;
+    // Recovery events keyed by a token so each callback can retire its own
+    // entry; the map holds whatever is still cancellable.
+    std::unordered_map<std::uint64_t, EventId> recovery_timers_;
+    std::uint64_t next_recovery_token_ = 0;
+
+    std::size_t crashes_ = 0;
+    std::size_t joins_ = 0;
+    std::size_t recoveries_ = 0;
+};
+
+}  // namespace pqs::sim

@@ -1,0 +1,16 @@
+// Fixture: a stack-local std::function ref-captured by a lambda handed
+// to schedule_in — the scheduled straggler dangles once drive() returns
+// (the scenario-driver use-after-scope class).
+#include <functional>
+
+struct Sim {
+    template <typename F>
+    void schedule_in(long delay, F&& fn);
+};
+
+void drive(Sim& sim, std::function<void()>& op) {
+    std::function<void()> launch = [] {};
+    sim.schedule_in(10, [&launch] { launch(); });  // expect-lint: dangling-schedule-capture
+    sim.schedule_in(20, [&] { launch(); });        // expect-lint: dangling-schedule-capture
+    sim.schedule_in(30, [&op] { op(); });          // expect-lint: dangling-schedule-capture
+}

@@ -1,0 +1,20 @@
+// Fixture: the sanctioned pattern — continuation state owned by a
+// shared_ptr captured by value, so the scheduled event keeps it alive
+// however late it fires.
+#include <functional>
+#include <memory>
+
+struct Sim {
+    template <typename F>
+    void schedule_in(long delay, F&& fn);
+};
+
+struct State {
+    std::function<void()> launch;
+};
+
+void drive(Sim& sim) {
+    auto state = std::make_shared<State>();
+    state->launch = [] {};
+    sim.schedule_in(10, [state] { state->launch(); });
+}

@@ -1,0 +1,179 @@
+// Unit tests for the live fault-injection engine (sim::FaultPlan): Poisson
+// event counts, deterministic replay per seed, horizon handling, and the
+// stop()/destructor cancellation contract, all against a toy host so no
+// network layer is involved.
+#include "sim/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+namespace pqs::sim {
+namespace {
+
+// Minimal churnable host: a vector of alive flags; joins append new nodes.
+struct ToyHost {
+    std::vector<bool> alive;
+    std::size_t alive_count = 0;
+
+    explicit ToyHost(std::size_t n) : alive(n, true), alive_count(n) {}
+
+    FaultPlanHooks hooks() {
+        FaultPlanHooks h;
+        h.population = [this] { return alive_count; };
+        h.crash_one = [this](util::Rng& rng) -> std::optional<util::NodeId> {
+            std::vector<util::NodeId> up;
+            for (std::size_t i = 0; i < alive.size(); ++i) {
+                if (alive[i]) {
+                    up.push_back(static_cast<util::NodeId>(i));
+                }
+            }
+            if (up.empty()) {
+                return std::nullopt;
+            }
+            const util::NodeId victim = up[rng.index(up.size())];
+            alive[victim] = false;
+            --alive_count;
+            return victim;
+        };
+        h.join_one = [this](util::Rng&) {
+            alive.push_back(true);
+            ++alive_count;
+        };
+        h.recover = [this](util::NodeId id) {
+            if (!alive[id]) {
+                alive[id] = true;
+                ++alive_count;
+            }
+        };
+        return h;
+    }
+};
+
+TEST(FaultPlan, PoissonCountsTrackConfiguredRates) {
+    Simulator simulator;
+    ToyHost host(1000);
+    FaultPlanParams params;
+    params.crash_fraction_per_sec = 0.001;  // ~1 event/sec at n=1000
+    params.join_fraction_per_sec = 0.001;
+    FaultPlan plan(simulator, params, host.hooks(), util::Rng(42));
+    plan.start();
+    simulator.run_until(200 * kSecond);
+
+    // Expected ~200 each; allow generous Poisson noise.
+    EXPECT_GT(plan.crashes(), 120u);
+    EXPECT_LT(plan.crashes(), 300u);
+    EXPECT_GT(plan.joins(), 120u);
+    EXPECT_LT(plan.joins(), 300u);
+}
+
+TEST(FaultPlan, DeterministicPerSeed) {
+    auto run = [](std::uint64_t seed) {
+        Simulator simulator;
+        ToyHost host(200);
+        FaultPlanParams params;
+        params.crash_fraction_per_sec = 0.005;
+        params.join_fraction_per_sec = 0.002;
+        FaultPlan plan(simulator, params, host.hooks(), util::Rng(seed));
+        plan.start();
+        simulator.run_until(100 * kSecond);
+        return std::tuple<std::size_t, std::size_t, std::vector<bool>>(
+            plan.crashes(), plan.joins(), host.alive);
+    };
+    EXPECT_EQ(run(7), run(7));
+    EXPECT_NE(std::get<2>(run(7)), std::get<2>(run(8)));
+}
+
+TEST(FaultPlan, StopFreezesCounters) {
+    Simulator simulator;
+    ToyHost host(500);
+    FaultPlanParams params;
+    params.crash_fraction_per_sec = 0.01;
+    FaultPlan plan(simulator, params, host.hooks(), util::Rng(3));
+    plan.start();
+    simulator.run_until(50 * kSecond);
+    const std::size_t at_stop = plan.crashes();
+    EXPECT_GT(at_stop, 0u);
+    plan.stop();
+    EXPECT_FALSE(plan.running());
+    simulator.run_until(500 * kSecond);
+    EXPECT_EQ(plan.crashes(), at_stop);
+}
+
+TEST(FaultPlan, DestructionCancelsPendingEvents) {
+    // A plan destroyed while its crash/join/recovery events are still
+    // queued must cancel them; otherwise the simulator later calls into a
+    // dead object (caught by ASan).
+    Simulator simulator;
+    ToyHost host(500);
+    std::size_t crashes_at_destroy = 0;
+    {
+        FaultPlanParams params;
+        params.crash_fraction_per_sec = 0.01;
+        params.join_fraction_per_sec = 0.01;
+        params.recover_probability = 1.0;
+        params.recover_delay_mean = 60 * kSecond;
+        FaultPlan plan(simulator, params, host.hooks(), util::Rng(5));
+        plan.start();
+        simulator.run_until(30 * kSecond);
+        crashes_at_destroy = plan.crashes();
+        EXPECT_GT(plan.pending_recoveries(), 0u);
+    }
+    const std::size_t alive_at_destroy = host.alive_count;
+    simulator.run_until(1000 * kSecond);
+    EXPECT_GT(crashes_at_destroy, 0u);
+    EXPECT_EQ(host.alive_count, alive_at_destroy);
+}
+
+TEST(FaultPlan, RecoveriesReviveCrashedNodes) {
+    Simulator simulator;
+    ToyHost host(300);
+    FaultPlanParams params;
+    params.crash_fraction_per_sec = 0.005;
+    params.recover_probability = 1.0;
+    params.recover_delay_mean = 2 * kSecond;
+    params.horizon = 100 * kSecond;
+    FaultPlan plan(simulator, params, host.hooks(), util::Rng(9));
+    plan.start();
+    simulator.run_until(400 * kSecond);
+    EXPECT_GT(plan.crashes(), 0u);
+    EXPECT_EQ(plan.recoveries(), plan.crashes());
+    EXPECT_EQ(plan.pending_recoveries(), 0u);
+    EXPECT_EQ(host.alive_count, 300u);  // everybody came back
+}
+
+TEST(FaultPlan, HorizonBoundsInjection) {
+    Simulator simulator;
+    ToyHost host(500);
+    FaultPlanParams params;
+    params.crash_fraction_per_sec = 0.01;
+    params.horizon = 20 * kSecond;
+    FaultPlan plan(simulator, params, host.hooks(), util::Rng(11));
+    plan.start();
+    simulator.run_until(25 * kSecond);
+    const std::size_t at_horizon = plan.crashes();
+    simulator.run_until(500 * kSecond);
+    EXPECT_EQ(plan.crashes(), at_horizon);
+}
+
+TEST(FaultPlan, SurvivesEmptyPopulation) {
+    // crash_one returning nullopt (nobody left) must not stop the process:
+    // joins can repopulate and crashes resume.
+    Simulator simulator;
+    ToyHost host(2);
+    FaultPlanParams params;
+    params.crash_fraction_per_sec = 1.0;   // drain the host immediately
+    params.join_fraction_per_sec = 0.05;
+    FaultPlan plan(simulator, params, host.hooks(), util::Rng(13));
+    plan.start();
+    simulator.run_until(300 * kSecond);
+    EXPECT_GT(plan.joins(), 0u);
+    EXPECT_GT(plan.crashes(), 2u);  // kept crashing the joiners
+}
+
+}  // namespace
+}  // namespace pqs::sim

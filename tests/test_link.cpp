@@ -137,6 +137,64 @@ TEST(AbstractLink, NonPromiscuousNoOverhearing) {
     EXPECT_EQ(overheard, 0);
 }
 
+TEST(AbstractLink, FaultInjectionDropSuppressesDelivery) {
+    WorldParams p;
+    p.n = 40;
+    p.seed = 6;
+    p.oracle_neighbors = true;
+    World w(p);
+    w.start();
+    const auto neighbors = w.physical_neighbors(0);
+    ASSERT_FALSE(neighbors.empty());
+    int delivered = 0;
+    w.stack(neighbors[0]).add_app_handler(
+        [&](util::NodeId, util::NodeId, const AppMsgPtr&) {
+            ++delivered;
+            return true;
+        });
+
+    w.link().set_fault_injection(LinkFaults{1.0, 0.0});
+    EXPECT_TRUE(w.link().fault_injection().active());
+    for (int i = 0; i < 20; ++i) {
+        w.stack(0).send_unicast(neighbors[0], std::make_shared<Ping>(),
+                                nullptr);
+    }
+    w.simulator().run_until(w.simulator().now() + 5 * sim::kSecond);
+    EXPECT_EQ(delivered, 0);
+
+    // Clearing the faults restores normal delivery on the same link.
+    w.link().set_fault_injection(LinkFaults{});
+    EXPECT_FALSE(w.link().fault_injection().active());
+    w.stack(0).send_unicast(neighbors[0], std::make_shared<Ping>(), nullptr);
+    w.simulator().run_until(w.simulator().now() + 5 * sim::kSecond);
+    EXPECT_EQ(delivered, 1);
+}
+
+TEST(AbstractLink, FaultInjectionDuplicateDeliversTwice) {
+    WorldParams p;
+    p.n = 40;
+    p.seed = 7;
+    p.oracle_neighbors = true;
+    World w(p);
+    w.start();
+    const auto neighbors = w.physical_neighbors(0);
+    ASSERT_FALSE(neighbors.empty());
+    int delivered = 0;
+    w.stack(neighbors[0]).add_app_handler(
+        [&](util::NodeId, util::NodeId, const AppMsgPtr&) {
+            ++delivered;
+            return true;
+        });
+    w.link().set_fault_injection(LinkFaults{0.0, 1.0});
+    const int sends = 10;
+    for (int i = 0; i < sends; ++i) {
+        w.stack(0).send_unicast(neighbors[0], std::make_shared<Ping>(),
+                                nullptr);
+    }
+    w.simulator().run_until(w.simulator().now() + 5 * sim::kSecond);
+    EXPECT_EQ(delivered, 2 * sends);
+}
+
 // Hidden terminal on the full MAC: A and C are out of carrier-sense range
 // of each other but both reach B. Concurrent bursts collide at B, yet the
 // ack/retry machinery eventually delivers everything.

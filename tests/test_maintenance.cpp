@@ -109,6 +109,49 @@ TEST_F(MaintenanceFixture, RefresherReadvertisesPeriodically) {
     EXPECT_GE(refresher.refreshes_performed(), 3u);
 }
 
+TEST_F(MaintenanceFixture, RefresherSurvivesTransientDeath) {
+    // Pre-fix, a tick that found its node dead ended that node's chain
+    // permanently; a later recovery left the quorum unrefreshed forever.
+    build(60);
+    bool done = false;
+    service->advertise(0, 9, 90, [&](const AccessResult&) { done = true; });
+    const sim::Time deadline = world->simulator().now() + 60 * sim::kSecond;
+    while (!done && world->simulator().now() < deadline &&
+           world->simulator().step()) {
+    }
+    ASSERT_TRUE(done);
+
+    QuorumRefresher::Params params;
+    params.explicit_interval = 10 * sim::kSecond;
+    QuorumRefresher refresher(*service, params);
+    refresher.start_node(0);
+    world->fail_node(0);
+    world->simulator().run_until(world->simulator().now() +
+                                 35 * sim::kSecond);
+    EXPECT_EQ(refresher.refreshes_performed(), 0u);  // dead: skip, stay armed
+
+    ASSERT_TRUE(world->revive_node(0));
+    world->simulator().run_until(world->simulator().now() +
+                                 35 * sim::kSecond);
+    EXPECT_GE(refresher.refreshes_performed(), 2u);
+}
+
+TEST_F(MaintenanceFixture, RefresherEarlyDestructionCancelsTicks) {
+    // Pre-fix, ticks scheduled [this] with no lifetime guard; destroying
+    // the refresher before its simulator made the next tick call into a
+    // dead object (caught by ASan).
+    build(60);
+    {
+        QuorumRefresher::Params params;
+        params.explicit_interval = 5 * sim::kSecond;
+        QuorumRefresher refresher(*service, params);
+        refresher.start_node(0);
+        refresher.start_node(1);
+    }
+    world->simulator().run_until(world->simulator().now() +
+                                 60 * sim::kSecond);
+}
+
 TEST_F(MaintenanceFixture, RefresherSkipsNodesWithoutPublications) {
     build(60);
     QuorumRefresher::Params params;

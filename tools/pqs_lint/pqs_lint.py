@@ -30,6 +30,14 @@ correctness contracts, so this checker enforces them statically:
       (src/util/logging.*): simulation output must go through the leveled
       logger or an explicit FILE*/CsvWriter sink chosen by the caller.
 
+  dangling-schedule-capture
+      A lambda passed to schedule_in / schedule_at must not capture a
+      stack-local (or reference-parameter) std::function by reference:
+      the event outlives the enclosing scope whenever the driver loop
+      exits early (deadline, abort), and the straggler then calls through
+      a dangling reference (the scenario-driver use-after-scope class).
+      Move the continuation into shared-owned state captured by value.
+
 Suppress a finding with `// pqs-lint: allow(<rule-id>)` on the same line.
 
 Usage:
@@ -47,9 +55,10 @@ RULE_HELD_REF = "held-ref-across-send"
 RULE_RAW_RANDOM = "raw-random"
 RULE_UNORDERED_OUTPUT = "unordered-output"
 RULE_RAW_STDOUT = "raw-stdout"
+RULE_DANGLING_SCHEDULE = "dangling-schedule-capture"
 
 ALL_RULES = (RULE_HELD_REF, RULE_RAW_RANDOM, RULE_UNORDERED_OUTPUT,
-             RULE_RAW_STDOUT)
+             RULE_RAW_STDOUT, RULE_DANGLING_SCHEDULE)
 
 # Calls that can synchronously re-enter the location service and resolve
 # (erase) a pending op while the caller still holds a table reference.
@@ -88,6 +97,16 @@ OUTPUT_SINK_RE = re.compile(
 
 RAW_STDOUT_RE = re.compile(r"std::cout\b|(?<![\w:])(?:std::)?printf\s*\(|"
                            r"(?<![\w:])puts\s*\(")
+
+# std::function declared as a local or bound/taken by reference; either
+# way the object lives on some enclosing stack frame, so a scheduled event
+# ref-capturing it can dangle.
+STD_FUNCTION_NAME_RE = re.compile(
+    r"\bstd\s*::\s*function\s*<[^;{}]*>\s*&?\s*(\w+)\s*[;=,)]")
+
+SCHEDULE_CALL_RE = re.compile(r"\bschedule_(?:in|at)\s*\(")
+
+LAMBDA_CAPTURE_RE = re.compile(r"\[([^\[\]]*)\]")
 
 ALLOW_RE = re.compile(r"//\s*pqs-lint:\s*allow\(([\w,\s-]+)\)")
 
@@ -261,6 +280,61 @@ class HeldRefChecker:
                 del self.taints[var]
 
 
+class DanglingScheduleChecker:
+    """Scope tracker for rule dangling-schedule-capture: std::function
+    objects living on some stack frame (locals, members of local structs,
+    or (reference) parameters) whose names are ref-captured by a lambda
+    handed to schedule_in/schedule_at. The scheduled event can outlive the
+    enclosing scope whenever the driver loop exits early, at which point
+    the straggler calls through a dangling reference."""
+
+    def __init__(self, path, violations):
+        self.path = path
+        self.violations = violations
+        self.funcs = {}  # name -> (decl depth, decl line)
+        self.depth = 0
+
+    def check_line(self, lineno, line, logical):
+        # 1. New std::function declarations/parameters on this line.
+        for m in STD_FUNCTION_NAME_RE.finditer(logical):
+            if m.group(1) not in self.funcs:
+                self.funcs[m.group(1)] = (self.depth, lineno)
+
+        # 2. schedule_in/schedule_at calls whose lambda ref-captures a
+        #    tracked std::function. Only lines that *start* the call are
+        #    examined (the logical join pulls in continuation lines).
+        if SCHEDULE_CALL_RE.search(line):
+            sm = SCHEDULE_CALL_RE.search(logical)
+            rest = logical[sm.end():]
+            cm = LAMBDA_CAPTURE_RE.search(rest)
+            if cm:
+                caps = [c.strip() for c in cm.group(1).split(",")
+                        if c.strip()]
+                default_ref = "&" in caps
+                body = rest[cm.end():]
+                for name, (_d, decl) in self.funcs.items():
+                    explicit = any(re.fullmatch(r"&\s*%s" % re.escape(name),
+                                                c) for c in caps)
+                    implicit = default_ref and re.search(
+                        r"\b%s\b" % re.escape(name), body)
+                    if explicit or implicit:
+                        self.violations.append(Violation(
+                            self.path, lineno + 1, RULE_DANGLING_SCHEDULE,
+                            "scheduled event captures stack-local "
+                            "std::function '%s' (declared line %d) by "
+                            "reference; a straggler firing after the "
+                            "enclosing scope returns calls through a "
+                            "dangling reference — move the continuation "
+                            "into shared-owned state captured by value"
+                            % (name, decl + 1)))
+
+        # 3. Scope bookkeeping: names die when their scope closes.
+        self.depth += line.count("{") - line.count("}")
+        for name in list(self.funcs):
+            if self.depth < self.funcs[name][0]:
+                del self.funcs[name]
+
+
 def lint_file(path, rel, violations):
     with open(path, "r", encoding="utf-8", errors="replace") as f:
         raw = f.read()
@@ -288,6 +362,14 @@ def lint_file(path, rel, violations):
         held.check_line(i, line, logical[i])
     for v in held.violations:
         if not allowed(v.line - 1, RULE_HELD_REF):
+            violations.append(v)
+
+    # --- dangling-schedule-capture (everywhere) ---
+    dangle = DanglingScheduleChecker(path, [])
+    for i, line in enumerate(lines):
+        dangle.check_line(i, line, logical[i])
+    for v in dangle.violations:
+        if not allowed(v.line - 1, RULE_DANGLING_SCHEDULE):
             violations.append(v)
 
     # --- raw-random ---
