@@ -1,0 +1,12 @@
+# Helper for the trace_demo_smoke ctest: run the demo with tracing on,
+# then validate the emitted Chrome trace JSON with the schema gate.
+execute_process(COMMAND ${DEMO} --smoke --out ${OUT}
+                RESULT_VARIABLE demo_rc)
+if(NOT demo_rc EQUAL 0)
+  message(FATAL_ERROR "trace_demo --smoke failed (rc=${demo_rc})")
+endif()
+execute_process(COMMAND python3 ${CHECKER} ${OUT}_seed12345.json
+                RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "check_trace_json.py failed (rc=${check_rc})")
+endif()

@@ -8,9 +8,12 @@
 #   3. bench JSON schema gate: the committed BENCH_kernel.json baseline
 #      and a fresh `bench_kernel --smoke` emission must both satisfy
 #      scripts/check_bench_json.py (schema pqs.bench_kernel/1)
-#   4. ASan+UBSan build with the debug invariant layer forced on
+#   4. trace JSON schema gate: a fresh `trace_demo --smoke` emission must
+#      satisfy scripts/check_trace_json.py (chrome://tracing-loadable,
+#      with a lookup span nesting packet-hop events)
+#   5. ASan+UBSan build with the debug invariant layer forced on
 #      (PQS_DCHECKS=ON) and the test suite rerun under it
-#   5. clang-format --dry-run gate (soft-skipped if clang-format is
+#   6. clang-format --dry-run gate (soft-skipped if clang-format is
 #      not installed; same for the optional clang-tidy build)
 #
 # Usage: scripts/check.sh [--with-tidy]
@@ -24,22 +27,26 @@ WITH_TIDY=0
 
 step() { printf '\n== %s ==\n' "$*"; }
 
-step "1/5 warnings-as-errors build + tests (build-check)"
+step "1/6 warnings-as-errors build + tests (build-check)"
 cmake -B build-check -S "$ROOT" -DPQS_WERROR=ON >/dev/null
 cmake --build build-check -j "$JOBS"
 ctest --test-dir build-check --output-on-failure -j "$JOBS"
 
-step "2/5 project linter (standalone rerun for a readable report)"
+step "2/6 project linter (standalone rerun for a readable report)"
 python3 tools/pqs_lint/pqs_lint.py --root "$ROOT"
 python3 tools/pqs_lint/check_fixtures.py --root "$ROOT"
 
-step "3/5 bench JSON schema gate (committed baseline + fresh smoke run)"
+step "3/6 bench JSON schema gate (committed baseline + fresh smoke run)"
 # The ctest pass above already ran bench_kernel --smoke; validate its
 # emission alongside the committed baseline.
 python3 scripts/check_bench_json.py BENCH_kernel.json \
     build-check/bench/bench_kernel_smoke.json
 
-step "4/5 ASan+UBSan build with PQS_DCHECKS=ON (build-asan)"
+step "4/6 trace JSON schema gate (fresh trace_demo --smoke emission)"
+build-check/examples/trace_demo --smoke --out build-check/trace_smoke
+python3 scripts/check_trace_json.py build-check/trace_smoke_seed12345.json
+
+step "5/6 ASan+UBSan build with PQS_DCHECKS=ON (build-asan)"
 cmake -B build-asan -S "$ROOT" -DPQS_WERROR=ON \
       -DPQS_SANITIZE=address,undefined -DPQS_DCHECKS=ON >/dev/null
 cmake --build build-asan -j "$JOBS"
@@ -47,7 +54,7 @@ cmake --build build-asan -j "$JOBS"
 UBSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-step "5/5 formatting / tidy gates"
+step "6/6 formatting / tidy gates"
 if command -v clang-format >/dev/null 2>&1; then
     find src bench tests examples -name '*.cpp' -o -name '*.h' \
         | xargs clang-format --dry-run -Werror

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Schema sanity check for obs::TraceSink Chrome trace-event JSON.
+
+Validates the structural contract of the tracing layer (DESIGN.md §9) so a
+broken emitter fails scripts/check.sh / the trace_demo_smoke ctest instead
+of producing files chrome://tracing silently refuses to load:
+
+  - top level: object with a non-empty `traceEvents` list;
+  - every event: non-empty name, cat == "pqs", ph in {b, n, e}, string id,
+    numeric ts >= 0, integer pid/tid, args object with a `node` field;
+  - at least one complete lookup span: a ph "b" / ph "e" pair named
+    "lookup" sharing an id, with end ts >= begin ts;
+  - at least one packet-hop or MAC event (name packet_* / mac_* /
+    route_discovery) nested in such a span (same id — the (cat, id) pair
+    is what chrome uses to nest async events).
+
+Usage: check_trace_json.py FILE [FILE...]   (exit 1 on any violation)
+"""
+
+import json
+import sys
+
+PHASES = ("b", "n", "e")
+HOP_PREFIXES = ("packet_", "mac_", "route_discovery")
+
+
+def fail(path, message):
+    print("%s: %s" % (path, message))
+    return 1
+
+
+def check_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as exc:
+        return fail(path, "unreadable or invalid JSON: %s" % exc)
+
+    if not isinstance(doc, dict):
+        return fail(path, "top level must be an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return fail(path, "traceEvents must be a non-empty list")
+
+    errors = 0
+    begins = {}  # id -> earliest "lookup" begin ts
+    ends = {}    # id -> latest "lookup" end ts
+    hop_ids = set()
+    for i, event in enumerate(events):
+        where = "traceEvents[%d]" % i
+        if not isinstance(event, dict):
+            errors += fail(path, where + " is not an object")
+            continue
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            errors += fail(path, where + ".name must be a non-empty string")
+            name = ""
+        if event.get("cat") != "pqs":
+            errors += fail(path, where + ".cat must be 'pqs' (got %r)"
+                           % event.get("cat"))
+        ph = event.get("ph")
+        if ph not in PHASES:
+            errors += fail(path, where + ".ph must be one of %s (got %r)"
+                           % ("/".join(PHASES), ph))
+        eid = event.get("id")
+        if not isinstance(eid, str) or not eid:
+            errors += fail(path, where + ".id must be a non-empty string")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors += fail(path, where + ".ts must be a number >= 0")
+            ts = 0.0
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                errors += fail(path, where + ".%s must be an integer" % key)
+        args = event.get("args")
+        if not isinstance(args, dict) or "node" not in args:
+            errors += fail(path, where + ".args must be an object with a "
+                           "'node' field")
+        if name == "lookup" and ph == "b":
+            begins[eid] = min(ts, begins.get(eid, ts))
+        elif name == "lookup" and ph == "e":
+            ends[eid] = max(ts, ends.get(eid, ts))
+        elif name.startswith(HOP_PREFIXES):
+            hop_ids.add(eid)
+
+    spans = {i for i in begins if i in ends and ends[i] >= begins[i]}
+    if not spans:
+        errors += fail(path, "no complete lookup span (paired ph 'b'/'e' "
+                       "events named 'lookup' sharing an id)")
+    elif not spans & hop_ids:
+        errors += fail(path, "no packet-hop/MAC event nested in a lookup "
+                       "span (none shares a span id)")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    errors = 0
+    for path in argv[1:]:
+        file_errors = check_file(path)
+        if file_errors == 0:
+            print("%s: schema ok" % path)
+        errors += file_errors
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

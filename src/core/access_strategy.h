@@ -14,6 +14,7 @@
 #include "core/store.h"
 #include "membership/membership.h"
 #include "net/world.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/ids.h"
 
@@ -130,6 +131,30 @@ template <typename State>
 class OpTable {
 public:
     explicit OpTable(sim::Simulator& simulator) : simulator_(simulator) {}
+
+    // Ops still pending at teardown hold scheduled timeout events whose
+    // callbacks capture this table; cancel them so destroying a strategy
+    // (and the service that owns it) mid-operation cannot leave the
+    // simulator holding callbacks into freed memory.
+    ~OpTable() {
+        for (auto& [id, entry] : ops_) {
+            if (entry.timer != sim::kInvalidEvent) {
+                simulator_.cancel(entry.timer);
+            }
+        }
+    }
+
+    OpTable(const OpTable&) = delete;
+    OpTable& operator=(const OpTable&) = delete;
+
+    // Visits every pending op's state — used by strategy destructors to
+    // cancel per-op timers they scheduled beside the table's own timeout.
+    template <typename Fn>
+    void for_each_state(Fn&& fn) {
+        for (auto& [id, entry] : ops_) {
+            fn(entry.state);
+        }
+    }
 
     struct Entry {
         State state{};
@@ -264,8 +289,11 @@ public:
     virtual void attach_node(util::NodeId id) = 0;
 
     // Performs one quorum access of the configured kind from `origin`.
+    // `trace` (0 = untraced) tags every message the access generates so
+    // hop-level events land in the op's span.
     virtual void access(AccessKind kind, util::NodeId origin, util::Key key,
-                        Value value, AccessCallback done) = 0;
+                        Value value, obs::TraceId trace,
+                        AccessCallback done) = 0;
 
     // Reverse-path reply addressed to one of this strategy's ops.
     virtual void on_reverse_reply(util::NodeId /*origin*/,

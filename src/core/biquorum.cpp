@@ -74,14 +74,20 @@ double BiquorumSystem::intersection_guarantee() const {
 
 void BiquorumSystem::advertise(util::NodeId origin, util::Key key,
                                Value value, AccessCallback done) {
-    access_with_retry(AccessKind::kAdvertise, origin, key, value,
-                      std::move(done), 1);
+    const obs::TraceId trace = obs::maybe_new_trace();
+    obs::record(trace, obs::EventKind::kSpanBegin, origin,
+                static_cast<std::uint64_t>(AccessKind::kAdvertise), key);
+    access_with_retry(AccessKind::kAdvertise, origin, key, value, trace,
+                      ctx_.world.simulator().now(), std::move(done), 1);
 }
 
 void BiquorumSystem::lookup(util::NodeId origin, util::Key key,
                             AccessCallback done) {
-    access_with_retry(AccessKind::kLookup, origin, key, 0, std::move(done),
-                      1);
+    const obs::TraceId trace = obs::maybe_new_trace();
+    obs::record(trace, obs::EventKind::kSpanBegin, origin,
+                static_cast<std::uint64_t>(AccessKind::kLookup), key);
+    access_with_retry(AccessKind::kLookup, origin, key, 0, trace,
+                      ctx_.world.simulator().now(), std::move(done), 1);
 }
 
 namespace {
@@ -102,6 +108,8 @@ struct RetryState {
     util::NodeId origin;
     util::Key key;
     Value value;
+    obs::TraceId trace;
+    sim::Time first_issue;
     AccessCallback done;
     int attempt;
 };
@@ -110,32 +118,51 @@ struct RetryState {
 
 void BiquorumSystem::access_with_retry(AccessKind kind, util::NodeId origin,
                                        util::Key key, Value value,
+                                       obs::TraceId trace,
+                                       sim::Time first_issue,
                                        AccessCallback done, int attempt) {
     AccessStrategy& strategy =
         kind == AccessKind::kAdvertise ? *advertise_ : *lookup_;
     strategy.access(
-        kind, origin, key, value,
-        [this, kind, origin, key, value, attempt,
+        kind, origin, key, value, trace,
+        [this, kind, origin, key, value, trace, first_issue, attempt,
          done = std::move(done)](const AccessResult& r) mutable {
             const RetryPolicy& policy = ctx_.retry;
             if (!r.ok && attempt < policy.max_attempts &&
                 ctx_.world.alive(origin)) {
-                auto state = std::make_shared<RetryState>(RetryState{
-                    kind, origin, key, value, std::move(done), attempt});
+                const sim::Time delay = retry_delay(policy, attempt);
+                obs::record(trace, obs::EventKind::kRetryScheduled, origin,
+                            static_cast<std::uint64_t>(attempt),
+                            static_cast<std::uint64_t>(delay));
+                auto state = std::make_shared<RetryState>(
+                    RetryState{kind, origin, key, value, trace, first_issue,
+                               std::move(done), attempt});
                 const std::uint64_t token = next_retry_token_++;
                 retry_timers_[token] = ctx_.world.simulator().schedule_in(
-                    retry_delay(policy, attempt), [this, token, state] {
+                    delay, [this, token, state] {
                         retry_timers_.erase(token);
                         access_with_retry(state->kind, state->origin,
                                           state->key, state->value,
+                                          state->trace, state->first_issue,
                                           std::move(state->done),
                                           state->attempt + 1);
                     });
                 return;
             }
+            if (r.timed_out) {
+                obs::record(trace, obs::EventKind::kOpTimeout, origin);
+            }
+            obs::record(trace, obs::EventKind::kSpanEnd, origin,
+                        static_cast<std::uint64_t>(kind),
+                        static_cast<std::uint64_t>(r.ok));
             if (done) {
                 AccessResult final_result = r;
                 final_result.attempts = attempt;
+                final_result.trace = trace;
+                // The per-attempt strategy stamped only its own latency;
+                // report end to end from the first issue instead.
+                final_result.latency =
+                    ctx_.world.simulator().now() - first_issue;
                 done(final_result);
             }
         });

@@ -50,8 +50,11 @@ public:
 
 private:
     // One access plus its (possible) retries. `attempt` is 1-based.
+    // `first_issue` is when attempt 1 was issued: the final result's
+    // latency spans from there, so retries and backoff delays count.
     void access_with_retry(AccessKind kind, util::NodeId origin,
-                           util::Key key, Value value, AccessCallback done,
+                           util::Key key, Value value, obs::TraceId trace,
+                           sim::Time first_issue, AccessCallback done,
                            int attempt);
 
     BiquorumSpec spec_;

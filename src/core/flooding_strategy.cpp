@@ -101,6 +101,8 @@ void FloodingStrategy::handle_flood(util::NodeId id, util::NodeId prev,
     }
     ++msg->tracker->covered;
     ctx_.count_load(id);
+    obs::record(msg->trace, obs::EventKind::kQuorumMemberReached, id,
+                msg->tracker->covered);
 
     LocalStore& store = ctx_.store(id);
     if (msg->kind == AccessKind::kAdvertise) {
@@ -137,6 +139,7 @@ void FloodingStrategy::handle_flood(util::NodeId id, util::NodeId prev,
 void FloodingStrategy::send_reply_chain(util::NodeId id, const FloodMsg& msg,
                                         Value value) {
     auto reply = std::make_shared<FloodReplyMsg>();
+    reply->trace = msg.trace;
     reply->strategy_tag = tag_;
     reply->op = msg.op;
     reply->round_ttl = msg.round_ttl;
@@ -165,7 +168,7 @@ void FloodingStrategy::send_reply_chain(util::NodeId id, const FloodMsg& msg,
 
 void FloodingStrategy::access(AccessKind kind, util::NodeId origin,
                               util::Key key, Value value,
-                              AccessCallback done) {
+                              obs::TraceId trace, AccessCallback done) {
     const util::AccessId op = next_op(origin);
     auto tracker = std::make_shared<FloodTracker>();
     auto entry = ops_.open(op, std::move(done), ctx_.op_timeout,
@@ -177,6 +180,7 @@ void FloodingStrategy::access(AccessKind kind, util::NodeId origin,
     entry->state.key = key;
     entry->state.value = value;
     entry->state.tracker = std::move(tracker);
+    entry->state.trace = trace;
 
     const int first_ttl = (config_.expanding_ring &&
                            kind == AccessKind::kLookup)
@@ -195,6 +199,7 @@ void FloodingStrategy::launch_round(util::AccessId op, util::NodeId origin,
     state.round_ttl = ttl;
 
     auto msg = std::make_shared<FloodMsg>();
+    msg->trace = state.trace;
     msg->strategy_tag = tag_;
     msg->op = op;
     msg->round_ttl = ttl;

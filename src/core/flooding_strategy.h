@@ -21,7 +21,8 @@ public:
     std::string name() const override { return "FLOODING"; }
     void attach_node(util::NodeId id) override;
     void access(AccessKind kind, util::NodeId origin, util::Key key,
-                Value value, AccessCallback done) override;
+                Value value, obs::TraceId trace,
+                AccessCallback done) override;
 
     struct FloodMsg;
     struct FloodReplyMsg;
@@ -40,6 +41,7 @@ private:
         Value value = 0;
         int round_ttl = 0;  // current TTL (expanding ring)
         std::shared_ptr<FloodTracker> tracker;
+        obs::TraceId trace = 0;
     };
 
     void launch_round(util::AccessId op, util::NodeId origin, int ttl);

@@ -6,6 +6,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sim/time.h"
 
 namespace pqs::core {
@@ -26,12 +27,15 @@ struct AccessResult {
     std::vector<Value> values;
     // Distinct quorum nodes contacted by this access.
     std::size_t nodes_contacted = 0;
-    // Virtual time from request to resolution.
+    // Virtual time from the first issue of the access to its final
+    // resolution — end to end across retries, backoff delays included.
     sim::Time latency = 0;
     bool timed_out = false;
     // How many access attempts this result reflects (1 = first try;
     // >1 when ServiceContext::retry re-issued a failed access).
     int attempts = 1;
+    // Trace span of this access (0 = untraced).
+    obs::TraceId trace = 0;
 };
 
 using AccessCallback = std::function<void(const AccessResult&)>;

@@ -67,17 +67,20 @@ void PathStrategy::attach_node(util::NodeId id) {
             }
             walk->tracker->hit = true;
             walk->tracker->halted = true;
+            obs::record(walk->trace, obs::EventKind::kEarlyHalt, id,
+                        walk->visited.size());
             std::vector<util::NodeId> path = walk->path;
             path.push_back(id);
             ctx_.reply_router->start_reply(id, tag_, walk->op, walk->key,
                                            *found, path, walk->reply_options,
-                                           walk->reply_tracker);
+                                           walk->reply_tracker, walk->trace);
         });
     }
 }
 
 void PathStrategy::access(AccessKind kind, util::NodeId origin,
-                          util::Key key, Value value, AccessCallback done) {
+                          util::Key key, Value value, obs::TraceId trace,
+                          AccessCallback done) {
     const util::AccessId op = next_op(origin);
     auto tracker = std::make_shared<WalkTracker>();
     auto reply_tracker = std::make_shared<ReplyTracker>();
@@ -93,6 +96,7 @@ void PathStrategy::access(AccessKind kind, util::NodeId origin,
     entry->state.reply_tracker = reply_tracker;
 
     auto msg = std::make_shared<WalkMsg>();
+    msg->trace = trace;
     msg->strategy_tag = tag_;
     msg->op = op;
     msg->kind = kind;
@@ -157,6 +161,8 @@ void PathStrategy::visit(util::NodeId at,
         m->visited.push_back(at);
         m->tracker->unique = m->visited.size();
         ctx_.count_load(at);  // this node serves as a quorum member
+        obs::record(m->trace, obs::EventKind::kQuorumMemberReached, at,
+                    m->visited.size());
     }
     if (m->path.empty() || m->path.back() != at) {
         m->path.push_back(at);
@@ -171,8 +177,10 @@ void PathStrategy::visit(util::NodeId at,
             m->replied = true;
             ctx_.reply_router->start_reply(at, tag_, m->op, m->key, *found,
                                            m->path, m->reply_options,
-                                           m->reply_tracker);
+                                           m->reply_tracker, m->trace);
             if (m->early_halt) {
+                obs::record(m->trace, obs::EventKind::kEarlyHalt, at,
+                            m->visited.size());
                 m->tracker->terminal();
                 return;
             }
@@ -192,6 +200,7 @@ void PathStrategy::forward(util::NodeId at,
                            int salvage_left,
                            std::vector<util::NodeId> excluded_hops) {
     if (!ctx_.world.alive(at)) {
+        obs::record(msg->trace, obs::EventKind::kWalkDied, at);
         msg->tracker->died = true;
         msg->tracker->terminal();
         return;
@@ -219,6 +228,7 @@ void PathStrategy::forward(util::NodeId at,
     }
     if (next == util::kInvalidNode) {
         if (neighbors.empty()) {
+            obs::record(msg->trace, obs::EventKind::kWalkDied, at);
             msg->tracker->died = true;
             msg->tracker->terminal();
             return;
@@ -235,11 +245,14 @@ void PathStrategy::forward(util::NodeId at,
                 return;
             }
             if (salvage_left <= 0) {
+                obs::record(msg->trace, obs::EventKind::kWalkDied, at);
                 msg->tracker->died = true;
                 msg->tracker->terminal();
                 return;
             }
             // RW salvation (§6.2): same step, different neighbor.
+            obs::record(msg->trace, obs::EventKind::kSalvation, at,
+                        static_cast<std::uint64_t>(salvage_left));
             excluded.push_back(next);
             forward(at, msg, salvage_left - 1, std::move(excluded));
         });

@@ -16,10 +16,20 @@ RandomOptStrategy::RandomOptStrategy(ServiceContext& ctx,
       ops_(ctx.world.simulator()),
       rng_(ctx.world.rng().fork()) {}
 
+RandomOptStrategy::~RandomOptStrategy() {
+    ops_.for_each_state([this](OpState& state) {
+        if (state.grace_timer != sim::kInvalidEvent) {
+            ctx_.world.simulator().cancel(state.grace_timer);
+            state.grace_timer = sim::kInvalidEvent;
+        }
+    });
+}
+
 bool RandomOptStrategy::act_on_request(util::NodeId id,
                                        const QuorumRequestMsg& req) {
     LocalStore& store = ctx_.store(id);
     ctx_.count_load(id);
+    obs::record(req.trace, obs::EventKind::kQuorumMemberReached, id);
     if (req.kind == AccessKind::kAdvertise) {
         // Every traversed node joins the advertise quorum (§4.5).
         apply_advertise(store, req.key, req.value, config_.monotonic_store);
@@ -33,6 +43,7 @@ bool RandomOptStrategy::act_on_request(util::NodeId id,
         req.probe->intersected = true;
     }
     auto reply = std::make_shared<QuorumReplyMsg>();
+    reply->trace = req.trace;
     reply->strategy_tag = tag_;
     reply->op = req.op;
     reply->key = req.key;
@@ -74,6 +85,7 @@ void RandomOptStrategy::attach_node(util::NodeId id) {
         if (absorbed) {
             // The request stops here; from the origin's perspective the
             // send resolved (it reached a quorum member).
+            obs::record(req->trace, obs::EventKind::kEarlyHalt, id);
             on_target_resolved(req->op, true);
         }
         return absorbed;
@@ -82,7 +94,7 @@ void RandomOptStrategy::attach_node(util::NodeId id) {
 
 void RandomOptStrategy::access(AccessKind kind, util::NodeId origin,
                                util::Key key, Value value,
-                               AccessCallback done) {
+                               obs::TraceId trace, AccessCallback done) {
     const util::AccessId op = next_op(origin);
     auto probe = std::make_shared<IntersectionProbe>();
     auto entry = ops_.open(op, std::move(done), ctx_.op_timeout,
@@ -93,6 +105,7 @@ void RandomOptStrategy::access(AccessKind kind, util::NodeId origin,
     entry->state.key = key;
     entry->state.value = value;
     entry->state.probe = std::move(probe);
+    entry->state.trace = trace;
 
     std::vector<util::NodeId> targets;
     if (ctx_.membership != nullptr) {
@@ -119,6 +132,7 @@ void RandomOptStrategy::access(AccessKind kind, util::NodeId origin,
     const std::shared_ptr<IntersectionProbe> op_probe = entry->state.probe;
     for (const util::NodeId target : targets) {
         auto msg = std::make_shared<QuorumRequestMsg>();
+        msg->trace = trace;
         msg->strategy_tag = tag_;
         msg->op = op;
         msg->kind = kind;
@@ -161,7 +175,12 @@ void RandomOptStrategy::maybe_finish(util::AccessId op) {
     }
     if (state.grace_timer == sim::kInvalidEvent) {
         state.grace_timer = ctx_.world.simulator().schedule_in(
-            kReplyGrace, [this, op] { finish(op, false, 0); });
+            kReplyGrace, [this, op] {
+                if (auto e = ops_.find(op)) {
+                    e->state.grace_timer = sim::kInvalidEvent;
+                }
+                finish(op, false, 0);
+            });
     }
 }
 
@@ -170,7 +189,13 @@ void RandomOptStrategy::finish(util::AccessId op, bool hit, Value value) {
     if (!entry) {
         return;
     }
-    const OpState& state = entry->state;
+    OpState& state = entry->state;
+    // A hit reply can beat the armed grace timer; the pending event holds
+    // `this`, so it must not survive the op (or the strategy).
+    if (state.grace_timer != sim::kInvalidEvent) {
+        ctx_.world.simulator().cancel(state.grace_timer);
+        state.grace_timer = sim::kInvalidEvent;
+    }
     AccessResult result;
     result.ok = hit;
     result.intersected = hit || (state.probe && state.probe->intersected);

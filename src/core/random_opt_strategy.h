@@ -15,11 +15,15 @@ class RandomOptStrategy final : public AccessStrategy {
 public:
     RandomOptStrategy(ServiceContext& ctx, StrategyConfig config,
                       std::uint32_t tag);
+    // Cancels the reply-grace timers of still-pending ops: their events
+    // capture `this` and must not outlive the strategy.
+    ~RandomOptStrategy() override;
 
     std::string name() const override { return "RANDOM-OPT"; }
     void attach_node(util::NodeId id) override;
     void access(AccessKind kind, util::NodeId origin, util::Key key,
-                Value value, AccessCallback done) override;
+                Value value, obs::TraceId trace,
+                AccessCallback done) override;
 
 private:
     struct OpState {
@@ -32,6 +36,7 @@ private:
         bool all_sent = false;
         std::shared_ptr<IntersectionProbe> probe;
         sim::EventId grace_timer = sim::kInvalidEvent;
+        obs::TraceId trace = 0;
     };
 
     // Acts on a request at `id` (en route or at the target). Returns true

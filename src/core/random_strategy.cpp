@@ -34,6 +34,15 @@ RandomStrategy::RandomStrategy(ServiceContext& ctx, StrategyConfig config,
       ops_(ctx.world.simulator()),
       rng_(ctx.world.rng().fork()) {}
 
+RandomStrategy::~RandomStrategy() {
+    ops_.for_each_state([this](OpState& state) {
+        if (state.grace_timer != sim::kInvalidEvent) {
+            ctx_.world.simulator().cancel(state.grace_timer);
+            state.grace_timer = sim::kInvalidEvent;
+        }
+    });
+}
+
 std::string RandomStrategy::name() const {
     return mode_ == Mode::kMembership ? "RANDOM" : "RANDOM(sampling)";
 }
@@ -64,6 +73,8 @@ void RandomStrategy::attach_node(util::NodeId id) {
                 req && req->strategy_tag == tag_) {
                 LocalStore& store = ctx_.store(id);
                 ctx_.count_load(id);
+                obs::record(req->trace, obs::EventKind::kQuorumMemberReached,
+                            id);
                 if (req->kind == AccessKind::kAdvertise) {
                     apply_advertise(store, req->key, req->value,
                                     config_.monotonic_store);
@@ -76,6 +87,7 @@ void RandomStrategy::attach_node(util::NodeId id) {
                 if ((found && req->want_reply) ||
                     (!found && req->want_miss_reply)) {
                     auto reply = std::make_shared<QuorumReplyMsg>();
+                    reply->trace = req->trace;
                     reply->strategy_tag = tag_;
                     reply->op = req->op;
                     reply->key = req->key;
@@ -118,7 +130,8 @@ void RandomStrategy::attach_node(util::NodeId id) {
 }
 
 void RandomStrategy::access(AccessKind kind, util::NodeId origin,
-                            util::Key key, Value value, AccessCallback done) {
+                            util::Key key, Value value, obs::TraceId trace,
+                            AccessCallback done) {
     const util::AccessId op = next_op(origin);
     auto probe = std::make_shared<IntersectionProbe>();
     auto entry = ops_.open(op, std::move(done), ctx_.op_timeout,
@@ -131,6 +144,7 @@ void RandomStrategy::access(AccessKind kind, util::NodeId origin,
     entry->state.probe = std::move(probe);
     entry->state.serial = config_.serial && kind == AccessKind::kLookup;
     entry->state.replacements_left = config_.replacement_targets;
+    entry->state.trace = trace;
 
     if (mode_ == Mode::kSampling) {
         launch_sampling_walks(op, origin);
@@ -177,6 +191,7 @@ void RandomStrategy::send_to_target(util::AccessId op, util::NodeId origin,
         state.all_sent = state.next_target == state.targets.size();
     }
     auto msg = std::make_shared<QuorumRequestMsg>();
+    msg->trace = state.trace;
     msg->strategy_tag = tag_;
     msg->op = op;
     msg->kind = state.kind;
@@ -245,7 +260,12 @@ void RandomStrategy::maybe_finish(util::AccessId op) {
     // window to arrive, then declare a miss.
     if (state.grace_timer == sim::kInvalidEvent) {
         state.grace_timer = ctx_.world.simulator().schedule_in(
-            kReplyGrace, [this, op] { finish(op, false, 0); });
+            kReplyGrace, [this, op] {
+                if (auto e = ops_.find(op)) {
+                    e->state.grace_timer = sim::kInvalidEvent;
+                }
+                finish(op, false, 0);
+            });
     }
 }
 
@@ -254,7 +274,13 @@ void RandomStrategy::finish(util::AccessId op, bool hit, Value value) {
     if (!entry) {
         return;
     }
-    const OpState& state = entry->state;
+    OpState& state = entry->state;
+    // A hit reply can beat the armed grace timer; the pending event holds
+    // `this`, so it must not survive the op (or the strategy).
+    if (state.grace_timer != sim::kInvalidEvent) {
+        ctx_.world.simulator().cancel(state.grace_timer);
+        state.grace_timer = sim::kInvalidEvent;
+    }
     AccessResult result;
     if (state.kind == AccessKind::kAdvertise) {
         result.ok = hit;  // "hit" carries full-coverage for advertises
@@ -299,6 +325,7 @@ void RandomStrategy::launch_sampling_walks(util::AccessId op,
     entry->state.targets.resize(count);  // walk bookkeeping only
     for (std::size_t i = 0; i < count; ++i) {
         auto msg = std::make_shared<SamplingWalkMsg>();
+        msg->trace = entry->state.trace;
         msg->strategy_tag = tag_;
         msg->op = op;
         msg->kind = entry->state.kind;
@@ -374,6 +401,7 @@ void RandomStrategy::sampling_terminal(
     util::NodeId at, std::shared_ptr<const SamplingWalkMsg> msg) {
     LocalStore& store = ctx_.store(at);
     ctx_.count_load(at);
+    obs::record(msg->trace, obs::EventKind::kQuorumMemberReached, at);
     if (msg->kind == AccessKind::kAdvertise) {
         store.store_owner(msg->key, msg->value);
     } else if (const std::optional<Value> found = store.find(msg->key)) {
@@ -382,7 +410,8 @@ void RandomStrategy::sampling_terminal(
         }
         ctx_.reply_router->start_reply(at, tag_, msg->op, msg->key, *found,
                                        msg->path, msg->reply_options,
-                                       std::make_shared<ReplyTracker>());
+                                       std::make_shared<ReplyTracker>(),
+                                       msg->trace);
     }
     auto entry = ops_.find(msg->op);
     if (!entry) {
@@ -397,7 +426,12 @@ void RandomStrategy::sampling_terminal(
         finish(msg->op, true, 0);
     } else if (state.grace_timer == sim::kInvalidEvent) {
         state.grace_timer = ctx_.world.simulator().schedule_in(
-            kReplyGrace, [this, op = msg->op] { finish(op, false, 0); });
+            kReplyGrace, [this, op = msg->op] {
+                if (auto e = ops_.find(op)) {
+                    e->state.grace_timer = sim::kInvalidEvent;
+                }
+                finish(op, false, 0);
+            });
     }
 }
 

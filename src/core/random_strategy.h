@@ -19,11 +19,15 @@ public:
 
     RandomStrategy(ServiceContext& ctx, StrategyConfig config,
                    std::uint32_t tag, Mode mode);
+    // Cancels the reply-grace timers of still-pending ops: their events
+    // capture `this` and must not outlive the strategy.
+    ~RandomStrategy() override;
 
     std::string name() const override;
     void attach_node(util::NodeId id) override;
     void access(AccessKind kind, util::NodeId origin, util::Key key,
-                Value value, AccessCallback done) override;
+                Value value, obs::TraceId trace,
+                AccessCallback done) override;
     void on_reverse_reply(util::NodeId origin,
                           const ReverseReplyMsg& msg) override;
 
@@ -45,6 +49,7 @@ private:
         bool all_sent = false;
         std::size_t walks_ended = 0;  // sampling mode
         sim::EventId grace_timer = sim::kInvalidEvent;
+        obs::TraceId trace = 0;
     };
 
     std::vector<util::NodeId> pick_targets(util::NodeId origin,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/node_stack.h"
+#include "obs/trace.h"
 
 namespace pqs::core {
 
@@ -24,8 +25,10 @@ void ReplyPathRouter::start_reply(util::NodeId at, std::uint32_t strategy_tag,
                                   Value value,
                                   const std::vector<util::NodeId>& forward_path,
                                   ReplyOptions options,
-                                  std::shared_ptr<ReplyTracker> tracker) {
+                                  std::shared_ptr<ReplyTracker> tracker,
+                                  obs::TraceId trace) {
     auto msg = std::make_shared<ReverseReplyMsg>();
+    msg->trace = trace;
     msg->strategy_tag = strategy_tag;
     msg->op = op;
     msg->key = key;
@@ -38,6 +41,7 @@ void ReplyPathRouter::start_reply(util::NodeId at, std::uint32_t strategy_tag,
     while (!msg->hops.empty() && msg->hops.front() == at) {
         msg->hops.erase(msg->hops.begin());
     }
+    obs::record(trace, obs::EventKind::kReplyStarted, at, msg->hops.size());
     forward(at, std::move(msg));
 }
 
@@ -48,6 +52,7 @@ void ReplyPathRouter::forward(util::NodeId at,
     }
     if (msg->hops.empty()) {
         // `at` is the origin.
+        obs::record(msg->trace, obs::EventKind::kReplyDelivered, at);
         if (msg->tracker) {
             msg->tracker->delivered = true;
         }
@@ -57,6 +62,7 @@ void ReplyPathRouter::forward(util::NodeId at,
         return;
     }
     if (!world_.alive(at)) {
+        obs::record(msg->trace, obs::EventKind::kReplyDropped, at);
         if (msg->tracker) {
             msg->tracker->mark_dropped();
         }
@@ -90,6 +96,7 @@ void ReplyPathRouter::forward(util::NodeId at,
         }
         // The next hop moved away or died.
         if (!out->options.local_repair) {
+            obs::record(out->trace, obs::EventKind::kReplyDropped, at);
             if (out->tracker) {
                 out->tracker->mark_dropped();
             }
@@ -99,6 +106,7 @@ void ReplyPathRouter::forward(util::NodeId at,
             // The failed hop was the origin itself: unrestricted routing is
             // the only option left (§6.2).
             if (!out->options.global_fallback) {
+                obs::record(out->trace, obs::EventKind::kReplyDropped, at);
                 if (out->tracker) {
                     out->tracker->mark_dropped();
                 }
@@ -107,11 +115,17 @@ void ReplyPathRouter::forward(util::NodeId at,
             if (out->tracker) {
                 ++out->tracker->repairs;
             }
+            obs::record(out->trace, obs::EventKind::kReplyRepair, at,
+                        out->hops.size());
             world_.stack(at).send_routed(
                 next_hop, out,
-                [out](bool delivered) {
-                    if (!delivered && out->tracker) {
-                        out->tracker->mark_dropped();
+                [out, at](bool delivered) {
+                    if (!delivered) {
+                        obs::record(out->trace,
+                                    obs::EventKind::kReplyDropped, at);
+                        if (out->tracker) {
+                            out->tracker->mark_dropped();
+                        }
                     }
                 },
                 net::RouteSendOptions{});
@@ -129,6 +143,7 @@ void ReplyPathRouter::repair(util::NodeId at,
     // does include all *remaining* nodes after that hop: hops[hop_index] is
     // the next candidate target.
     if (!world_.alive(at)) {
+        obs::record(msg->trace, obs::EventKind::kReplyDropped, at);
         if (msg->tracker) {
             msg->tracker->mark_dropped();
         }
@@ -136,6 +151,7 @@ void ReplyPathRouter::repair(util::NodeId at,
     }
     if (hop_index >= msg->hops.size()) {
         // All intermediate candidates failed; last resort is the origin.
+        obs::record(msg->trace, obs::EventKind::kReplyDropped, at);
         if (msg->tracker) {
             msg->tracker->mark_dropped();
         }
@@ -151,6 +167,7 @@ void ReplyPathRouter::repair(util::NodeId at,
     if (fwd->tracker) {
         ++fwd->tracker->repairs;
     }
+    obs::record(msg->trace, obs::EventKind::kReplyRepair, at, hop_index);
     net::RouteSendOptions opts;
     opts.max_discovery_ttl = msg->options.repair_ttl;
     if (last && msg->options.global_fallback) {

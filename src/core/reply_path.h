@@ -79,11 +79,13 @@ public:
 
     // Starts a reply at `at`. `forward_path` is the walk's path from the
     // origin to `at` inclusive (front() == origin); the reply retraces it.
+    // `trace` tags the reply with the originating op's span (0 = untraced).
     void start_reply(util::NodeId at, std::uint32_t strategy_tag,
                      util::AccessId op, util::Key key, Value value,
                      const std::vector<util::NodeId>& forward_path,
                      ReplyOptions options,
-                     std::shared_ptr<ReplyTracker> tracker);
+                     std::shared_ptr<ReplyTracker> tracker,
+                     obs::TraceId trace = 0);
 
 private:
     void forward(util::NodeId at, std::shared_ptr<const ReverseReplyMsg> msg);

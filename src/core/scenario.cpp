@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "core/maintenance.h"
+#include "obs/trace.h"
 #include "sim/fault_plan.h"
 #include "util/logging.h"
 #include "util/parallel.h"
@@ -108,6 +109,16 @@ ScenarioResult run_scenario(const ScenarioParams& params) {
     net::World world(params.world);
     const util::ScopedLogClock log_clock(
         [&world] { return sim::to_seconds(world.simulator().now()); });
+    // Per-trial trace sink (thread-local, so parallel trials are
+    // independent). Nothing below is constructed when tracing is off, and
+    // obs::record() is a no-op — the run stays bit-identical.
+    const obs::TraceOptions& trace_opts = obs::trace_options();
+    std::unique_ptr<obs::TraceSink> trace_sink;
+    if (trace_opts.enabled) {
+        trace_sink = std::make_unique<obs::TraceSink>(world.simulator(),
+                                                      trace_opts.capacity);
+    }
+    const obs::ScopedTraceSink scoped_sink(trace_sink.get());
     std::unique_ptr<membership::OracleMembership> membership;
     if (params.use_membership) {
         membership::OracleMembershipParams mp;
@@ -310,6 +321,7 @@ ScenarioResult run_scenario(const ScenarioParams& params) {
     std::size_t hits = 0;
     std::size_t intersections = 0;
     std::size_t reply_drops = 0;
+    std::size_t lkp_timeouts = 0;
     util::Accumulator lkp_nodes;
     util::Accumulator lkp_latency;
     if (!aborted) {
@@ -328,9 +340,22 @@ ScenarioResult run_scenario(const ScenarioParams& params) {
                 }
                 service.lookup(
                     origin, key,
-                    [&, next = std::move(next)](const AccessResult& r) {
+                    [&, origin,
+                     next = std::move(next)](const AccessResult& r) {
+                        obs::record(r.trace, obs::EventKind::kOpResolved,
+                                    origin,
+                                    static_cast<std::uint64_t>(r.ok),
+                                    static_cast<std::uint64_t>(r.attempts));
                         if (r.ok) {
                             ++hits;
+                            // Success-only: a timed-out lookup's "latency"
+                            // is just the timeout constant and used to drag
+                            // the mean toward it.
+                            lkp_latency.add(sim::to_seconds(r.latency));
+                            result.latency_hist.record(r.latency);
+                        }
+                        if (r.timed_out) {
+                            ++lkp_timeouts;
                         }
                         if (r.intersected) {
                             ++intersections;
@@ -340,7 +365,6 @@ ScenarioResult run_scenario(const ScenarioParams& params) {
                         }
                         lkp_nodes.add(
                             static_cast<double>(r.nodes_contacted));
-                        lkp_latency.add(sim::to_seconds(r.latency));
                         if (live_active) {
                             const auto bucket = static_cast<std::size_t>(
                                 (world.simulator().now() - live_start) /
@@ -410,6 +434,7 @@ ScenarioResult run_scenario(const ScenarioParams& params) {
     result.avg_lookup_nodes = lkp_nodes.empty() ? 0.0 : lkp_nodes.mean();
     result.avg_lookup_latency_s =
         lkp_latency.empty() ? 0.0 : lkp_latency.mean();
+    result.timeout_rate = static_cast<double>(lkp_timeouts) / n_lkp;
     result.advertise_ok_ratio = static_cast<double>(adv_ok) / n_adv;
     result.avg_advertise_nodes = adv_nodes.empty() ? 0.0 : adv_nodes.mean();
     result.msgs_per_advertise = (after_adv.data - before_adv.data) / n_adv;
@@ -424,6 +449,13 @@ ScenarioResult run_scenario(const ScenarioParams& params) {
         static_cast<double>(world.simulator().events_processed());
     result.kernel = world.kernel_stats();
     result.totals = world.metrics();
+    if (trace_sink != nullptr && !trace_opts.out_base.empty()) {
+        const std::string path =
+            obs::trace_output_path(trace_opts.out_base, params.world.seed);
+        if (!trace_sink->dump_chrome_json(path)) {
+            PQS_WARN("scenario: failed to write trace to " << path);
+        }
+    }
     return result;
 }
 
@@ -437,6 +469,7 @@ namespace {
     X(reply_drop_ratio)           \
     X(avg_lookup_nodes)           \
     X(avg_lookup_latency_s)       \
+    X(timeout_rate)               \
     X(advertise_ok_ratio)         \
     X(avg_advertise_nodes)        \
     X(msgs_per_advertise)         \
@@ -488,12 +521,14 @@ ScenarioAggregate aggregate_scenarios(
     agg.mean = results.front();
     agg.mean.totals.clear();
     agg.mean.kernel = util::KernelStats{};
+    agg.mean.latency_hist = obs::LatencyHistogram{};
     agg.stddev.n = agg.mean.n;
     agg.stddev.advertise_quorum = agg.mean.advertise_quorum;
     agg.stddev.lookup_quorum = agg.mean.lookup_quorum;
     for (const ScenarioResult& one : results) {
         agg.mean.totals.merge(one.totals);
         agg.mean.kernel += one.kernel;
+        agg.mean.latency_hist.merge(one.latency_hist);
     }
     for (const ScenarioMetric& metric : scenario_metrics()) {
         util::Accumulator acc;

@@ -14,6 +14,7 @@
 #include "core/location_service.h"
 #include "membership/oracle_membership.h"
 #include "net/world.h"
+#include "obs/latency_histogram.h"
 #include "util/kernel_stats.h"
 #include "util/stats.h"
 
@@ -112,7 +113,11 @@ struct ScenarioResult {
     double intersect_ratio = 0.0;  // quorums intersected / lookups
     double reply_drop_ratio = 0.0; // intersected but reply lost
     double avg_lookup_nodes = 0.0; // quorum nodes contacted per lookup
+    // Mean latency of *successful* lookups only. Timed-out and failed
+    // lookups are excluded (they used to pollute the mean with the op
+    // timeout constant); their frequency is timeout_rate below.
     double avg_lookup_latency_s = 0.0;
+    double timeout_rate = 0.0;     // lookups that ended in a timeout
 
     // Advertise-phase outcomes.
     double advertise_ok_ratio = 0.0;
@@ -149,6 +154,11 @@ struct ScenarioResult {
     // deterministic for a seed. Aggregation sums these across runs (like
     // `totals`, they are raw counts, not per-run means).
     util::KernelStats kernel;
+
+    // Log-bucketed latencies of successful lookups (p50/p95/p99 via
+    // quantile()). Always populated — it costs one array increment per
+    // lookup — and merged across runs like `kernel`.
+    obs::LatencyHistogram latency_hist;
 
     util::MetricSet totals;  // raw world counters at the end
 };

@@ -20,7 +20,8 @@ ExperimentRunner::ExperimentRunner(RunnerOptions options)
 RunReport ExperimentRunner::run(
     std::size_t points,
     const std::function<core::ScenarioParams(std::size_t)>& make) const {
-    using Clock = std::chrono::steady_clock;
+    // Deliberate wall-clock use: events/s perf reporting, never results.
+    using Clock = std::chrono::steady_clock;  // pqs-lint: allow(raw-timestamp)
     const int runs = std::max(1, options_.runs_per_point);
     const std::size_t trial_count =
         points * static_cast<std::size_t>(runs);
@@ -29,7 +30,7 @@ RunReport ExperimentRunner::run(
     report.threads = threads_;
     report.trials.resize(trial_count);
 
-    const auto run_start = Clock::now();
+    const auto run_start = Clock::now();  // pqs-lint: allow(raw-timestamp)
     util::parallel_for(trial_count, threads_, [&](std::size_t trial) {
         TrialRecord& record = report.trials[trial];
         record.point = trial / static_cast<std::size_t>(runs);
@@ -37,13 +38,15 @@ RunReport ExperimentRunner::run(
         record.seed = trial_seed(options_.run_seed, trial);
         core::ScenarioParams params = make(record.point);
         params.world.seed = record.seed;
-        const auto trial_start = Clock::now();
+        const auto trial_start = Clock::now();  // pqs-lint: allow(raw-timestamp)
         record.result = core::run_scenario(params);
         record.wall_seconds =
-            std::chrono::duration<double>(Clock::now() - trial_start).count();
+            std::chrono::duration<double>(Clock::now() - trial_start)  // pqs-lint: allow(raw-timestamp)
+                .count();
     });
     report.wall_seconds =
-        std::chrono::duration<double>(Clock::now() - run_start).count();
+        std::chrono::duration<double>(Clock::now() - run_start)  // pqs-lint: allow(raw-timestamp)
+            .count();
 
     // Reduce on the caller's thread in grid order: bit-identical output
     // for every thread count.
@@ -106,6 +109,22 @@ void report_perf(const RunReport& report, const char* label,
         kernel += trial.result.kernel;
     }
     util::report_kernel_stats(kernel, label, stream);
+    // Successful-lookup latency quantiles merged over every trial; like the
+    // kernel block, deterministic for the run seed.
+    obs::LatencyHistogram latency;
+    for (const TrialRecord& trial : report.trials) {
+        latency.merge(trial.result.latency_hist);
+    }
+    if (latency.total() > 0) {
+        std::fprintf(stream,
+                     "[perf] %s: lookup latency (n=%llu ok) "
+                     "p50=%.1fms p95=%.1fms p99=%.1fms\n",
+                     label,
+                     static_cast<unsigned long long>(latency.total()),
+                     latency.quantile(0.50) * 1e3,
+                     latency.quantile(0.95) * 1e3,
+                     latency.quantile(0.99) * 1e3);
+    }
 }
 
 }  // namespace pqs::exp

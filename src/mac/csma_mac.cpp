@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace pqs::mac {
 
 CsmaMac::CsmaMac(util::NodeId self, sim::Simulator& simulator,
@@ -56,6 +58,8 @@ void CsmaMac::attempt() {
     // DIFS plus a uniform backoff in [0, cw] slots; if the medium is busy at
     // the end of the deferral we redraw (see header for the simplification).
     const Pending& head = queue_.front();
+    obs::record(head.frame.trace, obs::EventKind::kMacBackoff, self_,
+                static_cast<std::uint64_t>(head.cw));
     const sim::Time defer =
         params_.difs +
         params_.slot * static_cast<sim::Time>(
@@ -79,6 +83,8 @@ void CsmaMac::transmit_head() {
     const sim::Time duration = frame_duration(head.frame.bytes, broadcast);
     head.frame.frame_id = channel_.next_frame_id();
     ++tx_attempts_;
+    obs::record(head.frame.trace, obs::EventKind::kMacTx, self_,
+                head.frame.bytes);
     channel_.transmit(self_, head.frame, duration);
     const std::uint64_t gen = generation_;
     simulator_.schedule_in(duration, [this, gen] {
@@ -117,6 +123,8 @@ void CsmaMac::ack_timeout() {
     ++head.retries;
     if (head.retries > params_.max_retries) {
         ++tx_failures_;
+        obs::record(head.frame.trace, obs::EventKind::kMacDrop, self_,
+                    head.frame.dst);
         finish_head(false);
         return;
     }

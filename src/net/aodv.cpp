@@ -4,6 +4,7 @@
 
 #include "net/node_stack.h"
 #include "net/world.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace pqs::net {
@@ -84,10 +85,12 @@ void Aodv::send_data(util::NodeId dst, AppMsgPtr msg,
         transmit_data(dst, std::move(msg), std::move(tracker), repairs);
         return;
     }
+    const obs::TraceId trace = msg ? msg->trace : 0;
     auto [it, inserted] = pending_.try_emplace(dst);
     it->second.queue.push_back(
         QueuedData{std::move(msg), std::move(tracker), repairs});
     if (inserted) {
+        obs::record(trace, obs::EventKind::kRouteDiscovery, stack_.id(), dst);
         start_discovery(dst, max_discovery_ttl);
     }
 }
@@ -97,6 +100,8 @@ void Aodv::transmit_data(util::NodeId dst, AppMsgPtr msg,
                          std::uint8_t repairs) {
     const auto it = routes_.find(dst);
     if (it == routes_.end() || !route_usable(it->second)) {
+        obs::record(msg ? msg->trace : 0, obs::EventKind::kPacketDrop,
+                    stack_.id(), dst);
         if (tracker) {
             tracker->resolve(false);
         }
@@ -107,6 +112,7 @@ void Aodv::transmit_data(util::NodeId dst, AppMsgPtr msg,
     auto packet = std::make_shared<Packet>();
     packet->link_src = stack_.id();
     packet->link_dst = next_hop;
+    packet->trace = msg ? msg->trace : 0;
     packet->body = DataBody{stack_.id(), dst, std::move(msg), tracker,
                             repairs};
     PacketPtr p = packet;
@@ -124,6 +130,8 @@ void Aodv::transmit_data(util::NodeId dst, AppMsgPtr msg,
                       static_cast<std::uint8_t>(data.repairs_left - 1));
             return;
         }
+        obs::record(p->trace, obs::EventKind::kPacketDrop, stack_.id(),
+                    next_hop);
         if (data.tracker) {
             data.tracker->resolve(false);
         }
@@ -134,6 +142,7 @@ void Aodv::forward_data(PacketPtr p) {
     const DataBody& data = p->data();
     const util::NodeId dst = data.net_dst;
     if (p->ttl <= 1) {
+        obs::record(p->trace, obs::EventKind::kPacketDrop, stack_.id(), dst);
         if (data.tracker) {
             data.tracker->resolve(false);
         }
@@ -155,8 +164,12 @@ void Aodv::forward_data(PacketPtr p) {
         if (data.repairs_left > 0) {
             send_data(dst, data.app, data.tracker, -1,
                       static_cast<std::uint8_t>(data.repairs_left - 1));
-        } else if (data.tracker) {
-            data.tracker->resolve(false);
+        } else {
+            obs::record(p->trace, obs::EventKind::kPacketDrop, stack_.id(),
+                        dst);
+            if (data.tracker) {
+                data.tracker->resolve(false);
+            }
         }
         return;
     }
@@ -181,6 +194,8 @@ void Aodv::forward_data(PacketPtr p) {
                       static_cast<std::uint8_t>(broken.repairs_left - 1));
             return;
         }
+        obs::record(fwd_const->trace, obs::EventKind::kPacketDrop,
+                    stack_.id(), next_hop);
         if (broken.tracker) {
             broken.tracker->resolve(false);
         }
@@ -306,6 +321,8 @@ void Aodv::discovery_failed(util::NodeId dst) {
     pending_.erase(it);
     PQS_DEBUG("aodv: node " << stack_.id() << " failed discovery of " << dst);
     for (auto& queued : d.queue) {
+        obs::record(queued.msg ? queued.msg->trace : 0,
+                    obs::EventKind::kPacketDrop, stack_.id(), dst);
         if (queued.tracker) {
             queued.tracker->resolve(false);
         }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/world.h"
+#include "obs/trace.h"
 
 namespace pqs::net {
 
@@ -65,16 +66,20 @@ void NodeStack::link_broadcast(PacketPtr p) {
 
 void NodeStack::send_unicast(util::NodeId to, AppMsgPtr msg,
                              LinkTxCallback done) {
+    obs::record(msg ? msg->trace : 0, obs::EventKind::kPacketSend, id_, to);
     link_unicast(make_data(id_, to, id_, to, std::move(msg)), std::move(done));
 }
 
 void NodeStack::send_broadcast(AppMsgPtr msg) {
+    obs::record(msg ? msg->trace : 0, obs::EventKind::kPacketSend, id_,
+                kBroadcast);
     link_broadcast(
         make_data(id_, kBroadcast, id_, kBroadcast, std::move(msg)));
 }
 
 void NodeStack::send_routed(util::NodeId dst, AppMsgPtr msg,
                             RoutedCallback done, RouteSendOptions opts) {
+    obs::record(msg ? msg->trace : 0, obs::EventKind::kPacketSend, id_, dst);
     if (dst == id_) {
         // Loopback: the originator can be a member of its own quorum at no
         // message cost (§8.3).
@@ -142,12 +147,14 @@ void NodeStack::on_receive(PacketPtr p) {
     }
     const DataBody& data = p->data();
     if (data.net_dst == id_ || data.net_dst == kBroadcast) {
+        obs::record(p->trace, obs::EventKind::kPacketDeliver, id_, from);
         if (data.tracker) {
             data.tracker->resolve(true);
         }
         deliver_local(from, data.net_src, data.app);
         return;
     }
+    obs::record(p->trace, obs::EventKind::kPacketForward, id_, from);
     // In transit: give cross-layer snoopers a chance to consume it.
     for (const SnoopHandler& snoop : snoop_handlers_) {
         if (snoop(*p)) {

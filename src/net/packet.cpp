@@ -52,6 +52,7 @@ PacketPtr make_data(util::NodeId src, util::NodeId link_dst,
     p->link_src = src;
     p->link_dst = link_dst;
     p->ttl = ttl;
+    p->trace = app ? app->trace : obs::TraceId{0};
     p->body = DataBody{net_src, net_dst, std::move(app), std::move(tracker)};
     return p;
 }

@@ -11,6 +11,7 @@
 #include <variant>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/ids.h"
 
 namespace pqs::net {
@@ -23,6 +24,12 @@ inline constexpr util::NodeId kBroadcast = util::kInvalidNode;
 struct AppMessage {
     virtual ~AppMessage() = default;
     virtual std::size_t size_bytes() const { return 512; }
+
+    // Trace of the access this message belongs to (0 = untraced). Copied
+    // into the Packet/Frame that carry it so hop-level events attach to
+    // the op span. Not counted in size_bytes: it is instrumentation, not
+    // protocol state.
+    obs::TraceId trace = 0;
 };
 using AppMsgPtr = std::shared_ptr<const AppMessage>;
 
@@ -84,6 +91,7 @@ struct Packet {
     util::NodeId link_src = util::kInvalidNode;
     util::NodeId link_dst = kBroadcast;
     int ttl = 64;
+    obs::TraceId trace = 0;  // originating op, for hop tracing
     PacketBody body;
 
     std::size_t size_bytes() const;

@@ -33,6 +33,7 @@ private:
         frame.dst = p->link_dst == kBroadcast ? phy::kBroadcastId
                                               : p->link_dst;
         frame.bytes = p->size_bytes();
+        frame.trace = p->trace;
         frame.payload = std::static_pointer_cast<const void>(p);
         world_.macs_[src]->send(std::move(frame), std::move(done));
     }

@@ -1,0 +1,62 @@
+#include "obs/latency_histogram.h"
+
+#include <bit>
+#include <cmath>
+
+namespace pqs::obs {
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t v) {
+    if (v < kSubBuckets) return static_cast<std::size_t>(v);
+    const int msb = 63 - std::countl_zero(v);  // >= 4 here
+    const std::uint64_t sub = (v >> (msb - 4)) & (kSubBuckets - 1);
+    return static_cast<std::size_t>(msb - 3) * kSubBuckets +
+           static_cast<std::size_t>(sub);
+}
+
+std::uint64_t LatencyHistogram::bucket_low(std::size_t index) {
+    if (index < kSubBuckets) return index;
+    const std::size_t octave = index / kSubBuckets;  // >= 1
+    const std::uint64_t sub = index % kSubBuckets;
+    const int msb = static_cast<int>(octave) + 3;
+    return (kSubBuckets + sub) << (msb - 4);
+}
+
+std::uint64_t LatencyHistogram::bucket_high(std::size_t index) {
+    return bucket_low(index + 1);
+}
+
+void LatencyHistogram::record(sim::Time latency) {
+    const std::uint64_t v =
+        latency > 0 ? static_cast<std::uint64_t>(latency) : 0;
+    ++counts_[bucket_index(v)];
+    ++total_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+        counts_[i] += other.counts_[i];
+    }
+    total_ += other.total_;
+}
+
+double LatencyHistogram::quantile(double q) const {
+    if (total_ == 0) return 0.0;
+    double want = std::ceil(q * static_cast<double>(total_));
+    if (want < 1.0) want = 1.0;
+    const std::uint64_t rank =
+        want > static_cast<double>(total_) ? total_
+                                           : static_cast<std::uint64_t>(want);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+        cum += counts_[i];
+        if (cum >= rank) {
+            const double mid =
+                0.5 * (static_cast<double>(bucket_low(i)) +
+                       static_cast<double>(bucket_high(i)));
+            return mid / static_cast<double>(sim::kSecond);
+        }
+    }
+    return 0.0;  // unreachable while total_ > 0
+}
+
+}  // namespace pqs::obs

@@ -1,0 +1,45 @@
+// HDR-style log-bucketed latency histogram. Fixed memory, integer
+// buckets, exact merge across trials — the latency analogue of
+// util::KernelStats. Values are recorded in integer nanoseconds
+// (sim::Time); each power-of-two octave is split into 16 sub-buckets, so
+// relative bucket error is <= 1/16 across the whole range while the whole
+// table stays under 8 KiB.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace pqs::obs {
+
+class LatencyHistogram {
+  public:
+    // 16 exact buckets below 16 ns, then 16 sub-buckets for each octave
+    // up to 2^63 ns (~292 years of virtual time).
+    static constexpr std::size_t kSubBuckets = 16;
+    static constexpr std::size_t kBucketCount = 60 * kSubBuckets;
+
+    void record(sim::Time latency);
+    void merge(const LatencyHistogram& other);
+
+    std::uint64_t total() const { return total_; }
+
+    // Latency (in seconds) at quantile q in [0, 1]: the midpoint of the
+    // bucket holding the ceil(q * total)-th smallest sample. 0 when empty.
+    double quantile(double q) const;
+
+    std::uint64_t bucket_count(std::size_t i) const { return counts_[i]; }
+
+    // Exposed for tests: bucket index for a value and the inclusive lower
+    // / exclusive upper value bounds of a bucket.
+    static std::size_t bucket_index(std::uint64_t v);
+    static std::uint64_t bucket_low(std::size_t index);
+    static std::uint64_t bucket_high(std::size_t index);
+
+  private:
+    std::array<std::uint64_t, kBucketCount> counts_{};
+    std::uint64_t total_ = 0;
+};
+
+}  // namespace pqs::obs

@@ -1,0 +1,165 @@
+#include "obs/trace.h"
+
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace pqs::obs {
+
+const char* event_kind_name(EventKind kind) {
+    switch (kind) {
+        case EventKind::kSpanBegin: return "span_begin";
+        case EventKind::kSpanEnd: return "span_end";
+        case EventKind::kQuorumMemberReached: return "member_reached";
+        case EventKind::kSalvation: return "salvation";
+        case EventKind::kEarlyHalt: return "early_halt";
+        case EventKind::kRetryScheduled: return "retry_scheduled";
+        case EventKind::kOpTimeout: return "op_timeout";
+        case EventKind::kOpResolved: return "op_resolved";
+        case EventKind::kWalkDied: return "walk_died";
+        case EventKind::kReplyStarted: return "reply_started";
+        case EventKind::kReplyForward: return "reply_forward";
+        case EventKind::kReplyRepair: return "reply_repair";
+        case EventKind::kReplyDelivered: return "reply_delivered";
+        case EventKind::kReplyDropped: return "reply_dropped";
+        case EventKind::kPacketSend: return "packet_send";
+        case EventKind::kPacketForward: return "packet_forward";
+        case EventKind::kPacketDeliver: return "packet_deliver";
+        case EventKind::kPacketDrop: return "packet_drop";
+        case EventKind::kRouteDiscovery: return "route_discovery";
+        case EventKind::kMacBackoff: return "mac_backoff";
+        case EventKind::kMacTx: return "mac_tx";
+        case EventKind::kMacDrop: return "mac_drop";
+    }
+    return "unknown";
+}
+
+TraceSink::TraceSink(const sim::Simulator& sim, std::size_t capacity)
+    : sim_(sim), ring_(capacity > 0 ? capacity : 1) {}
+
+void TraceSink::record(TraceId trace, EventKind kind, util::NodeId node,
+                       std::uint64_t a, std::uint64_t b) {
+    TraceEvent e;
+    e.t = sim_.now();
+    e.trace = trace;
+    e.node = node;
+    e.kind = kind;
+    e.a = a;
+    e.b = b;
+    const std::size_t cap = ring_.size();
+    if (size_ < cap) {
+        ring_[(head_ + size_) % cap] = e;
+        ++size_;
+    } else {
+        // Full: overwrite the oldest. The tail of the run is what an
+        // investigation usually needs, so drop from the front.
+        ring_[head_] = e;
+        head_ = (head_ + 1) % cap;
+        ++dropped_;
+    }
+}
+
+const TraceEvent& TraceSink::event(std::size_t i) const {
+    PQS_CHECK(i < size_, "trace event index out of range");
+    return ring_[(head_ + i) % ring_.size()];
+}
+
+void TraceSink::clear() {
+    head_ = 0;
+    size_ = 0;
+    dropped_ = 0;
+}
+
+namespace {
+
+// Span markers share one name per op kind so chrome pairs begin/end.
+const char* span_name(std::uint64_t op_kind) {
+    return op_kind == 0 ? "advertise" : "lookup";
+}
+
+void dump_event(std::FILE* out, const TraceEvent& e) {
+    const double ts_us =
+        static_cast<double>(e.t) / static_cast<double>(sim::kMicrosecond);
+    const char* name = nullptr;
+    const char* ph = "n";  // nestable async instant
+    if (e.kind == EventKind::kSpanBegin) {
+        name = span_name(e.a);
+        ph = "b";
+    } else if (e.kind == EventKind::kSpanEnd) {
+        name = span_name(e.a);
+        ph = "e";
+    } else {
+        name = event_kind_name(e.kind);
+    }
+    // One category for every event: chrome nests async events by
+    // (cat, id), so sharing "pqs" is what places packet hops inside
+    // their op span. The layer lives in the event name instead.
+    std::fprintf(out,
+                 "{\"name\":\"%s\",\"cat\":\"pqs\",\"ph\":\"%s\","
+                 "\"id\":\"0x%llx\",\"pid\":0,\"tid\":%u,\"ts\":%.3f,"
+                 "\"args\":{\"node\":%u,\"a\":%llu,\"b\":%llu}}",
+                 name, ph, static_cast<unsigned long long>(e.trace),
+                 e.node, ts_us, e.node,
+                 static_cast<unsigned long long>(e.a),
+                 static_cast<unsigned long long>(e.b));
+}
+
+}  // namespace
+
+void TraceSink::dump_chrome_json(std::FILE* out) const {
+    std::fprintf(out, "{\"displayTimeUnit\":\"ms\",\n\"traceEvents\":[\n");
+    for (std::size_t i = 0; i < size_; ++i) {
+        if (i > 0) std::fprintf(out, ",\n");
+        dump_event(out, event(i));
+    }
+    std::fprintf(out, "\n]}\n");
+}
+
+bool TraceSink::dump_chrome_json(const std::string& path) const {
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) return false;
+    dump_chrome_json(out);
+    std::fclose(out);
+    return true;
+}
+
+namespace {
+
+TraceOptions options_from_env() {
+    TraceOptions opts;
+    if (const char* v = std::getenv("PQS_TRACE")) {
+        opts.enabled = v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+    }
+    if (const char* v = std::getenv("PQS_TRACE_OUT")) {
+        opts.out_base = v;
+    }
+    if (const char* v = std::getenv("PQS_TRACE_CAPACITY")) {
+        const long long n = std::atoll(v);
+        if (n > 0) opts.capacity = static_cast<std::size_t>(n);
+    }
+    return opts;
+}
+
+// Seeded from the environment on first use; mutated only by
+// set_trace_options, which callers must invoke before spawning trial
+// worker threads (exp::ExperimentRunner reads it from workers).
+TraceOptions& mutable_options() {
+    static TraceOptions opts = options_from_env();
+    return opts;
+}
+
+}  // namespace
+
+const TraceOptions& trace_options() { return mutable_options(); }
+
+TraceOptions set_trace_options(const TraceOptions& opts) {
+    TraceOptions prev = mutable_options();
+    mutable_options() = opts;
+    return prev;
+}
+
+std::string trace_output_path(const std::string& base, std::uint64_t seed) {
+    return base + "_seed" + std::to_string(seed) + ".json";
+}
+
+}  // namespace pqs::obs

@@ -1,0 +1,186 @@
+// Op-level tracing: always compiled, off by default, zero RNG/stdout
+// footprint when disabled.
+//
+// Every advertise/lookup minted by BiquorumSystem gets a TraceId (0 means
+// "untraced"). Strategies, the retry loop, the reply path, AODV, the MAC,
+// and the scenario driver call obs::record(trace, kind, node, a, b), which
+// is a no-op unless (a) a TraceSink is installed on the current thread via
+// ScopedTraceSink and (b) the op carries a non-zero TraceId. Timestamps are
+// virtual (sim::Simulator::now()) — this layer and src/sim are the only
+// places allowed to touch clocks (enforced by the pqs_lint raw-timestamp
+// rule; wall-clock perf measurement goes through explicit allow()s in
+// src/exp).
+//
+// The sink is a fixed-capacity ring buffer of POD events (drop-oldest on
+// overflow, counted) so memory stays bounded and the record path never
+// allocates. dump_chrome_json() renders the buffer as Chrome trace-event
+// JSON: each op is an async span (ph "b"/"e", id = TraceId) with nested
+// instant events (ph "n") for quorum members reached, packet hops, MAC
+// backoffs, retries, and reply-path repairs; open the file directly in
+// chrome://tracing or https://ui.perfetto.dev.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+#include "util/ids.h"
+
+namespace pqs::obs {
+
+// Identifier of one traced access (advertise or lookup). 0 = untraced.
+using TraceId = std::uint64_t;
+
+enum class EventKind : std::uint8_t {
+    // Op-level span markers (a = 0 advertise / 1 lookup; begin: b = key,
+    // end: b = ok).
+    kSpanBegin,
+    kSpanEnd,
+    // Op-level annotations.
+    kQuorumMemberReached,  // a = members so far / responder id context
+    kSalvation,            // RW salvation retry after a MAC-level loss
+    kEarlyHalt,            // lookup walk halted early on a hit
+    kRetryScheduled,       // a = attempt just failed, b = backoff (ns)
+    kOpTimeout,            // final result was a timeout
+    kOpResolved,           // scenario driver saw the callback (a = ok)
+    kWalkDied,             // walk had no live neighbor to hop to
+    // Reply-path events.
+    kReplyStarted,   // a = recorded forward-path length
+    kReplyForward,   // a = remaining hops
+    kReplyRepair,    // a = hop index the repair rejoins
+    kReplyDelivered,
+    kReplyDropped,
+    // Packet hops (network layer).
+    kPacketSend,     // a = destination node
+    kPacketForward,  // a = previous hop
+    kPacketDeliver,  // a = previous hop
+    kPacketDrop,     // a = context-dependent (dest / next hop)
+    kRouteDiscovery, // a = destination node
+    // MAC layer.
+    kMacBackoff,  // a = contention window
+    kMacTx,       // a = frame bytes
+    kMacDrop,     // retries exhausted
+};
+
+// Number of EventKind values (keep in sync with the enum).
+inline constexpr std::size_t kEventKindCount =
+    static_cast<std::size_t>(EventKind::kMacDrop) + 1;
+
+const char* event_kind_name(EventKind kind);
+
+// One recorded event. POD, fixed size: the ring never allocates per event.
+struct TraceEvent {
+    sim::Time t = 0;        // virtual time
+    TraceId trace = 0;
+    util::NodeId node = 0;  // node the event happened on
+    EventKind kind = EventKind::kSpanBegin;
+    std::uint64_t a = 0;    // kind-specific payload
+    std::uint64_t b = 0;
+};
+
+// Fixed-capacity ring buffer of trace events for one trial. Overflow
+// drops the *oldest* events (the tail of a long run is usually what the
+// investigation needs) and counts what was lost.
+class TraceSink {
+  public:
+    explicit TraceSink(const sim::Simulator& sim, std::size_t capacity);
+
+    // Mints a fresh non-zero TraceId.
+    TraceId new_trace() { return ++last_trace_; }
+
+    void record(TraceId trace, EventKind kind, util::NodeId node,
+                std::uint64_t a, std::uint64_t b);
+
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return ring_.size(); }
+    std::uint64_t dropped() const { return dropped_; }
+    // i = 0 is the oldest retained event.
+    const TraceEvent& event(std::size_t i) const;
+    void clear();
+
+    // Chrome trace-event JSON ("JSON Object Format" with a traceEvents
+    // array). Returns false if the file could not be written.
+    void dump_chrome_json(std::FILE* out) const;
+    bool dump_chrome_json(const std::string& path) const;
+
+  private:
+    const sim::Simulator& sim_;
+    std::vector<TraceEvent> ring_;
+    std::size_t head_ = 0;  // index of the oldest event
+    std::size_t size_ = 0;
+    std::uint64_t dropped_ = 0;
+    TraceId last_trace_ = 0;
+};
+
+namespace detail {
+// Thread-local so parallel trials (exp::ExperimentRunner worker threads)
+// each trace into their own sink, like util::ScopedLogClock. Function-local
+// rather than an extern header declaration: gcc's cross-TU TLS wrapper for
+// the latter trips UBSan's null checks; a zero-initialized function-local
+// is accessed directly.
+inline TraceSink*& sink_ref() {
+    static thread_local TraceSink* sink = nullptr;
+    return sink;
+}
+}  // namespace detail
+
+// Sink installed on the current thread, or nullptr when tracing is off.
+inline TraceSink* current_sink() { return detail::sink_ref(); }
+
+// Installs a sink for the current scope; restores the previous one on
+// destruction so nesting behaves.
+class ScopedTraceSink {
+  public:
+    explicit ScopedTraceSink(TraceSink* sink) : prev_(detail::sink_ref()) {
+        detail::sink_ref() = sink;
+    }
+    ~ScopedTraceSink() { detail::sink_ref() = prev_; }
+    ScopedTraceSink(const ScopedTraceSink&) = delete;
+    ScopedTraceSink& operator=(const ScopedTraceSink&) = delete;
+
+  private:
+    TraceSink* prev_;
+};
+
+// The hot-path hook: two predictable branches and out when tracing is off
+// or the op is untraced.
+inline void record(TraceId trace, EventKind kind, util::NodeId node,
+                   std::uint64_t a = 0, std::uint64_t b = 0) {
+    TraceSink* sink = detail::sink_ref();
+    if (sink == nullptr || trace == 0) return;
+    sink->record(trace, kind, node, a, b);
+}
+
+// Mints a TraceId if tracing is on; returns 0 (untraced) otherwise.
+inline TraceId maybe_new_trace() {
+    TraceSink* sink = detail::sink_ref();
+    return sink != nullptr ? sink->new_trace() : 0;
+}
+
+// Process-wide tracing configuration, consumed by core::run_scenario.
+struct TraceOptions {
+    bool enabled = false;
+    // Dump path base; the per-trial file is out_base + "_seed<seed>.json".
+    // Empty = record but do not write files (used by determinism tests).
+    std::string out_base = "pqs_trace";
+    std::size_t capacity = 1 << 16;
+};
+
+// Current options. Seeded once, lazily, from the environment:
+//   PQS_TRACE=1           enable tracing in run_scenario
+//   PQS_TRACE_OUT=path    dump path base (default "pqs_trace")
+//   PQS_TRACE_CAPACITY=N  ring capacity in events (default 65536)
+const TraceOptions& trace_options();
+
+// Programmatic override (tests, examples/trace_demo). Returns the
+// previous options so callers can restore them.
+TraceOptions set_trace_options(const TraceOptions& opts);
+
+// The per-trial dump filename for a given base and world seed — shared by
+// run_scenario (writer) and tooling that needs to predict the name.
+std::string trace_output_path(const std::string& base, std::uint64_t seed);
+
+}  // namespace pqs::obs

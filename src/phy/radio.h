@@ -25,6 +25,9 @@ struct Frame {
     std::size_t bytes = 512;
     bool is_ack = false;
     std::uint32_t mac_seq = 0;
+    // obs::TraceId of the op whose packet this frame carries (0 =
+    // untraced); raw integer so the PHY stays free of upper-layer deps.
+    std::uint64_t trace = 0;
     // Opaque payload owned by the link layer; the PHY never looks inside.
     std::shared_ptr<const void> payload;
 };

@@ -1,0 +1,20 @@
+// Fixture: measuring "latency" with the host's wall clock — the number
+// depends on machine speed and scheduling, not on the simulated protocol,
+// and differs run to run. Virtual time (sim::Simulator::now()) is the only
+// sanctioned clock outside src/sim/ and src/obs/. The steady_clock alias
+// line carries a suppression comment, which doubles as the test that
+// `pqs-lint: allow(...)` silences exactly one line: the ::now() calls
+// below must still fire.
+// expect-lint: raw-timestamp
+#include <chrono>
+
+namespace pqs {
+
+double bad_latency_seconds() {
+    using Clock = std::chrono::steady_clock;  // pqs-lint: allow(raw-timestamp)
+    const auto start = Clock::now();
+    const auto end = std::chrono::high_resolution_clock::now();
+    return std::chrono::duration<double>(end - start).count();
+}
+
+}  // namespace pqs

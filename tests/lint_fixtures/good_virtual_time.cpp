@@ -1,0 +1,14 @@
+// Fixture: latency measured in virtual time via the simulator clock —
+// deterministic for a seed and host-independent. Must NOT trigger
+// raw-timestamp.
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace pqs {
+
+double good_latency_seconds(const sim::Simulator& simulator,
+                            sim::Time started) {
+    return sim::to_seconds(simulator.now() - started);
+}
+
+}  // namespace pqs

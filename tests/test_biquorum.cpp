@@ -178,5 +178,78 @@ TEST_F(BiquorumFixture, LocationServiceRefreshRestoresAfterChurn) {
     EXPECT_GT(holders, spec.advertise.quorum_size / 2);
 }
 
+TEST_F(BiquorumFixture, RetriedLookupReportsEndToEndLatency) {
+    // Regression: the final AccessResult of a retried access used to carry
+    // only the *last* attempt's latency, silently dropping the backoff
+    // delays and earlier attempts. With 3 attempts and 5 s / 10 s backoffs
+    // the end-to-end latency must be at least 15 s.
+    net::World& w = build(60, 11);
+    BiquorumSpec spec;
+    spec.advertise.kind = StrategyKind::kRandom;
+    spec.lookup.kind = StrategyKind::kUniquePath;
+    BiquorumSystem bq(w, spec, membership.get());
+    bq.context().retry = RetryPolicy{3, 5 * sim::kSecond, 2.0};
+    w.start();
+
+    // Never-advertised key: every attempt completes quickly as a miss, so
+    // almost all of the end-to-end time is backoff.
+    bool done = false;
+    AccessResult result;
+    bq.lookup(4, 99999, [&](const AccessResult& r) {
+        result = r;
+        done = true;
+    });
+    drive(done, 120 * sim::kSecond);
+    ASSERT_TRUE(done);
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.attempts, 3);
+    EXPECT_GE(result.latency, 15 * sim::kSecond);
+}
+
+TEST_F(BiquorumFixture, TeardownWithLookupInFlightCancelsTimers) {
+    // Regression (run under ASan in check.sh): destroying the biquorum
+    // system while a lookup is still open used to leave two kinds of
+    // scheduled events holding freed `this` pointers — the OpTable's
+    // op-timeout event and the RANDOM strategy's reply-grace timer (armed
+    // once every miss reply is in). Stepping the simulator afterwards
+    // dereferenced both.
+    net::World& w = build(40, 12);
+    BiquorumSpec spec;
+    spec.advertise.kind = StrategyKind::kRandom;
+    spec.lookup.kind = StrategyKind::kRandom;
+    auto bq = std::make_unique<BiquorumSystem>(w, spec, membership.get());
+    w.start();
+
+    bq->lookup(2, 4242, [](const AccessResult&) {});
+    // Let every miss reply return (arming the 3 s grace timer) while both
+    // the grace timer and the 30 s op timeout are still pending.
+    w.simulator().run_until(w.simulator().now() + sim::kSecond);
+    bq.reset();
+    // Fire everything left in the queue; cancelled timers must not run.
+    w.simulator().run_until(w.simulator().now() + 60 * sim::kSecond);
+}
+
+TEST_F(BiquorumFixture, TeardownMidRetryCancelsBackoffTimer) {
+    // Regression companion: destruction between attempts, while only the
+    // retry backoff timer is pending.
+    net::World& w = build(40, 13);
+    BiquorumSpec spec;
+    spec.advertise.kind = StrategyKind::kRandom;
+    spec.lookup.kind = StrategyKind::kRandom;
+    auto bq = std::make_unique<BiquorumSystem>(w, spec, membership.get());
+    bq->context().retry = RetryPolicy{3, 30 * sim::kSecond, 1.0};
+    w.start();
+
+    bool resolved = false;
+    bq->lookup(5, 4242, [&](const AccessResult&) { resolved = true; });
+    // First attempt resolves as a miss after the 3 s reply grace; the 30 s
+    // backoff timer is then the only pending reference into the system.
+    w.simulator().run_until(w.simulator().now() + 10 * sim::kSecond);
+    EXPECT_FALSE(resolved);  // mid-retry, not finished
+    bq.reset();
+    w.simulator().run_until(w.simulator().now() + 120 * sim::kSecond);
+    EXPECT_FALSE(resolved);
+}
+
 }  // namespace
 }  // namespace pqs::core

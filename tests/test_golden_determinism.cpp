@@ -16,6 +16,7 @@
 #include <ostream>
 
 #include "core/scenario.h"
+#include "obs/trace.h"
 
 namespace pqs::core {
 namespace {
@@ -147,6 +148,24 @@ TEST(GoldenDeterminism, FixedSeedScenarioFingerprint) {
         << "\ngot      " << got
         << "\nIf the change is intended, update kGolden and justify the "
            "new numbers in the PR body.";
+}
+
+TEST(GoldenDeterminism, TracingOnPreservesFingerprint) {
+    // The observability layer must be a pure observer: enabling tracing
+    // (record but don't write — out_base empty) must not consume RNG,
+    // schedule events, or otherwise perturb the run. The fingerprint with
+    // tracing enabled must equal kGolden bit for bit.
+    obs::TraceOptions opts;
+    opts.enabled = true;
+    opts.out_base.clear();
+    opts.capacity = 1 << 16;
+    const obs::TraceOptions prev = obs::set_trace_options(opts);
+    const ScenarioParams p = golden_params();
+    const Fingerprint got = fingerprint_of(run_scenario(p), p);
+    obs::set_trace_options(prev);
+    EXPECT_TRUE(got == kGolden)
+        << "tracing perturbed the scenario.\nexpected " << kGolden
+        << "\ngot      " << got;
 }
 
 TEST(GoldenDeterminism, RepeatRunBitIdentical) {

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <functional>
 
 namespace pqs::core {
@@ -108,6 +110,43 @@ TEST(Scenario, MobileUniquePathKeepsWorking) {
     p.warmup = 25 * sim::kSecond;  // let heartbeats populate
     const ScenarioResult r = run_scenario(p);
     EXPECT_GE(r.hit_ratio, 0.7);
+}
+
+TEST(Scenario, TimedOutLookupsExcludedFromLatencyMean) {
+    // Regression: avg_lookup_latency_s used to average *all* resolved
+    // lookups, so a run where every lookup timed out reported a "mean
+    // latency" equal to the op-timeout constant instead of reporting the
+    // timeouts. With a timeout no access can beat (50 us is below a single
+    // MAC transmission), every lookup must surface in timeout_rate and the
+    // success-only latency mean must stay exactly zero.
+    ScenarioParams p = base_params(60, 9);
+    p.advertise_count = 5;
+    p.lookup_count = 20;
+    p.op_timeout = 50 * sim::kMicrosecond;
+    // Never-advertised keys: a lookup cannot resolve at its origin's own
+    // store at t=0, so no access can beat the timeout.
+    p.lookup_missing_keys = true;
+    const ScenarioResult r = run_scenario(p);
+    EXPECT_DOUBLE_EQ(r.timeout_rate, 1.0);
+    EXPECT_DOUBLE_EQ(r.hit_ratio, 0.0);
+    EXPECT_DOUBLE_EQ(r.avg_lookup_latency_s, 0.0);
+    EXPECT_EQ(r.latency_hist.total(), 0u);
+}
+
+TEST(Scenario, SuccessfulLookupsPopulateLatencyHistogram) {
+    const ScenarioParams p = base_params(80, 10);
+    const ScenarioResult r = run_scenario(p);
+    ASSERT_GT(r.hit_ratio, 0.0);
+    const auto hits = static_cast<std::uint64_t>(std::llround(
+        r.hit_ratio * static_cast<double>(p.lookup_count)));
+    EXPECT_EQ(r.latency_hist.total(), hits);
+    // Quantiles are monotone and in a sane range for an 80-node network.
+    const double p50 = r.latency_hist.quantile(0.5);
+    const double p99 = r.latency_hist.quantile(0.99);
+    EXPECT_GT(p50, 0.0);
+    EXPECT_GE(p99, p50);
+    EXPECT_LT(p99, sim::to_seconds(p.op_timeout));
+    EXPECT_NEAR(r.timeout_rate, 0.0, 0.2);
 }
 
 TEST(Scenario, AveragedRunsAggregate) {

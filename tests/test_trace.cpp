@@ -1,0 +1,245 @@
+// Tests for the op-level tracing layer (src/obs): ring-buffer overflow
+// policy, scoped sink install/restore, the off-by-default contract (zero
+// events recorded, zero TraceIds minted), the Chrome JSON dump, the
+// log-bucketed latency histogram, and an end-to-end run asserting a
+// lookup span contains nested quorum and packet/MAC hop events.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "core/biquorum.h"
+#include "membership/oracle_membership.h"
+#include "obs/latency_histogram.h"
+
+namespace pqs::obs {
+namespace {
+
+TEST(TraceSink, RingBufferDropsOldest) {
+    sim::Simulator sim;
+    TraceSink sink(sim, 8);
+    EXPECT_EQ(sink.capacity(), 8u);
+    for (std::uint64_t i = 1; i <= 20; ++i) {
+        sink.record(i, EventKind::kPacketSend, 0, i, 0);
+    }
+    EXPECT_EQ(sink.size(), 8u);
+    EXPECT_EQ(sink.dropped(), 12u);
+    // The oldest retained event is #13 (1..12 were overwritten), the
+    // newest is #20.
+    EXPECT_EQ(sink.event(0).trace, 13u);
+    EXPECT_EQ(sink.event(7).trace, 20u);
+    sink.clear();
+    EXPECT_EQ(sink.size(), 0u);
+    EXPECT_EQ(sink.dropped(), 0u);
+}
+
+TEST(TraceSink, ScopedSinkInstallsAndRestores) {
+    sim::Simulator sim;
+    EXPECT_EQ(current_sink(), nullptr);
+    TraceSink outer(sim, 16);
+    {
+        ScopedTraceSink outer_scope(&outer);
+        EXPECT_EQ(current_sink(), &outer);
+        TraceSink inner(sim, 16);
+        {
+            ScopedTraceSink inner_scope(&inner);
+            EXPECT_EQ(current_sink(), &inner);
+            record(1, EventKind::kSpanBegin, 3, 1, 0);
+        }
+        EXPECT_EQ(current_sink(), &outer);
+        EXPECT_EQ(inner.size(), 1u);
+        EXPECT_EQ(outer.size(), 0u);
+    }
+    EXPECT_EQ(current_sink(), nullptr);
+}
+
+TEST(TraceSink, OffByDefaultRecordsNothing) {
+    // No sink installed: record() must be a harmless no-op and no TraceId
+    // is minted (so traced code paths stay dormant end to end).
+    ASSERT_EQ(current_sink(), nullptr);
+    record(42, EventKind::kPacketSend, 1, 2, 3);
+    EXPECT_EQ(maybe_new_trace(), 0u);
+
+    // With a sink but an untraced op (trace == 0): still nothing.
+    sim::Simulator sim;
+    TraceSink sink(sim, 16);
+    ScopedTraceSink scope(&sink);
+    record(0, EventKind::kPacketSend, 1, 2, 3);
+    EXPECT_EQ(sink.size(), 0u);
+    EXPECT_NE(maybe_new_trace(), 0u);
+}
+
+TEST(TraceSink, RecordsVirtualTimestamps) {
+    sim::Simulator sim;
+    TraceSink sink(sim, 16);
+    sim.schedule_in(5 * sim::kMillisecond, [&] {
+        sink.record(1, EventKind::kSpanBegin, 0, 1, 0);
+    });
+    sim.run_until(sim::kSecond);
+    ASSERT_EQ(sink.size(), 1u);
+    EXPECT_EQ(sink.event(0).t, 5 * sim::kMillisecond);
+}
+
+TEST(TraceSink, DumpChromeJsonSmoke) {
+    sim::Simulator sim;
+    TraceSink sink(sim, 16);
+    const TraceId id = sink.new_trace();
+    sink.record(id, EventKind::kSpanBegin, 2, /*lookup*/ 1, 7);
+    sink.record(id, EventKind::kPacketSend, 2, 5, 0);
+    sink.record(id, EventKind::kSpanEnd, 2, 1, 1);
+
+    const std::string path = "test_trace_dump.json";
+    ASSERT_TRUE(sink.dump_chrome_json(path));
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string json = buffer.str();
+    std::remove(path.c_str());
+
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"lookup\",\"cat\":\"pqs\",\"ph\":\"b\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"packet_send\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+    EXPECT_NE(json.find("\"id\":\"0x1\""), std::string::npos);
+}
+
+TEST(TraceOptions, SetAndRestore) {
+    TraceOptions opts;
+    opts.enabled = true;
+    opts.out_base = "x";
+    opts.capacity = 4;
+    const TraceOptions prev = set_trace_options(opts);
+    EXPECT_TRUE(trace_options().enabled);
+    EXPECT_EQ(trace_options().out_base, "x");
+    set_trace_options(prev);
+    EXPECT_EQ(trace_options().enabled, prev.enabled);
+}
+
+TEST(TraceOptions, OutputPathEncodesSeed) {
+    EXPECT_EQ(trace_output_path("runs/t", 42), "runs/t_seed42.json");
+}
+
+TEST(LatencyHistogram, BucketBoundsContainTheirValues) {
+    for (std::uint64_t v : {0ull, 1ull, 15ull, 16ull, 17ull, 1000ull,
+                            123456789ull, 1ull << 40, ~0ull >> 1}) {
+        const std::size_t i = LatencyHistogram::bucket_index(v);
+        ASSERT_LT(i, LatencyHistogram::kBucketCount);
+        EXPECT_LE(LatencyHistogram::bucket_low(i), v);
+        EXPECT_LT(v, LatencyHistogram::bucket_high(i));
+    }
+    // Exact below 16 ns.
+    for (std::uint64_t v = 0; v < 16; ++v) {
+        EXPECT_EQ(LatencyHistogram::bucket_index(v), v);
+    }
+    // Indices are monotone in the value.
+    EXPECT_LT(LatencyHistogram::bucket_index(1000),
+              LatencyHistogram::bucket_index(100000));
+}
+
+TEST(LatencyHistogram, QuantilesAndMerge) {
+    LatencyHistogram h;
+    EXPECT_EQ(h.quantile(0.5), 0.0);  // empty
+    for (int i = 0; i < 99; ++i) {
+        h.record(sim::kMillisecond);  // 1 ms
+    }
+    h.record(sim::kSecond);  // one 1 s outlier
+    EXPECT_EQ(h.total(), 100u);
+    // Bucketed midpoints: relative error bounded by the 1/16 sub-bucket
+    // width.
+    EXPECT_NEAR(h.quantile(0.50), 1e-3, 1e-4);
+    EXPECT_NEAR(h.quantile(0.95), 1e-3, 1e-4);
+    EXPECT_NEAR(h.quantile(1.0), 1.0, 0.05);
+
+    LatencyHistogram other;
+    other.record(sim::kSecond);
+    other.merge(h);
+    EXPECT_EQ(other.total(), 101u);
+    EXPECT_NEAR(other.quantile(0.5), 1e-3, 1e-4);
+    // Negative latencies clamp to bucket 0 instead of corrupting memory.
+    LatencyHistogram neg;
+    neg.record(-5);
+    EXPECT_EQ(neg.total(), 1u);
+    EXPECT_EQ(neg.bucket_count(0), 1u);
+}
+
+// End to end: a traced advertise + lookup on a real network must produce a
+// lookup span whose TraceId also tags quorum-member and packet/MAC hop
+// events — the nesting contract chrome://tracing renders.
+TEST(TraceEndToEnd, LookupSpanNestsQuorumAndPacketEvents) {
+    net::WorldParams wp;
+    wp.n = 40;
+    wp.seed = 9;
+    wp.oracle_neighbors = true;
+    net::World world(wp);
+    membership::OracleMembership membership(world);
+    core::BiquorumSpec spec;
+    spec.advertise.kind = core::StrategyKind::kRandom;
+    spec.lookup.kind = core::StrategyKind::kRandom;
+    spec.eps = 0.1;
+    core::BiquorumSystem bq(world, spec, &membership);
+
+    TraceSink sink(world.simulator(), 1 << 14);
+    ScopedTraceSink scope(&sink);
+
+    world.start();
+    world.simulator().run_until(2 * sim::kSecond);
+
+    bool done = false;
+    bq.advertise(1, 77, 770, [&](const core::AccessResult&) { done = true; });
+    while (!done && world.simulator().step()) {
+    }
+    done = false;
+    core::AccessResult lookup_result;
+    bq.lookup(30, 77, [&](const core::AccessResult& r) {
+        lookup_result = r;
+        done = true;
+    });
+    while (!done && world.simulator().step()) {
+    }
+
+    ASSERT_TRUE(lookup_result.ok);
+    ASSERT_NE(lookup_result.trace, 0u);
+    const TraceId span = lookup_result.trace;
+    bool begin = false, end = false, member = false, hop = false;
+    for (std::size_t i = 0; i < sink.size(); ++i) {
+        const TraceEvent& e = sink.event(i);
+        if (e.trace != span) {
+            continue;
+        }
+        switch (e.kind) {
+            case EventKind::kSpanBegin:
+                begin = true;
+                EXPECT_EQ(e.a, 1u);  // lookup
+                break;
+            case EventKind::kSpanEnd:
+                end = true;
+                EXPECT_EQ(e.b, 1u);  // ok
+                break;
+            case EventKind::kQuorumMemberReached:
+                member = true;
+                break;
+            case EventKind::kPacketSend:
+            case EventKind::kPacketForward:
+            case EventKind::kPacketDeliver:
+            case EventKind::kMacTx:
+                hop = true;
+                break;
+            default:
+                break;
+        }
+    }
+    EXPECT_TRUE(begin);
+    EXPECT_TRUE(end);
+    EXPECT_TRUE(member);
+    EXPECT_TRUE(hop);
+    EXPECT_EQ(sink.dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace pqs::obs

@@ -38,6 +38,15 @@ correctness contracts, so this checker enforces them statically:
       a dangling reference (the scenario-driver use-after-scope class).
       Move the continuation into shared-owned state captured by value.
 
+  raw-timestamp
+      Simulation and measurement code must use virtual time
+      (sim::Simulator::now() / sim::Time) — wall-clock reads
+      (std::chrono::*_clock::now, clock_gettime, gettimeofday, ...) make
+      latency metrics depend on host speed and break determinism. Only
+      src/sim/ and src/obs/ may touch clocks; deliberate wall-clock perf
+      measurement elsewhere (src/exp's events/s reporting) carries an
+      explicit allow().
+
 Suppress a finding with `// pqs-lint: allow(<rule-id>)` on the same line.
 
 Usage:
@@ -56,9 +65,10 @@ RULE_RAW_RANDOM = "raw-random"
 RULE_UNORDERED_OUTPUT = "unordered-output"
 RULE_RAW_STDOUT = "raw-stdout"
 RULE_DANGLING_SCHEDULE = "dangling-schedule-capture"
+RULE_RAW_TIMESTAMP = "raw-timestamp"
 
 ALL_RULES = (RULE_HELD_REF, RULE_RAW_RANDOM, RULE_UNORDERED_OUTPUT,
-             RULE_RAW_STDOUT, RULE_DANGLING_SCHEDULE)
+             RULE_RAW_STDOUT, RULE_DANGLING_SCHEDULE, RULE_RAW_TIMESTAMP)
 
 # Calls that can synchronously re-enter the location service and resolve
 # (erase) a pending op while the caller still holds a table reference.
@@ -107,6 +117,12 @@ STD_FUNCTION_NAME_RE = re.compile(
 SCHEDULE_CALL_RE = re.compile(r"\bschedule_(?:in|at)\s*\(")
 
 LAMBDA_CAPTURE_RE = re.compile(r"\[([^\[\]]*)\]")
+
+RAW_TIMESTAMP_RE = re.compile(
+    r"std\s*::\s*chrono\s*::\s*"
+    r"(?:steady_clock|system_clock|high_resolution_clock)\b"
+    r"|\b\w*[Cc]lock\s*::\s*now\s*\("
+    r"|\bclock_gettime\s*\(|\bgettimeofday\s*\(|\btimespec_get\s*\(")
 
 ALLOW_RE = re.compile(r"//\s*pqs-lint:\s*allow\(([\w,\s-]+)\)")
 
@@ -424,6 +440,17 @@ def lint_file(path, rel, violations):
                        "raw '%s' in src/; route output through the logging "
                        "util (PQS_INFO/...) or an explicit FILE*/CsvWriter "
                        "sink" % m.group(0).strip().rstrip("("))
+
+    # --- raw-timestamp (src/ only; the time sources themselves exempt) ---
+    if in_src and not norm.startswith(("src/sim/", "src/obs/")):
+        for i, line in enumerate(lines):
+            m = RAW_TIMESTAMP_RE.search(line)
+            if m:
+                report(i, RULE_RAW_TIMESTAMP,
+                       "wall-clock read '%s' outside src/sim//src/obs/; "
+                       "use sim::Simulator::now() virtual time (explicit "
+                       "perf measurement needs an allow())"
+                       % m.group(0).strip().rstrip("("))
 
 
 def collect_default_files(root):
