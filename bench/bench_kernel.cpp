@@ -32,6 +32,7 @@
 #include "legacy_event_queue.h"
 #include "sim/event_queue.h"
 #include "util/kernel_stats.h"
+#include "util/mem.h"
 #include "util/rng.h"
 
 namespace pqs::bench {
@@ -477,6 +478,9 @@ int main(int argc, char** argv) {
         rec.counters.emplace_back(
             "hits_x1000",
             static_cast<std::uint64_t>(std::lround(1000.0 * r.hit_ratio)));
+        rec.counters.emplace_back(
+            "arena_high_water",
+            static_cast<std::uint64_t>(r.arena_high_water));
         records.push_back(rec);
         std::printf("  e2e_unique_path_n200: %.3g sim events/s "
                     "(%llu events, hit=%.3f)\n",
@@ -490,6 +494,8 @@ int main(int argc, char** argv) {
     json.str_field("schema", "pqs.bench_kernel/1");
     json.str_field("mode", smoke ? "smoke" : "full");
     json.raw_field("reps", fmt_u64(static_cast<std::uint64_t>(reps)));
+    // Host telemetry, like wall_seconds: varies across machines/runs.
+    json.raw_field("peak_rss_bytes", fmt_u64(util::peak_rss_bytes()));
     std::string benches = "[\n";
     for (std::size_t i = 0; i < records.size(); ++i) {
         benches += records[i].to_json();

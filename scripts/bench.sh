@@ -1,16 +1,18 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_kernel.json — the kernel perf baseline at the repo
-# root. Run it on the machine whose numbers you want to record (the
-# committed baseline comes from the 1-core CI container), then commit the
-# refreshed file together with a README "Performance" note when the
-# numbers move materially.
+# Regenerates the perf baselines at the repo root:
+#   BENCH_kernel.json — kernel micro/e2e benches (pqs.bench_kernel/1)
+#   BENCH_scale.json  — n=100k live-churn scale bench (pqs.bench_scale/1)
+# Run it on the machine whose numbers you want to record (the committed
+# baselines come from the 1-core CI container), then commit the refreshed
+# files together with a README "Performance" note when the numbers move
+# materially.
 #
-#   scripts/bench.sh          # full workload, best-of-3 micro reps
-#   scripts/bench.sh smoke    # shrunk workload (same as the ctest gate)
+#   scripts/bench.sh          # full workloads (bench_scale at n=100k)
+#   scripts/bench.sh smoke    # shrunk workloads (same as the ctest gates)
 #
 # The emitted JSON is schema-checked here and again by scripts/check.sh;
 # all `counters` fields are deterministic (fixed seeds), so two runs on
-# any machine must differ only in wall_seconds / items_per_second.
+# any machine must differ only in wall/rate/RSS fields.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,12 +21,18 @@ JOBS=$(nproc 2>/dev/null || echo 2)
 MODE="${1:-full}"
 
 cmake -B build -S "$ROOT" >/dev/null
-cmake --build build -j "$JOBS" --target bench_kernel
+cmake --build build -j "$JOBS" --target bench_kernel --target bench_scale
 
 case "$MODE" in
-  full)  ./build/bench/bench_kernel --out BENCH_kernel.json ;;
-  smoke) ./build/bench/bench_kernel --smoke --out BENCH_kernel.json ;;
+  full)
+    ./build/bench/bench_kernel --out BENCH_kernel.json
+    ./build/bench/bench_scale --out BENCH_scale.json
+    ;;
+  smoke)
+    ./build/bench/bench_kernel --smoke --out BENCH_kernel.json
+    ./build/bench/bench_scale --smoke --out BENCH_scale.json
+    ;;
   *) echo "usage: scripts/bench.sh [full|smoke]" >&2; exit 2 ;;
 esac
 
-python3 scripts/check_bench_json.py BENCH_kernel.json
+python3 scripts/check_bench_json.py BENCH_kernel.json BENCH_scale.json

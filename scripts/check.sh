@@ -5,9 +5,11 @@
 #   1. warnings-as-errors build (-Wall -Wextra -Wshadow -Wconversion)
 #   2. full ctest suite, which includes the project linter (pqs_lint)
 #      and its fixture self-test (test_lint_fixtures)
-#   3. bench JSON schema gate: the committed BENCH_kernel.json baseline
-#      and a fresh `bench_kernel --smoke` emission must both satisfy
-#      scripts/check_bench_json.py (schema pqs.bench_kernel/1)
+#   3. bench JSON schema gate: the committed BENCH_kernel.json and
+#      BENCH_scale.json baselines plus fresh `bench_kernel --smoke` and
+#      `bench_scale --smoke` emissions must all satisfy
+#      scripts/check_bench_json.py (schemas pqs.bench_kernel/1 and
+#      pqs.bench_scale/1)
 #   4. trace JSON schema gate: a fresh `trace_demo --smoke` emission must
 #      satisfy scripts/check_trace_json.py (chrome://tracing-loadable,
 #      with a lookup span nesting packet-hop events)
@@ -36,11 +38,13 @@ step "2/6 project linter (standalone rerun for a readable report)"
 python3 tools/pqs_lint/pqs_lint.py --root "$ROOT"
 python3 tools/pqs_lint/check_fixtures.py --root "$ROOT"
 
-step "3/6 bench JSON schema gate (committed baseline + fresh smoke run)"
-# The ctest pass above already ran bench_kernel --smoke; validate its
-# emission alongside the committed baseline.
-python3 scripts/check_bench_json.py BENCH_kernel.json \
-    build-check/bench/bench_kernel_smoke.json
+step "3/6 bench JSON schema gate (committed baselines + fresh smoke runs)"
+# The ctest pass above already ran bench_kernel --smoke and
+# bench_scale --smoke; validate their emissions alongside the committed
+# baselines.
+python3 scripts/check_bench_json.py BENCH_kernel.json BENCH_scale.json \
+    build-check/bench/bench_kernel_smoke.json \
+    build-check/bench/bench_scale_smoke.json
 
 step "4/6 trace JSON schema gate (fresh trace_demo --smoke emission)"
 build-check/examples/trace_demo --smoke --out build-check/trace_smoke

@@ -1,18 +1,26 @@
 #!/usr/bin/env python3
-"""Schema sanity check for BENCH_kernel.json (schema pqs.bench_kernel/1).
+"""Schema sanity check for the bench JSON baselines, dispatched on the
+top-level `schema` field.
 
-Validates the structural contract documented in EXPERIMENTS.md so a broken
-bench emitter (or a hand-edited baseline) fails scripts/check.sh instead of
-silently corrupting the bench trajectory:
-
-  - top level: schema == "pqs.bench_kernel/1", mode in {smoke, full},
-    reps >= 1, non-empty `benches` list, `derived` object;
+pqs.bench_kernel/1 (BENCH_kernel.json):
+  - top level: mode in {smoke, full}, reps >= 1, non-empty `benches`
+    list, `derived` object, peak_rss_bytes >= 0;
   - every bench: name/impl strings, work_items > 0, wall_seconds > 0,
     items_per_second > 0;
   - the event_churn pair: both impls present, with identical deterministic
     `checksum` and `final_time` counters (the new and legacy event queues
     must agree on the same op sequence);
   - derived.event_churn_speedup present and > 0.
+
+pqs.bench_scale/1 (BENCH_scale.json):
+  - mode in {smoke, full}, n > 0, events_fired > 0,
+    events_per_second > 0, peak_rss_bytes >= 0,
+    arena_high_water_bytes > 0, counters object of non-negative ints with
+    the scale-path liveness counters (grid_cell_crossings,
+    packet_pool_reuses, calendar_pushes) strictly positive.
+
+A broken bench emitter (or a hand-edited baseline) fails scripts/check.sh
+instead of silently corrupting the bench trajectory.
 
 Usage: check_bench_json.py FILE [FILE...]   (exit 1 on any violation)
 """
@@ -26,22 +34,48 @@ def fail(path, message):
     return 1
 
 
-def check_file(path):
-    try:
-        with open(path, "r", encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, ValueError) as exc:
-        return fail(path, "unreadable or invalid JSON: %s" % exc)
-
+def check_scale(path, doc):
     errors = 0
-    if doc.get("schema") != "pqs.bench_kernel/1":
-        errors += fail(path, "schema must be 'pqs.bench_kernel/1' (got %r)"
-                       % doc.get("schema"))
+    if doc.get("mode") not in ("smoke", "full"):
+        errors += fail(path, "mode must be 'smoke' or 'full' (got %r)"
+                       % doc.get("mode"))
+    for key in ("n", "events_fired", "events_per_second",
+                "arena_high_water_bytes", "sim_seconds",
+                "run_wall_seconds"):
+        value = doc.get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            errors += fail(path, "%s must be a positive number (got %r)"
+                           % (key, value))
+    rss = doc.get("peak_rss_bytes")
+    if not isinstance(rss, int) or rss < 0:
+        errors += fail(path, "peak_rss_bytes must be a non-negative "
+                       "integer (got %r)" % rss)
+    counters = doc.get("counters")
+    if not isinstance(counters, dict) or not counters:
+        return errors + fail(path, "counters must be a non-empty object")
+    if any(not isinstance(v, int) or v < 0 for v in counters.values()):
+        errors += fail(path, "counters values must be non-negative "
+                       "integers")
+    for key in ("grid_cell_crossings", "packet_pool_reuses",
+                "calendar_pushes"):
+        if not counters.get(key):
+            errors += fail(path, "counters.%s must be > 0 — the scale "
+                           "path (lazy legs / packet pool / calendar "
+                           "tier) was not exercised" % key)
+    return errors
+
+
+def check_kernel(path, doc):
+    errors = 0
     if doc.get("mode") not in ("smoke", "full"):
         errors += fail(path, "mode must be 'smoke' or 'full' (got %r)"
                        % doc.get("mode"))
     if not isinstance(doc.get("reps"), int) or doc["reps"] < 1:
         errors += fail(path, "reps must be an integer >= 1")
+    rss = doc.get("peak_rss_bytes")
+    if not isinstance(rss, int) or rss < 0:
+        errors += fail(path, "peak_rss_bytes must be a non-negative "
+                       "integer (got %r)" % rss)
 
     benches = doc.get("benches")
     if not isinstance(benches, list) or not benches:
@@ -93,6 +127,25 @@ def check_file(path):
             errors += fail(path, "derived.event_churn_speedup must be a "
                            "positive number")
     return errors
+
+
+SCHEMAS = {
+    "pqs.bench_kernel/1": check_kernel,
+    "pqs.bench_scale/1": check_scale,
+}
+
+
+def check_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as exc:
+        return fail(path, "unreadable or invalid JSON: %s" % exc)
+    checker = SCHEMAS.get(doc.get("schema"))
+    if checker is None:
+        return fail(path, "schema must be one of %s (got %r)"
+                    % (sorted(SCHEMAS), doc.get("schema")))
+    return checker(path, doc)
 
 
 def main(argv):

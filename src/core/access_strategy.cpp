@@ -16,14 +16,14 @@ LoadSummary summarize_load(const ServiceContext& ctx) {
     double sum = 0.0;
     double sum_sq = 0.0;
     std::size_t count = 0;
-    for (const util::NodeId id : ctx.world.alive_nodes()) {
+    ctx.world.alive_set().for_each([&](util::NodeId id) {
         const double x =
             id < ctx.load.size() ? static_cast<double>(ctx.load[id]) : 0.0;
         sum += x;
         sum_sq += x * x;
         summary.max = std::max(summary.max, x);
         ++count;
-    }
+    });
     if (count == 0) {
         return summary;
     }

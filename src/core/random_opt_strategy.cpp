@@ -111,12 +111,12 @@ void RandomOptStrategy::access(AccessKind kind, util::NodeId origin,
     if (ctx_.membership != nullptr) {
         targets = ctx_.membership->sample(origin, config_.quorum_size);
     } else {
-        const std::vector<util::NodeId> alive = ctx_.world.alive_nodes();
+        const util::AliveSet& alive = ctx_.world.alive_set();
         const std::size_t take =
-            std::min<std::size_t>(config_.quorum_size, alive.size());
+            std::min<std::size_t>(config_.quorum_size, alive.count());
         for (const std::size_t idx :
-             rng_.sample_without_replacement(alive.size(), take)) {
-            targets.push_back(alive[idx]);
+             rng_.sample_without_replacement(alive.count(), take)) {
+            targets.push_back(alive.select(idx));
         }
     }
     if (targets.empty()) {

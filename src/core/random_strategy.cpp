@@ -54,13 +54,13 @@ std::vector<util::NodeId> RandomStrategy::pick_targets(util::NodeId origin,
     }
     // Fallback for worlds without a membership service: sample ground truth
     // (used in unit tests; real setups always attach a service).
-    const std::vector<util::NodeId> alive = ctx_.world.alive_nodes();
-    const std::size_t take = std::min(k, alive.size());
+    const util::AliveSet& alive = ctx_.world.alive_set();
+    const std::size_t take = std::min(k, alive.count());
     std::vector<util::NodeId> out;
     out.reserve(take);
     for (const std::size_t idx :
-         rng_.sample_without_replacement(alive.size(), take)) {
-        out.push_back(alive[idx]);
+         rng_.sample_without_replacement(alive.count(), take)) {
+        out.push_back(alive.select(idx));
     }
     return out;
 }

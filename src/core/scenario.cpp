@@ -53,12 +53,15 @@ void seq_launch(const std::shared_ptr<SeqState>& state) {
     });
 }
 
+// pqs-hot: called once per launched op. select(r) over the liveness
+// bitset consumes the same RNG draw as indexing the old alive_nodes()
+// snapshot and returns the same node — no O(n) copy per op.
 std::optional<util::NodeId> random_alive(net::World& world, util::Rng& rng) {
-    const auto alive = world.alive_nodes();
-    if (alive.empty()) {
+    const util::AliveSet& alive = world.alive_set();
+    if (alive.count() == 0) {
         return std::nullopt;
     }
-    return alive[rng.index(alive.size())];
+    return alive.select(rng.index(alive.count()));
 }
 
 // Self-rescheduling helper for the live phase's periodic jobs. The chain
@@ -209,12 +212,12 @@ ScenarioResult run_scenario(const ScenarioParams& params) {
     // ---- lookup phase ----
     std::vector<util::NodeId> lookers;
     {
-        const auto alive = world.alive_nodes();
+        const std::size_t alive_count = world.alive_count();
         const std::size_t k =
-            std::min<std::size_t>(params.lookup_nodes, alive.size());
+            std::min<std::size_t>(params.lookup_nodes, alive_count);
         for (const std::size_t idx :
-             rng.sample_without_replacement(alive.size(), k)) {
-            lookers.push_back(alive[idx]);
+             rng.sample_without_replacement(alive_count, k)) {
+            lookers.push_back(world.alive_set().select(idx));
         }
     }
     if (!aborted && lookers.empty()) {
@@ -250,11 +253,12 @@ ScenarioResult run_scenario(const ScenarioParams& params) {
         hooks.population = [&world] { return world.alive_count(); };
         hooks.crash_one =
             [&world](util::Rng& r) -> std::optional<util::NodeId> {
-            const auto alive = world.alive_nodes();
-            if (alive.empty()) {
+            const util::AliveSet& alive = world.alive_set();
+            if (alive.count() == 0) {
                 return std::nullopt;
             }
-            const util::NodeId victim = alive[r.index(alive.size())];
+            const util::NodeId victim =
+                alive.select(r.index(alive.count()));
             world.fail_node(victim);
             return victim;
         };
@@ -292,16 +296,16 @@ ScenarioResult run_scenario(const ScenarioParams& params) {
                     if (!live_active) {
                         return false;
                     }
-                    const auto alive = world.alive_nodes();
-                    if (alive.empty()) {
+                    const util::AliveSet& alive = world.alive_set();
+                    if (alive.count() == 0) {
                         return true;
                     }
                     std::vector<util::NodeId> probes;
                     const std::size_t k =
-                        std::min(probes_wanted, alive.size());
+                        std::min(probes_wanted, alive.count());
                     for (const std::size_t idx :
-                         rng.sample_without_replacement(alive.size(), k)) {
-                        probes.push_back(alive[idx]);
+                         rng.sample_without_replacement(alive.count(), k)) {
+                        probes.push_back(alive.select(idx));
                     }
                     if (const auto est =
                             estimator->estimate_across(probes, 2)) {
@@ -448,6 +452,8 @@ ScenarioResult run_scenario(const ScenarioParams& params) {
     result.sim_events =
         static_cast<double>(world.simulator().events_processed());
     result.kernel = world.kernel_stats();
+    result.arena_high_water =
+        static_cast<double>(world.arena_high_water());
     result.totals = world.metrics();
     if (trace_sink != nullptr && !trace_opts.out_base.empty()) {
         const std::string path =
@@ -484,7 +490,8 @@ namespace {
     X(live_joins)                 \
     X(live_recoveries)            \
     X(live_refreshes)             \
-    X(sim_events)
+    X(sim_events)                 \
+    X(arena_high_water)
 
 // Same pattern for the per-bucket fields of LiveSample.
 #define PQS_LIVE_SAMPLE_METRICS(X) \

@@ -150,6 +150,12 @@ struct ScenarioResult {
     // stays exact up to 2^53 events.
     double sim_events = 0.0;
 
+    // Bytes of node-lifetime state placed in the world's bump arena
+    // (high-water mark). Deterministic for a seed — the layout-level
+    // memory cost companion to the host-dependent peak RSS that
+    // exp::report_perf prints next to it.
+    double arena_high_water = 0.0;
+
     // Kernel counters (event queue + spatial grid) at the end of the run;
     // deterministic for a seed. Aggregation sums these across runs (like
     // `totals`, they are raw counts, not per-run means).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "util/mem.h"
 #include "util/parallel.h"
 
 namespace pqs::exp {
@@ -109,6 +110,21 @@ void report_perf(const RunReport& report, const char* label,
         kernel += trial.result.kernel;
     }
     util::report_kernel_stats(kernel, label, stream);
+    // Memory telemetry: peak RSS is host-dependent (stays out of the
+    // deterministic result set, like wall times); the arena high-water is
+    // deterministic per seed, reported as the max over trials since each
+    // trial's world owns its own arena.
+    double arena_hwm = 0.0;
+    for (const TrialRecord& trial : report.trials) {
+        arena_hwm = std::max(arena_hwm, trial.result.arena_high_water);
+    }
+    std::fprintf(stream,
+                 "[perf] %s: peak_rss=%.1fMiB arena_high_water=%.2fMiB "
+                 "(max/trial)\n",
+                 label,
+                 static_cast<double>(util::peak_rss_bytes()) /
+                     (1024.0 * 1024.0),
+                 arena_hwm / (1024.0 * 1024.0));
     // Successful-lookup latency quantiles merged over every trial; like the
     // kernel block, deterministic for the run seed.
     obs::LatencyHistogram latency;

@@ -2,9 +2,21 @@
 // range queries with radius <= cell size, used for neighbor discovery,
 // radio reception sets and RGG construction. Positions can be updated in
 // place (mobility) without rebuilding.
+//
+// Storage is flat (SoA): every cell's member ids live in one shared
+// `slots_` array addressed by per-cell {start, count, capacity} — no
+// per-cell vector headers or scattered heap blocks, so a query touches
+// two contiguous ranges per cell ring instead of chasing 2*reach+1
+// pointers. A cell that outgrows its reserved span triggers a whole-array
+// rebuild-in-place that re-packs cells with headroom while preserving
+// each cell's current member order, keeping query output order (which
+// feeds event order and golden fingerprints) identical to the historical
+// vector-of-vectors implementation (differential-tested against its
+// frozen copy in tests/legacy_spatial_grid.h).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "geom/vec2.h"
@@ -20,6 +32,7 @@ public:
     SpatialGrid(double side, double cell, Metric metric = Metric::kPlane);
 
     double side() const { return side_; }
+    double cell_size() const { return cell_size_; }
     Metric metric() const { return metric_; }
 
     // Inserts a node. Ids may be sparse; re-inserting an existing id is an
@@ -44,27 +57,46 @@ public:
         return out;
     }
 
+    // All ids in cells intersecting the `radius`-circle at `center`, with
+    // NO distance test: candidates for a caller that filters against its
+    // own (e.g. lazily-advanced, exact) positions rather than the grid's
+    // committed ones. Cell membership must be current; the stored
+    // positions may be stale. Same cell/slot iteration order as query().
+    void query_cells(Vec2 center, double radius,
+                     std::vector<util::NodeId>& out,
+                     util::NodeId exclude = util::kInvalidNode) const;
+
     // Kernel counters (queries, candidate distance tests, moves, cell
-    // crossings); deterministic for a fixed seed.
+    // crossings, flat-storage rebuilds); deterministic for a fixed seed.
     const util::KernelStats& stats() const { return stats_; }
 
 private:
     struct Entry {
         Vec2 pos;
         bool live = false;
-        std::size_t cell = 0;
-        std::size_t slot = 0;  // index within the cell bucket
+        std::uint32_t cell = 0;
+        std::uint32_t slot = 0;  // index within the cell's span
+    };
+
+    struct Cell {
+        std::uint32_t start = 0;
+        std::uint32_t count = 0;
+        std::uint32_t cap = 0;
     };
 
     std::size_t cell_of(Vec2 pos) const;
     void unlink(util::NodeId id);
+    // Re-packs `slots_` giving every cell headroom; preserves each cell's
+    // member order exactly.
+    void rebuild(std::size_t need_cell);
 
     double side_;
     double cell_size_;
     std::size_t cells_per_side_;
     Metric metric_;
-    std::vector<std::vector<util::NodeId>> buckets_;
-    std::vector<Entry> entries_;  // indexed by NodeId
+    std::vector<Cell> cells_;
+    std::vector<util::NodeId> slots_;  // all cells' members, one array
+    std::vector<Entry> entries_;       // indexed by NodeId
     std::size_t live_count_ = 0;
     mutable util::KernelStats stats_;  // query() is logically const
 };

@@ -28,14 +28,17 @@ void OracleMembership::refresh_if_due(util::NodeId node) {
     }
     view.refreshed = now;
     view.members.clear();
-    const std::vector<util::NodeId> alive = world_.alive_nodes();
-    if (alive.empty()) {
+    // Draw view members through rank/select: same RNG stream and same
+    // members as sampling the materialized alive_nodes() snapshot, without
+    // the O(n) copy on every refresh.
+    const util::AliveSet& alive = world_.alive_set();
+    if (alive.count() == 0) {
         return;
     }
-    const std::size_t k = std::min(params_.view_size, alive.size());
+    const std::size_t k = std::min(params_.view_size, alive.count());
     for (const std::size_t idx :
-         rng_.sample_without_replacement(alive.size(), k)) {
-        view.members.push_back(alive[idx]);
+         rng_.sample_without_replacement(alive.count(), k)) {
+        view.members.push_back(alive.select(idx));
     }
 }
 

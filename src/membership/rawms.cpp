@@ -34,7 +34,7 @@ void RawmsMembership::start() {
     if (params_.prefill) {
         prefill_views();
     }
-    for (const util::NodeId id : world_.alive_nodes()) {
+    world_.alive_set().for_each([this](util::NodeId id) {
         world_.stack(id).add_app_handler(
             [this, id](util::NodeId, util::NodeId,
                        const net::AppMsgPtr& msg) {
@@ -51,7 +51,7 @@ void RawmsMembership::start() {
                 return true;
             });
         schedule_next_launch(id);
-    }
+    });
 }
 
 void RawmsMembership::schedule_next_launch(util::NodeId origin) {

@@ -21,6 +21,20 @@ public:
     virtual bool alive(util::NodeId id) const = 0;
     virtual geom::Vec2 position(util::NodeId id) const = 0;
     virtual void set_position(util::NodeId id, geom::Vec2 pos) = 0;
+
+    // Closed-form (lazy) leg support. A host that returns true from
+    // supports_lazy_legs keeps position(id) exact while a leg started with
+    // begin_leg is in flight — advancing it on demand instead of by global
+    // tick — and keeps its spatial index membership current (cell-crossing
+    // events), so range queries stay correct. begin_leg starts a
+    // straight-line leg from the node's current position toward `target`
+    // at `speed` m/s and returns the travel duration; the model commits
+    // the arrival with set_position(id, target).
+    virtual bool supports_lazy_legs() const { return false; }
+    virtual sim::Time begin_leg(util::NodeId /*id*/, geom::Vec2 /*target*/,
+                                double /*speed*/) {
+        return 0;
+    }
 };
 
 class MobilityModel {

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/check.h"
+
 namespace pqs::mobility {
 
 void RandomWaypoint::start_node(MobilityHost& host, util::NodeId id,
@@ -52,6 +54,42 @@ void RandomWaypoint::tick(MobilityHost& host, util::NodeId id,
     host.simulator().schedule_in(params_.tick, [this, &host, id, &rng] {
         tick(host, id, rng);
     });
+}
+
+void LazyRandomWaypoint::start_node(MobilityHost& host, util::NodeId id,
+                                    util::Rng& rng) {
+    PQS_DCHECK(host.supports_lazy_legs(),
+               "LazyRandomWaypoint requires a host with closed-form legs");
+    if (id >= gens_.size()) {
+        gens_.resize(id + 1, 0);
+    }
+    // Bumping the generation orphans any arrival/pause event still queued
+    // from this node's previous life.
+    begin_next_leg(host, id, rng, ++gens_[id]);
+}
+
+void LazyRandomWaypoint::begin_next_leg(MobilityHost& host, util::NodeId id,
+                                        util::Rng& rng, std::uint64_t gen) {
+    if (gen != gens_[id] || !host.alive(id)) {
+        return;
+    }
+    // Same draw order as the ticked model's pick_leg: target.x, target.y,
+    // speed.
+    const geom::Vec2 target{rng.uniform(0.0, host.side()),
+                            rng.uniform(0.0, host.side())};
+    const double speed = rng.uniform(params_.min_speed, params_.max_speed);
+    const sim::Time travel = host.begin_leg(id, target, speed);
+    host.simulator().schedule_in(
+        travel, [this, &host, id, &rng, gen, target] {
+            if (gen != gens_[id] || !host.alive(id)) {
+                return;
+            }
+            host.set_position(id, target);  // commit the exact endpoint
+            host.simulator().schedule_in(
+                params_.pause, [this, &host, id, &rng, gen] {
+                    begin_next_leg(host, id, rng, gen);
+                });
+        });
 }
 
 }  // namespace pqs::mobility

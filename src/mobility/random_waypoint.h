@@ -9,7 +9,9 @@
 // which the paper uses to explain the FLOODING results in §8.4.
 #pragma once
 
+#include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "mobility/mobility.h"
 
@@ -20,6 +22,12 @@ struct RandomWaypointParams {
     double max_speed = 2.0;                 // m/s
     sim::Time pause = 30 * sim::kSecond;    // average pause at waypoints
     sim::Time tick = 500 * sim::kMillisecond;
+    // Advance positions closed-form per leg instead of by global tick
+    // (LazyRandomWaypoint; requires a host with supports_lazy_legs). Event
+    // cost becomes proportional to cell crossings, not node count — the
+    // n=100k scaling mode. Not bit-identical to ticked runs (leg arrivals
+    // stop being quantized to the tick), hence opt-in.
+    bool lazy = false;
 };
 
 class RandomWaypoint final : public MobilityModel {
@@ -40,6 +48,29 @@ private:
 
     RandomWaypointParams params_;
     std::unordered_map<util::NodeId, Leg> legs_;
+};
+
+// Random Waypoint without the tick: same per-leg RNG draws (target x,
+// target y, speed) as the ticked model, but each leg is handed to the
+// host's closed-form motion support and only two events exist per leg
+// (arrival, end of pause) plus the host's cell-crossing events. A
+// per-node generation counter kills the previous life's arrival/pause
+// chain when a node fails and is revived (the ticked model's equivalent
+// is its per-tick alive check).
+class LazyRandomWaypoint final : public MobilityModel {
+public:
+    explicit LazyRandomWaypoint(RandomWaypointParams params)
+        : params_(params) {}
+
+    void start_node(MobilityHost& host, util::NodeId id,
+                    util::Rng& rng) override;
+
+private:
+    void begin_next_leg(MobilityHost& host, util::NodeId id, util::Rng& rng,
+                        std::uint64_t gen);
+
+    RandomWaypointParams params_;
+    std::vector<std::uint64_t> gens_;
 };
 
 }  // namespace pqs::mobility

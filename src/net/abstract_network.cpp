@@ -14,6 +14,21 @@ sim::Time AbstractLink::hop_delay() {
                params_.delay_max - params_.delay_min + 1)));
 }
 
+AbstractLink::IdList AbstractLink::acquire_ids() {
+    if (id_pool_.empty()) {
+        return std::make_unique<std::vector<util::NodeId>>();
+    }
+    IdList ids = std::move(id_pool_.back());
+    id_pool_.pop_back();
+    ids->clear();
+    return ids;
+}
+
+void AbstractLink::release_ids(IdList ids) {
+    id_pool_.push_back(std::move(ids));
+}
+
+// pqs-hot: per-message fan-out; every quorum access funnels through here.
 void AbstractLink::unicast(PacketPtr p, LinkTxCallback done) {
     world_.metrics().count("net." + packet_category(*p) + ".tx");
     const util::NodeId from = p->link_src;
@@ -22,14 +37,20 @@ void AbstractLink::unicast(PacketPtr p, LinkTxCallback done) {
 
     if (params_.promiscuous && world_.alive(from)) {
         // Everyone in radio range of the sender hears the transmission.
-        std::vector<util::NodeId> listeners = world_.physical_neighbors(from);
+        // Snapshot into a recycled buffer — same grid query (and counter
+        // trace) as physical_neighbors, minus the per-call vector.
+        IdList listeners = acquire_ids();
+        world_.nodes_within(world_.position(from), world_.range(),
+                            *listeners, from);
         world_.simulator().schedule_in(
-            delay, [this, p, to, listeners = std::move(listeners)] {
-                for (const util::NodeId listener : listeners) {
+            delay,
+            [this, p, to, listeners = std::move(listeners)]() mutable {
+                for (const util::NodeId listener : *listeners) {
                     if (listener != to && world_.alive(listener)) {
                         world_.overhear(listener, p);
                     }
                 }
+                release_ids(std::move(listeners));
             });
     }
 
@@ -65,6 +86,8 @@ void AbstractLink::unicast(PacketPtr p, LinkTxCallback done) {
     });
 }
 
+// pqs-hot: hello heartbeats and RREQ floods all land here — at n=100k
+// this is the single busiest function in the abstract stack.
 void AbstractLink::broadcast(PacketPtr p) {
     world_.metrics().count("net." + packet_category(*p) + ".tx");
     const util::NodeId from = p->link_src;
@@ -72,15 +95,19 @@ void AbstractLink::broadcast(PacketPtr p) {
         return;
     }
     const sim::Time delay = hop_delay();
-    // Snapshot receivers at send time; they must still be in range and
-    // alive at delivery time.
-    std::vector<util::NodeId> receivers = world_.physical_neighbors(from);
+    // Snapshot receivers at send time (into a recycled buffer); they must
+    // still be in range and alive at delivery time.
+    IdList receivers = acquire_ids();
+    world_.nodes_within(world_.position(from), world_.range(), *receivers,
+                        from);
     world_.simulator().schedule_in(
-        delay, [this, p, from, receivers = std::move(receivers)] {
+        delay,
+        [this, p, from, receivers = std::move(receivers)]() mutable {
             if (!world_.alive(from)) {
+                release_ids(std::move(receivers));
                 return;
             }
-            for (const util::NodeId to : receivers) {
+            for (const util::NodeId to : *receivers) {
                 if (world_.alive(to) &&
                     geom::distance(world_.position(from),
                                    world_.position(to)) <= world_.range() &&
@@ -96,6 +123,7 @@ void AbstractLink::broadcast(PacketPtr p) {
                     }
                 }
             }
+            release_ids(std::move(receivers));
         });
 }
 

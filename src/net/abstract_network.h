@@ -5,9 +5,13 @@
 // (one network-layer message per transmission).
 #pragma once
 
+#include <memory>
+#include <vector>
+
 #include "net/link.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
+#include "util/ids.h"
 #include "util/rng.h"
 
 namespace pqs::net {
@@ -37,14 +41,23 @@ public:
     void broadcast(PacketPtr p) override;
 
 private:
+    using IdList = std::unique_ptr<std::vector<util::NodeId>>;
+
     sim::Time hop_delay();
     // Schedules a second delivery of `p` to `to` after one extra hop delay
     // (LinkFaults::duplicate injection).
     void inject_duplicate(const PacketPtr& p, util::NodeId to);
 
+    // Receiver-snapshot buffers, recycled between transmissions: each
+    // broadcast captures one by unique_ptr (so an event destroyed unfired
+    // still frees it) and returns it at the end of its delivery callback.
+    IdList acquire_ids();
+    void release_ids(IdList ids);
+
     World& world_;
     AbstractLinkParams params_;
     util::Rng rng_;
+    std::vector<IdList> id_pool_;
 };
 
 }  // namespace pqs::net

@@ -109,7 +109,7 @@ void Aodv::transmit_data(util::NodeId dst, AppMsgPtr msg,
     }
     touch_route(it->second);
     const util::NodeId next_hop = it->second.next_hop;
-    auto packet = std::make_shared<Packet>();
+    auto packet = stack_.world().new_packet();
     packet->link_src = stack_.id();
     packet->link_dst = next_hop;
     packet->trace = msg ? msg->trace : 0;
@@ -155,7 +155,7 @@ void Aodv::forward_data(PacketPtr p) {
         RerrBody rerr;
         rerr.unreachable.emplace_back(
             dst, it == routes_.end() ? 0 : it->second.seq);
-        auto out = std::make_shared<Packet>();
+        auto out = stack_.world().new_packet();
         out->link_src = stack_.id();
         out->link_dst = kBroadcast;
         out->ttl = 1;
@@ -175,7 +175,7 @@ void Aodv::forward_data(PacketPtr p) {
     }
     touch_route(it->second);
     const util::NodeId next_hop = it->second.next_hop;
-    auto fwd = std::make_shared<Packet>(*p);
+    auto fwd = stack_.world().clone_packet(*p);
     fwd->link_src = stack_.id();
     fwd->link_dst = next_hop;
     fwd->ttl = p->ttl - 1;
@@ -213,7 +213,7 @@ void Aodv::handle_broken_link(util::NodeId next_hop) {
     if (rerr.unreachable.empty()) {
         return;
     }
-    auto p = std::make_shared<Packet>();
+    auto p = stack_.world().new_packet();
     p->link_src = stack_.id();
     p->link_dst = kBroadcast;
     p->ttl = 1;
@@ -245,7 +245,7 @@ void Aodv::broadcast_rreq(util::NodeId dst, int ttl) {
     }
     rreq_seen_.insert(rreq_key(rreq.origin, rreq.rreq_id));
 
-    auto p = std::make_shared<Packet>();
+    auto p = stack_.world().new_packet();
     p->link_src = stack_.id();
     p->link_dst = kBroadcast;
     p->ttl = ttl;
@@ -374,7 +374,7 @@ void Aodv::on_rreq(util::NodeId from, const RreqBody& body, int ttl) {
     }
     RreqBody fwd = body;
     fwd.hop_count = static_cast<std::uint16_t>(body.hop_count + 1);
-    auto p = std::make_shared<Packet>();
+    auto p = stack_.world().new_packet();
     p->link_src = stack_.id();
     p->link_dst = kBroadcast;
     p->ttl = ttl - 1;
@@ -395,7 +395,7 @@ void Aodv::send_rrep_towards(util::NodeId origin, const RrepBody& body) {
         return;  // reverse route evaporated; the origin will retry
     }
     const util::NodeId next_hop = it->second.next_hop;
-    auto p = std::make_shared<Packet>();
+    auto p = stack_.world().new_packet();
     p->link_src = stack_.id();
     p->link_dst = next_hop;
     p->ttl = params_.net_diameter;
@@ -435,7 +435,7 @@ void Aodv::on_rerr(util::NodeId from, const RerrBody& body) {
     if (propagated.unreachable.empty()) {
         return;
     }
-    auto p = std::make_shared<Packet>();
+    auto p = stack_.world().new_packet();
     p->link_src = stack_.id();
     p->link_dst = kBroadcast;
     p->ttl = 1;

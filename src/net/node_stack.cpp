@@ -31,7 +31,7 @@ void NodeStack::heartbeat() {
     if (!running_) {
         return;
     }
-    link_broadcast(make_hello(id_));
+    link_broadcast(make_hello(world_.packet_pool(), id_));
     heartbeat_timer_ = world_.simulator().schedule_in(
         world_.params().heartbeat, [this] { heartbeat(); });
 }
@@ -67,14 +67,16 @@ void NodeStack::link_broadcast(PacketPtr p) {
 void NodeStack::send_unicast(util::NodeId to, AppMsgPtr msg,
                              LinkTxCallback done) {
     obs::record(msg ? msg->trace : 0, obs::EventKind::kPacketSend, id_, to);
-    link_unicast(make_data(id_, to, id_, to, std::move(msg)), std::move(done));
+    link_unicast(make_data(world_.packet_pool(), id_, to, id_, to,
+                           std::move(msg)),
+                 std::move(done));
 }
 
 void NodeStack::send_broadcast(AppMsgPtr msg) {
     obs::record(msg ? msg->trace : 0, obs::EventKind::kPacketSend, id_,
                 kBroadcast);
-    link_broadcast(
-        make_data(id_, kBroadcast, id_, kBroadcast, std::move(msg)));
+    link_broadcast(make_data(world_.packet_pool(), id_, kBroadcast, id_,
+                             kBroadcast, std::move(msg)));
 }
 
 void NodeStack::send_routed(util::NodeId dst, AppMsgPtr msg,

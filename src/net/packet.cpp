@@ -36,8 +36,13 @@ std::string packet_category(const Packet& packet) {
     return std::visit(CategoryVisitor{}, packet.body);
 }
 
-PacketPtr make_hello(util::NodeId src) {
-    auto p = std::make_shared<Packet>();
+std::shared_ptr<Packet> alloc_packet(util::BlockPool& pool) {
+    return std::allocate_shared<Packet>(util::PoolAllocator<Packet>{&pool});
+}
+
+namespace {
+
+PacketPtr fill_hello(std::shared_ptr<Packet> p, util::NodeId src) {
     p->link_src = src;
     p->link_dst = kBroadcast;
     p->ttl = 1;
@@ -45,16 +50,41 @@ PacketPtr make_hello(util::NodeId src) {
     return p;
 }
 
-PacketPtr make_data(util::NodeId src, util::NodeId link_dst,
-                    util::NodeId net_src, util::NodeId net_dst, AppMsgPtr app,
+PacketPtr fill_data(std::shared_ptr<Packet> p, util::NodeId src,
+                    util::NodeId link_dst, util::NodeId net_src,
+                    util::NodeId net_dst, AppMsgPtr app,
                     std::shared_ptr<DeliveryTracker> tracker, int ttl) {
-    auto p = std::make_shared<Packet>();
     p->link_src = src;
     p->link_dst = link_dst;
     p->ttl = ttl;
     p->trace = app ? app->trace : obs::TraceId{0};
     p->body = DataBody{net_src, net_dst, std::move(app), std::move(tracker)};
     return p;
+}
+
+}  // namespace
+
+PacketPtr make_hello(util::NodeId src) {
+    return fill_hello(std::make_shared<Packet>(), src);
+}
+
+PacketPtr make_hello(util::BlockPool& pool, util::NodeId src) {
+    return fill_hello(alloc_packet(pool), src);
+}
+
+PacketPtr make_data(util::NodeId src, util::NodeId link_dst,
+                    util::NodeId net_src, util::NodeId net_dst, AppMsgPtr app,
+                    std::shared_ptr<DeliveryTracker> tracker, int ttl) {
+    return fill_data(std::make_shared<Packet>(), src, link_dst, net_src,
+                     net_dst, std::move(app), std::move(tracker), ttl);
+}
+
+PacketPtr make_data(util::BlockPool& pool, util::NodeId src,
+                    util::NodeId link_dst, util::NodeId net_src,
+                    util::NodeId net_dst, AppMsgPtr app,
+                    std::shared_ptr<DeliveryTracker> tracker, int ttl) {
+    return fill_data(alloc_packet(pool), src, link_dst, net_src, net_dst,
+                     std::move(app), std::move(tracker), ttl);
 }
 
 }  // namespace pqs::net

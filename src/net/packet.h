@@ -13,6 +13,7 @@
 
 #include "obs/trace.h"
 #include "util/ids.h"
+#include "util/pool.h"
 
 namespace pqs::net {
 
@@ -104,10 +105,23 @@ using PacketPtr = std::shared_ptr<const Packet>;
 // Metric category for message accounting: "hello", "routing" or "data".
 std::string packet_category(const Packet& packet);
 
-// Convenience builders.
+// Pooled allocation: the Packet and its control block come from one
+// recycled BlockPool block (World::packet_pool()). The pool must outlive
+// the packet.
+std::shared_ptr<Packet> alloc_packet(util::BlockPool& pool);
+
+// Convenience builders. The pooled overloads are what the stack's hot
+// paths use; the plain ones (one make_shared per call) remain for tests
+// and one-off construction.
 PacketPtr make_hello(util::NodeId src);
+PacketPtr make_hello(util::BlockPool& pool, util::NodeId src);
 PacketPtr make_data(util::NodeId src, util::NodeId link_dst,
                     util::NodeId net_src, util::NodeId net_dst, AppMsgPtr app,
+                    std::shared_ptr<DeliveryTracker> tracker = nullptr,
+                    int ttl = 64);
+PacketPtr make_data(util::BlockPool& pool, util::NodeId src,
+                    util::NodeId link_dst, util::NodeId net_src,
+                    util::NodeId net_dst, AppMsgPtr app,
                     std::shared_ptr<DeliveryTracker> tracker = nullptr,
                     int ttl = 64);
 

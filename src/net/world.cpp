@@ -1,8 +1,12 @@
 #include "net/world.h"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "net/node_stack.h"
+#include "util/check.h"
 
 namespace pqs::net {
 
@@ -67,14 +71,20 @@ World::World(WorldParams params)
         }
     }
     alive_.assign(params_.n, true);
-    alive_count_ = params_.n;
     for (util::NodeId id = 0; id < params_.n; ++id) {
         grid_->insert(id, positions_[id]);
     }
 
     if (params_.mobile) {
-        mobility_ =
-            std::make_unique<mobility::RandomWaypoint>(params_.waypoint);
+        if (params_.waypoint.lazy) {
+            lazy_mobility_ = true;
+            motion_.resize(params_.n);
+            mobility_ = std::make_unique<mobility::LazyRandomWaypoint>(
+                params_.waypoint);
+        } else {
+            mobility_ =
+                std::make_unique<mobility::RandomWaypoint>(params_.waypoint);
+        }
     } else {
         mobility_ = mobility::make_static_mobility();
     }
@@ -92,17 +102,31 @@ World::World(WorldParams params)
     }
 }
 
-World::~World() = default;
+World::~World() {
+    // Arena objects need their destructors run by hand, in the same
+    // relative order the old unique_ptr members produced: MACs first
+    // (while the channel is still alive), then radios, then stacks (the
+    // simulator, arena and pool outlive all of them by declaration order).
+    for (mac::CsmaMac* mac : macs_) {
+        util::Arena::destroy(mac);
+    }
+    for (phy::Radio* radio : radios_) {
+        util::Arena::destroy(radio);
+    }
+    for (NodeStack* stack : stacks_) {
+        util::Arena::destroy(stack);
+    }
+}
 
 void World::create_node_internals(util::NodeId id) {
     if (params_.fidelity == Fidelity::kFull) {
         radios_.resize(std::max<std::size_t>(radios_.size(), id + 1));
         macs_.resize(std::max<std::size_t>(macs_.size(), id + 1));
-        radios_[id] = std::make_unique<phy::Radio>(params_.thresholds);
-        macs_[id] = std::make_unique<mac::CsmaMac>(
+        radios_[id] = arena_.create<phy::Radio>(params_.thresholds);
+        macs_[id] = arena_.create<mac::CsmaMac>(
             id, simulator_, *channel_, *radios_[id], params_.mac,
             rng_.fork());
-        channel_->attach(id, radios_[id].get());
+        channel_->attach(id, radios_[id]);
         macs_[id]->set_rx_handler([this, id](const phy::Frame& frame) {
             deliver(id, std::static_pointer_cast<const Packet>(frame.payload));
         });
@@ -113,43 +137,141 @@ void World::create_node_internals(util::NodeId id) {
             });
     }
     stacks_.resize(std::max<std::size_t>(stacks_.size(), id + 1));
-    stacks_[id] = std::make_unique<NodeStack>(*this, id, rng_.fork());
+    stacks_[id] = arena_.create<NodeStack>(*this, id, rng_.fork());
 }
 
 std::vector<util::NodeId> World::alive_nodes() const {
+    ++alive_snapshots_;
     std::vector<util::NodeId> out;
-    out.reserve(alive_count_);
-    for (util::NodeId id = 0; id < alive_.size(); ++id) {
-        if (alive_[id]) {
-            out.push_back(id);
-        }
-    }
+    out.reserve(alive_.count());
+    alive_.for_each([&out](util::NodeId id) { out.push_back(id); });
     return out;
 }
 
-bool World::alive(util::NodeId id) const {
-    return id < alive_.size() && alive_[id];
-}
+bool World::alive(util::NodeId id) const { return alive_.test(id); }
 
 geom::Vec2 World::position(util::NodeId id) const {
+    if (lazy_mobility_) {
+        const MotionState& m = motion_.at(id);
+        if (m.moving) {
+            const sim::Time t = std::min(simulator_.now(), m.t_end);
+            const double dt = sim::to_seconds(t - m.t0);
+            return geom::Vec2{m.origin.x + m.velocity.x * dt,
+                              m.origin.y + m.velocity.y * dt};
+        }
+    }
     return positions_.at(id);
 }
 
 void World::set_position(util::NodeId id, geom::Vec2 pos) {
+    if (lazy_mobility_) {
+        end_motion(id);  // an explicit position overrides any leg in flight
+    }
     positions_.at(id) = pos;
     if (alive(id)) {
         grid_->move(id, pos);
     }
 }
 
+void World::end_motion(util::NodeId id) {
+    MotionState& m = motion_.at(id);
+    m.moving = false;
+    ++m.epoch;
+}
+
+sim::Time World::begin_leg(util::NodeId id, geom::Vec2 target, double speed) {
+    PQS_DCHECK(lazy_mobility_, "begin_leg requires waypoint.lazy mode");
+    MotionState& m = motion_.at(id);
+    ++m.epoch;  // orphan crossings from the previous leg
+    const geom::Vec2 from = positions_.at(id);
+    const geom::Vec2 delta = target - from;
+    const double dist = delta.norm();
+    if (dist <= 1e-12 || speed <= 0.0) {
+        m.moving = false;
+        return 0;
+    }
+    m.origin = from;
+    m.velocity = delta * (speed / dist);
+    m.t0 = simulator_.now();
+    m.t_end = m.t0 + static_cast<sim::Time>(std::ceil(
+                         dist / speed * static_cast<double>(sim::kSecond)));
+    m.moving = true;
+    schedule_crossing(id);
+    return m.t_end - m.t0;
+}
+
+void World::schedule_crossing(util::NodeId id) {
+    const MotionState& m = motion_[id];
+    const sim::Time now = simulator_.now();
+    if (!m.moving || now >= m.t_end) {
+        return;
+    }
+    const geom::Vec2 pos = position(id);
+    const double cell = grid_->cell_size();
+    const double vs[2] = {m.velocity.x, m.velocity.y};
+    const double ps[2] = {pos.x, pos.y};
+    double dt = std::numeric_limits<double>::infinity();
+    for (int axis = 0; axis < 2; ++axis) {
+        const double v = vs[axis];
+        if (std::abs(v) < 1e-12) {
+            continue;
+        }
+        const double rel = ps[axis] / cell;
+        const double boundary = v > 0.0 ? (std::floor(rel) + 1.0) * cell
+                                        : (std::ceil(rel) - 1.0) * cell;
+        double d = (boundary - ps[axis]) / v;
+        if (d < 1e-9) {  // sitting on the boundary: take the next one
+            d += cell / std::abs(v);
+        }
+        dt = std::min(dt, d);
+    }
+    if (!std::isfinite(dt)) {
+        return;
+    }
+    // +1 ns lands strictly past the boundary, so the cell re-derived from
+    // the exact position is the new one.
+    const sim::Time delay =
+        static_cast<sim::Time>(dt * static_cast<double>(sim::kSecond)) + 1;
+    if (now + delay >= m.t_end) {
+        return;  // the arrival commit performs the final cell move
+    }
+    const std::uint32_t epoch = m.epoch;
+    simulator_.schedule_in(delay, [this, id, epoch] {
+        const MotionState& s = motion_[id];
+        if (epoch != s.epoch || !s.moving || !alive(id)) {
+            return;
+        }
+        grid_->move(id, position(id));
+        schedule_crossing(id);
+    });
+}
+
 void World::nodes_within(geom::Vec2 center, double radius,
                          std::vector<util::NodeId>& out,
                          util::NodeId exclude) const {
-    grid_->query(center, radius, out, exclude);
+    if (!lazy_mobility_) {
+        grid_->query(center, radius, out, exclude);
+        return;
+    }
+    // Cell membership is exact in lazy mode but the grid's stored
+    // positions may be stale; take cell candidates and distance-test them
+    // against the closed-form positions.
+    query_scratch_.clear();
+    grid_->query_cells(center, radius, query_scratch_, exclude);
+    const double r2 = radius * radius;
+    for (const util::NodeId id : query_scratch_) {
+        const geom::Vec2 d = position(id) - center;
+        if (d.x * d.x + d.y * d.y <= r2) {
+            out.push_back(id);
+        }
+    }
 }
 
 std::vector<util::NodeId> World::physical_neighbors(util::NodeId id) const {
-    return grid_->query(positions_.at(id), params_.range, id);
+    ++alive_snapshots_;
+    std::vector<util::NodeId> out;
+    nodes_within(position(id), params_.range, out, id);
+    return out;
 }
 
 geom::Graph World::snapshot_graph() const {
@@ -160,7 +282,7 @@ geom::Graph World::snapshot_graph() const {
             continue;
         }
         near.clear();
-        grid_->query(positions_[v], params_.range, near, v);
+        nodes_within(position(v), params_.range, near, v);
         for (const util::NodeId u : near) {
             if (u > v) {
                 g.add_edge(v, u);
@@ -189,8 +311,11 @@ void World::fail_node(util::NodeId id) {
     if (!alive(id)) {
         return;
     }
-    alive_[id] = false;
-    --alive_count_;
+    if (lazy_mobility_) {
+        positions_.at(id) = position(id);  // freeze the exact point
+        end_motion(id);
+    }
+    alive_.reset(id);
     grid_->remove(id);
     stacks_[id]->shutdown();
     if (params_.fidelity == Fidelity::kFull) {
@@ -201,12 +326,11 @@ void World::fail_node(util::NodeId id) {
 }
 
 bool World::revive_node(util::NodeId id) {
-    if (id >= alive_.size() || alive_[id] ||
+    if (id >= alive_.size() || alive_.test(id) ||
         params_.fidelity == Fidelity::kFull) {
         return false;
     }
-    alive_[id] = true;
-    ++alive_count_;
+    alive_.set(id);
     grid_->insert(id, positions_[id]);
     link_->on_node_spawned(id);
     if (started_) {
@@ -224,7 +348,9 @@ util::NodeId World::spawn_node() {
     positions_.push_back(
         geom::Vec2{rng_.uniform(0.0, side_), rng_.uniform(0.0, side_)});
     alive_.push_back(true);
-    ++alive_count_;
+    if (lazy_mobility_) {
+        motion_.resize(positions_.size());
+    }
     grid_->insert(id, positions_[id]);
     create_node_internals(id);
     link_->on_node_spawned(id);
@@ -250,6 +376,16 @@ void World::overhear(util::NodeId listener, PacketPtr p) {
         return;
     }
     stacks_[listener]->on_overhear(p);
+}
+
+std::shared_ptr<Packet> World::new_packet() {
+    return std::allocate_shared<Packet>(
+        util::PoolAllocator<Packet>{&packet_pool_});
+}
+
+std::shared_ptr<Packet> World::clone_packet(const Packet& original) {
+    return std::allocate_shared<Packet>(
+        util::PoolAllocator<Packet>{&packet_pool_}, original);
 }
 
 }  // namespace pqs::net

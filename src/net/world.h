@@ -17,6 +17,9 @@
 #include "net/packet.h"
 #include "phy/channel.h"
 #include "sim/simulator.h"
+#include "util/alive_set.h"
+#include "util/arena.h"
+#include "util/pool.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -67,27 +70,50 @@ public:
     util::Rng& rng() { return rng_; }
     util::MetricSet& metrics() { return metrics_; }
 
-    // Merged kernel counters (event queue + spatial grid); deterministic
-    // for a fixed seed, reported per trial on the [perf] stderr channel.
+    // Merged kernel counters (event queue + spatial grid + packet pool +
+    // snapshot accounting); deterministic for a fixed seed, reported per
+    // trial on the [perf] stderr channel.
     util::KernelStats kernel_stats() const {
         util::KernelStats stats = simulator_.kernel_stats();
         stats += grid_->stats();
+        stats.packet_allocs =
+            packet_pool_.fresh_allocs() + packet_pool_.misfit_allocs();
+        stats.packet_pool_reuses = packet_pool_.reuses();
+        stats.alive_snapshots = alive_snapshots_;
         return stats;
     }
 
+    // Bytes of node-lifetime state (stacks, radios, MACs) placed in the
+    // per-world arena — the deterministic companion to peak RSS.
+    std::size_t arena_high_water() const { return arena_.high_water(); }
+
     // --- topology ---
     std::size_t node_count() const { return positions_.size(); }
-    std::size_t alive_count() const { return alive_count_; }
+    std::size_t alive_count() const { return alive_.count(); }
+    // Liveness bitset with rank/select: alive_set().select(r) is exactly
+    // alive_nodes()[r] without materializing the vector — the hot-path
+    // replacement for snapshot-then-index draws.
+    const util::AliveSet& alive_set() const { return alive_; }
+    // Materialized snapshot (ascending ids). O(n) copy, counted in
+    // kernel_stats().alive_snapshots — keep it out of per-op hot paths.
     std::vector<util::NodeId> alive_nodes() const;
     bool alive(util::NodeId id) const override;
     geom::Vec2 position(util::NodeId id) const override;
     void set_position(util::NodeId id, geom::Vec2 pos) override;
+    // Closed-form motion (waypoint.lazy): position(id) is computed from
+    // the in-flight leg on demand; the grid stays exact via cell-crossing
+    // events, so mobility cost scales with crossings, not node count.
+    bool supports_lazy_legs() const override { return lazy_mobility_; }
+    sim::Time begin_leg(util::NodeId id, geom::Vec2 target,
+                        double speed) override;
     double side() const override { return side_; }
     double range() const { return params_.range; }
     void nodes_within(geom::Vec2 center, double radius,
                       std::vector<util::NodeId>& out,
                       util::NodeId exclude) const override;
-    // Ground-truth nodes currently within radio range of `id`.
+    // Ground-truth nodes currently within radio range of `id`. The
+    // vector-returning form is a per-call allocation (counted in
+    // alive_snapshots); hot paths use nodes_within with a reused buffer.
     std::vector<util::NodeId> physical_neighbors(util::NodeId id) const;
     // Unit-disk connectivity graph over currently alive nodes. Vertices are
     // indexed by NodeId (dead nodes appear isolated).
@@ -121,30 +147,65 @@ public:
     // Promiscuous delivery of packets not addressed to `listener` (§7.2).
     void overhear(util::NodeId listener, PacketPtr p);
 
+    // Pooled packet construction: one recycled allocation for the Packet
+    // and its shared_ptr control block (KernelStats packet_allocs /
+    // packet_pool_reuses). The pool outlives the simulator, so packets
+    // captured in queued events always die before it.
+    std::shared_ptr<Packet> new_packet();
+    std::shared_ptr<Packet> clone_packet(const Packet& original);
+    util::BlockPool& packet_pool() { return packet_pool_; }
+
 private:
+    // Lazy-mobility leg state: while `moving`, the node's exact position
+    // is origin + velocity * (now - t0), clamped at t_end; positions_
+    // holds the last committed point. `epoch` orphans cell-crossing events
+    // queued before a commit, fail or new leg.
+    struct MotionState {
+        geom::Vec2 origin{};
+        geom::Vec2 velocity{};  // m/s
+        sim::Time t0 = 0;
+        sim::Time t_end = 0;
+        std::uint32_t epoch = 0;
+        bool moving = false;
+    };
+
     void create_node_internals(util::NodeId id);
+    void schedule_crossing(util::NodeId id);
+    void end_motion(util::NodeId id);
 
     WorldParams params_;
+    // Node-lifetime object storage and the packet recycler are declared
+    // before the simulator: queued events hold PacketPtrs and raw pointers
+    // into the arena, and members die in reverse declaration order.
+    util::Arena arena_;
+    util::BlockPool packet_pool_;
     sim::Simulator simulator_;
     util::Rng rng_;
     util::MetricSet metrics_;
     double side_;
 
-    std::vector<geom::Vec2> positions_;  // last known, incl. dead nodes
-    std::vector<bool> alive_;
-    std::size_t alive_count_ = 0;
+    // SoA node state, indexed by NodeId.
+    std::vector<geom::Vec2> positions_;  // last committed, incl. dead nodes
+    util::AliveSet alive_;
     std::unique_ptr<geom::SpatialGrid> grid_;  // alive nodes only
+    bool lazy_mobility_ = false;         // params_.mobile && waypoint.lazy
+    std::vector<MotionState> motion_;    // sized only in lazy mode
+    // Candidate buffer for lazy-mode nodes_within (query_cells + exact
+    // distance filter); mutable because queries are logically const.
+    mutable std::vector<util::NodeId> query_scratch_;
 
     std::unique_ptr<mobility::MobilityModel> mobility_;
     std::unique_ptr<LinkLayer> link_;
-    std::vector<std::unique_ptr<NodeStack>> stacks_;
+    std::vector<NodeStack*> stacks_;  // arena-placed, destroyed in ~World
     std::vector<std::function<void(util::NodeId)>> spawn_listeners_;
     bool started_ = false;
 
-    // Full-fidelity internals (null in abstract mode).
+    // Full-fidelity internals (null in abstract mode; arena-placed).
     std::unique_ptr<phy::Channel> channel_;
-    std::vector<std::unique_ptr<phy::Radio>> radios_;
-    std::vector<std::unique_ptr<mac::CsmaMac>> macs_;
+    std::vector<phy::Radio*> radios_;
+    std::vector<mac::CsmaMac*> macs_;
+
+    mutable std::uint64_t alive_snapshots_ = 0;
 
     friend class MacLink;
 };

@@ -102,6 +102,89 @@ void EventQueue::drop_stale() const {
     }
 }
 
+Time EventQueue::next_bucket_base() const {
+    const std::int64_t next = cursor_bucket_ + 1;
+    // Saturate: with the cursor near bucket_of(kTimeNever) the product
+    // would overflow Time.
+    if (next >= kTimeNever / kBucketWidth) {
+        return kTimeNever;
+    }
+    return next * kBucketWidth;
+}
+
+void EventQueue::drain_overflow() const {
+    if (overflow_.empty()) {
+        return;
+    }
+    std::vector<HeapEntry> pending;
+    pending.swap(overflow_);
+    overflow_min_bucket_ = 0;
+    const std::int64_t window_end =
+        ring_base_ + static_cast<std::int64_t>(kRingBuckets);
+    for (const HeapEntry& e : pending) {
+        // Overflow entries all sit at or past ring_base_ (the window only
+        // ever advances toward them), so in-window re-filing is exact.
+        const std::int64_t b = bucket_of(e.time);
+        if (b < window_end) {
+            ring_[static_cast<std::size_t>(b) & (kRingBuckets - 1)]
+                .push_back(e);
+            ++ring_count_;
+        } else {
+            if (overflow_.empty() || b < overflow_min_bucket_) {
+                overflow_min_bucket_ = b;
+            }
+            overflow_.push_back(e);
+        }
+    }
+}
+
+void EventQueue::advance_one_bucket() const {
+    if (ring_count_ == 0) {
+        // The ring window is empty but overflow is not (the caller checked
+        // calendar_size() > 0): jump the window straight to the first
+        // populated overflow bucket instead of stepping through thousands
+        // of empty buckets.
+        cursor_bucket_ = overflow_min_bucket_ - 1;
+        ring_base_ = overflow_min_bucket_;
+        drain_overflow();
+    }
+    ++cursor_bucket_;
+    if (cursor_bucket_ >=
+        ring_base_ + static_cast<std::int64_t>(kRingBuckets)) {
+        ring_base_ += static_cast<std::int64_t>(kRingBuckets);
+        drain_overflow();
+    }
+    auto& bucket =
+        ring_[static_cast<std::size_t>(cursor_bucket_) & (kRingBuckets - 1)];
+    ring_count_ -= bucket.size();
+    for (const HeapEntry& e : bucket) {
+        if (entry_live(e)) {
+            // Original seq rides along, so (time, seq) order inside the
+            // heap is identical to never having parked the entry.
+            heap_push(e);
+            ++stats_.calendar_migrations;
+        } else {
+            // Cancelled while parked; its slot was reclaimed eagerly.
+            ++stats_.stale_drops;
+        }
+    }
+    bucket.clear();
+}
+
+void EventQueue::migrate_due_buckets() const {
+    drop_stale();
+    // Promote buckets until the heap's earliest live entry strictly
+    // precedes every still-parked entry (all of which have
+    // time >= next_bucket_base()). `>=` matters: an equal-time tie must be
+    // decided by seq inside the heap, so the bucket holding the tied entry
+    // has to migrate first.
+    while (calendar_size() > 0 &&
+           (heap_.empty() || heap_[0].time >= next_bucket_base())) {
+        advance_one_bucket();
+        drop_stale();
+    }
+}
+
 EventId EventQueue::schedule(Time when, EventFn fn) {
     const std::uint32_t slot = acquire_slot();
     Slot& s = slab_[slot];
@@ -109,7 +192,25 @@ EventId EventQueue::schedule(Time when, EventFn fn) {
     if (!s.fn.is_inline()) {
         ++stats_.callback_heap_allocs;
     }
-    heap_push(HeapEntry{when, next_seq_++, slot, s.generation});
+    const HeapEntry entry{when, next_seq_++, slot, s.generation};
+    const std::int64_t b = bucket_of(when);
+    if (b <= cursor_bucket_ + 1) {
+        // Near horizon (or the past): the cursor's own and next bucket go
+        // straight to the heap — parking them could strand an entry behind
+        // an already-migrated bucket.
+        heap_push(entry);
+    } else if (b < ring_base_ + static_cast<std::int64_t>(kRingBuckets)) {
+        ring_[static_cast<std::size_t>(b) & (kRingBuckets - 1)]
+            .push_back(entry);
+        ++ring_count_;
+        ++stats_.calendar_pushes;
+    } else {
+        if (overflow_.empty() || b < overflow_min_bucket_) {
+            overflow_min_bucket_ = b;
+        }
+        overflow_.push_back(entry);
+        ++stats_.calendar_pushes;
+    }
     ++live_count_;
     ++stats_.events_scheduled;
     return make_id(slot, s.generation);
@@ -132,12 +233,12 @@ bool EventQueue::cancel(EventId id) {
 }
 
 Time EventQueue::next_time() const {
-    drop_stale();
+    migrate_due_buckets();
     return heap_.empty() ? kTimeNever : heap_[0].time;
 }
 
 EventQueue::Fired EventQueue::pop() {
-    drop_stale();
+    migrate_due_buckets();
     if (heap_.empty()) {
         throw std::logic_error("EventQueue::pop on empty queue");
     }

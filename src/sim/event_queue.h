@@ -10,12 +10,22 @@
 //     than std::priority_queue's pair-of-containers indirection;
 //   - cancellation is O(1): the slot (and its callback) is reclaimed
 //     eagerly, while the heap entry is lazily dropped when it reaches
-//     the root, detected by a slot generation mismatch.
+//     the root, detected by a slot generation mismatch;
+//   - a calendar tier fronts the heap for far-future events (mobility
+//     leg ends, heartbeat cycles, refresh timers): entries landing more
+//     than a bucket past the migration cursor are parked in a ring of
+//     one-second buckets (plus an overflow list beyond the ring's
+//     horizon) and only enter the heap — in one batch, keeping their
+//     original sequence numbers — when the cursor reaches their bucket.
+//     The heap thus stays sized to the near horizon no matter how many
+//     idle-node timers a 100k-node world keeps pending.
 //
 // FIFO ordering among same-time events is preserved exactly via the
-// scheduling sequence number, so the rewrite is behaviour-identical to
-// the previous binary-heap + unordered_map implementation (guarded by
-// tests/test_event_queue_model.cpp and the golden determinism test).
+// scheduling sequence number: a bucket is migrated whenever the heap's
+// earliest time reaches the bucket's base, so every (time, seq) compare
+// still happens inside the heap and the pop order is identical to a
+// single-heap implementation (guarded by tests/test_event_queue_model.cpp,
+// tests/test_calendar_queue.cpp and the golden determinism test).
 #pragma once
 
 #include <cstdint>
@@ -104,6 +114,12 @@ private:
         return slab_[e.slot].generation == e.generation;
     }
 
+    // Calendar geometry: one-second buckets, 4096-bucket ring (a ~68 min
+    // rolling horizon; heartbeats, leg ends and refresh timers all land
+    // inside it). Events beyond the ring wait in the overflow list.
+    static constexpr Time kBucketWidth = 1'000'000'000;  // 1 s in ns
+    static constexpr std::size_t kRingBuckets = 4096;
+
     std::uint32_t acquire_slot();
     void release_slot(std::uint32_t slot);
     void heap_push(HeapEntry entry) const;
@@ -111,9 +127,30 @@ private:
     // Drops cancelled tombstones off the root so heap_[0] is live.
     void drop_stale() const;
 
-    // The heap and counters are mutable because next_time() — logically
-    // const — physically compacts tombstones away from the root.
+    static std::int64_t bucket_of(Time when) {
+        return when >= 0 ? when / kBucketWidth : -1;
+    }
+    std::size_t calendar_size() const {
+        return ring_count_ + overflow_.size();
+    }
+    Time next_bucket_base() const;
+    // Promotes calendar buckets into the heap until the heap's earliest
+    // live entry precedes every still-parked bucket.
+    void migrate_due_buckets() const;
+    void advance_one_bucket() const;
+    // Re-files overflow entries that now fall inside the ring window.
+    void drain_overflow() const;
+
+    // The heap, calendar and counters are mutable because next_time() —
+    // logically const — physically compacts tombstones away from the
+    // root and promotes due calendar buckets.
     mutable std::vector<HeapEntry> heap_;
+    mutable std::vector<std::vector<HeapEntry>> ring_{kRingBuckets};
+    mutable std::vector<HeapEntry> overflow_;
+    mutable std::size_t ring_count_ = 0;
+    mutable std::int64_t cursor_bucket_ = 0;  // buckets <= cursor are migrated
+    mutable std::int64_t ring_base_ = 0;      // ring covers [base, base+N)
+    mutable std::int64_t overflow_min_bucket_ = 0;
     std::vector<Slot> slab_;
     std::uint32_t free_head_ = kNoFreeSlot;
     std::size_t free_count_ = 0;

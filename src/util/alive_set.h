@@ -1,0 +1,138 @@
+// Liveness bitset with rank/select: the SoA replacement for the world's
+// `std::vector<bool> alive_` + materialized `alive_nodes()` snapshots.
+//
+// select(r) returns the r-th alive id in ascending order, which is by
+// construction the element `alive_nodes()[r]` of the old sorted snapshot
+// vector — so every caller that drew `alive[rng.index(alive.size())]`
+// can draw `select(rng.index(count()))` and consume the exact same RNG
+// stream with the exact same result, keeping golden fingerprints
+// bit-identical while the O(n) copy disappears.
+//
+// Layout: 64-bit words plus a per-block (8 words = 512 bits) popcount.
+// select scans blocks, then words, then bits: O(n/512) worst case, a few
+// cache lines in practice, and O(1) amortized for the uniform draws the
+// simulator performs. set/reset maintain the block counts in O(1).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+#include "util/ids.h"
+
+namespace pqs::util {
+
+class AliveSet {
+public:
+    AliveSet() = default;
+    explicit AliveSet(std::size_t n, bool value = false) { assign(n, value); }
+
+    void assign(std::size_t n, bool value) {
+        size_ = n;
+        words_.assign((n + 63) / 64, value ? ~0ull : 0ull);
+        if (value && n % 64 != 0) {
+            words_.back() = (1ull << (n % 64)) - 1;
+        }
+        blocks_.assign((words_.size() + kWordsPerBlock - 1) / kWordsPerBlock,
+                       0);
+        count_ = 0;
+        for (std::size_t w = 0; w < words_.size(); ++w) {
+            const auto bits = static_cast<std::uint32_t>(
+                std::popcount(words_[w]));
+            blocks_[w / kWordsPerBlock] += bits;
+            count_ += bits;
+        }
+    }
+
+    // Appends one id (the next dense NodeId) with the given liveness.
+    void push_back(bool value) {
+        const std::size_t id = size_++;
+        if (id / 64 >= words_.size()) {
+            words_.push_back(0);
+            if (words_.size() > blocks_.size() * kWordsPerBlock) {
+                blocks_.push_back(0);
+            }
+        }
+        if (value) {
+            set(static_cast<NodeId>(id));
+        }
+    }
+
+    std::size_t size() const { return size_; }
+    std::size_t count() const { return count_; }
+
+    bool test(NodeId id) const {
+        return id < size_ && (words_[id / 64] >> (id % 64)) & 1u;
+    }
+
+    void set(NodeId id) {
+        PQS_DCHECK(id < size_, "AliveSet::set out of range");
+        const std::uint64_t mask = 1ull << (id % 64);
+        if (!(words_[id / 64] & mask)) {
+            words_[id / 64] |= mask;
+            ++blocks_[id / 64 / kWordsPerBlock];
+            ++count_;
+        }
+    }
+
+    void reset(NodeId id) {
+        PQS_DCHECK(id < size_, "AliveSet::reset out of range");
+        const std::uint64_t mask = 1ull << (id % 64);
+        if (words_[id / 64] & mask) {
+            words_[id / 64] &= ~mask;
+            --blocks_[id / 64 / kWordsPerBlock];
+            --count_;
+        }
+    }
+
+    // The `rank`-th set id in ascending order; rank < count() required.
+    NodeId select(std::size_t rank) const {
+        PQS_DCHECK(rank < count_, "AliveSet::select rank out of range");
+        std::size_t block = 0;
+        while (rank >= blocks_[block]) {
+            rank -= blocks_[block];
+            ++block;
+        }
+        std::size_t w = block * kWordsPerBlock;
+        for (;; ++w) {
+            const auto bits =
+                static_cast<std::size_t>(std::popcount(words_[w]));
+            if (rank < bits) {
+                break;
+            }
+            rank -= bits;
+        }
+        std::uint64_t word = words_[w];
+        for (std::size_t i = 0; i < rank; ++i) {
+            word &= word - 1;  // clear lowest set bit
+        }
+        return static_cast<NodeId>(
+            w * 64 + static_cast<std::size_t>(std::countr_zero(word)));
+    }
+
+    // Calls fn(id) for every set id in ascending order.
+    template <typename Fn>
+    void for_each(Fn&& fn) const {
+        for (std::size_t w = 0; w < words_.size(); ++w) {
+            std::uint64_t word = words_[w];
+            while (word != 0) {
+                const auto bit =
+                    static_cast<std::size_t>(std::countr_zero(word));
+                fn(static_cast<NodeId>(w * 64 + bit));
+                word &= word - 1;
+            }
+        }
+    }
+
+private:
+    static constexpr std::size_t kWordsPerBlock = 8;  // 512-bit blocks
+
+    std::vector<std::uint64_t> words_;
+    std::vector<std::uint32_t> blocks_;  // popcount per block
+    std::size_t size_ = 0;
+    std::size_t count_ = 0;
+};
+
+}  // namespace pqs::util

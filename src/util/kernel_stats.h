@@ -23,10 +23,16 @@ namespace pqs::util {
     X(stale_drops)       /* lazily-deleted (cancelled) entries skipped */ \
     X(slab_reuses)       /* event slots recycled from the free list */   \
     X(callback_heap_allocs) /* callbacks too large for inline storage */ \
+    X(calendar_pushes)   /* far-future events parked in the calendar */  \
+    X(calendar_migrations) /* calendar entries promoted into the heap */ \
     X(grid_queries)      /* SpatialGrid::query calls */                  \
     X(grid_candidates)   /* nodes distance-tested by queries */          \
     X(grid_moves)        /* SpatialGrid::move calls */                   \
-    X(grid_cell_crossings) /* moves that changed grid cell */
+    X(grid_cell_crossings) /* moves that changed grid cell */            \
+    X(grid_rebuilds)     /* flat-storage compactions (cell overflow) */  \
+    X(packet_allocs)     /* packet blocks taken from the heap */         \
+    X(packet_pool_reuses) /* packet blocks recycled from the pool */     \
+    X(alive_snapshots)   /* alive_nodes()/neighbor vector copies */
 
 struct KernelStats {
 #define PQS_KERNEL_STATS_DECL(field) std::uint64_t field = 0;

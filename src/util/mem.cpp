@@ -1,0 +1,25 @@
+#include "util/mem.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace pqs::util {
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage usage{};
+    if (getrusage(RUSAGE_SELF, &usage) != 0) {
+        return 0;
+    }
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes
+#else
+    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB
+#endif
+#else
+    return 0;
+#endif
+}
+
+}  // namespace pqs::util

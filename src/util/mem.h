@@ -1,0 +1,15 @@
+// Process memory telemetry for the perf report and the scale bench.
+// Host-dependent by nature, so these values stay on the [perf] stderr
+// channel and in bench JSON wall-measurement fields — never in
+// deterministic results.
+#pragma once
+
+#include <cstdint>
+
+namespace pqs::util {
+
+// Peak resident set size of the calling process in bytes (getrusage
+// ru_maxrss); 0 when the platform does not report it.
+std::uint64_t peak_rss_bytes();
+
+}  // namespace pqs::util

@@ -1,0 +1,108 @@
+// Fixed-size block recycler for the simulation's per-hop heap objects
+// (packets and their shared_ptr control blocks). Every Packet in a trial
+// is the same size, so std::allocate_shared through PoolAllocator always
+// requests one block of one size class — the pool serves it from a free
+// list of previously released blocks, falling back to ::operator new only
+// to grow. Blocks of any *other* size (rebound allocator internals,
+// oversized one-offs) pass straight through to the heap and are counted,
+// so a surprise allocation shows up in KernelStats instead of silently
+// eroding the "pooled" claim.
+//
+// Pools are deliberately per-World, never thread_local: per-trial counters
+// must depend only on the trial's seed, not on which worker thread ran it
+// (PQS_THREADS bit-identity). The pool must outlive every shared_ptr
+// allocated from it — World declares it before the simulator so queued
+// events holding PacketPtrs die first.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace pqs::util {
+
+class BlockPool {
+public:
+    BlockPool() = default;
+    BlockPool(const BlockPool&) = delete;
+    BlockPool& operator=(const BlockPool&) = delete;
+    ~BlockPool() {
+        for (void* block : free_) {
+            ::operator delete(block);
+        }
+    }
+
+    void* acquire(std::size_t bytes) {
+        if (block_size_ == 0) {
+            block_size_ = bytes;
+        }
+        if (bytes != block_size_) {
+            ++misfit_allocs_;
+            return ::operator new(bytes);
+        }
+        if (!free_.empty()) {
+            void* block = free_.back();
+            free_.pop_back();
+            ++reuses_;
+            return block;
+        }
+        ++fresh_allocs_;
+        return ::operator new(bytes);
+    }
+
+    void release(std::size_t bytes, void* block) {
+        if (bytes == block_size_) {
+            free_.push_back(block);
+        } else {
+            ::operator delete(block);
+        }
+    }
+
+    // Deterministic per-seed accounting (see util/kernel_stats.h).
+    std::uint64_t fresh_allocs() const { return fresh_allocs_; }
+    std::uint64_t reuses() const { return reuses_; }
+    std::uint64_t misfit_allocs() const { return misfit_allocs_; }
+    std::size_t free_blocks() const { return free_.size(); }
+    std::size_t block_size() const { return block_size_; }
+
+private:
+    std::size_t block_size_ = 0;  // fixed by the first acquire
+    std::vector<void*> free_;
+    std::uint64_t fresh_allocs_ = 0;
+    std::uint64_t reuses_ = 0;
+    std::uint64_t misfit_allocs_ = 0;
+};
+
+// Minimal allocator over a BlockPool for std::allocate_shared: the
+// control block and the object land in one recycled allocation. The pool
+// reference must outlive every object allocated through it.
+template <typename T>
+class PoolAllocator {
+public:
+    using value_type = T;
+
+    explicit PoolAllocator(BlockPool* pool) : pool_(pool) {}
+    template <typename U>
+    PoolAllocator(const PoolAllocator<U>& other) : pool_(other.pool()) {}
+
+    T* allocate(std::size_t n) {
+        return static_cast<T*>(pool_->acquire(n * sizeof(T)));
+    }
+    void deallocate(T* p, std::size_t n) {
+        pool_->release(n * sizeof(T), p);
+    }
+
+    BlockPool* pool() const { return pool_; }
+
+    template <typename U>
+    bool operator==(const PoolAllocator<U>& other) const {
+        return pool_ == other.pool();
+    }
+
+private:
+    BlockPool* pool_;
+};
+
+}  // namespace pqs::util

@@ -1,0 +1,162 @@
+// Frozen copy of the pre-flat-storage SpatialGrid (vector-of-vectors
+// buckets), kept verbatim as the reference model for the differential
+// test of the flat rewrite: both implementations must return identical
+// query results in identical order under any interleaving of
+// insert/remove/move/query. Not linked into the library.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "geom/vec2.h"
+#include "util/ids.h"
+
+namespace pqs::test {
+
+class LegacySpatialGrid {
+public:
+    LegacySpatialGrid(double side, double cell,
+                      geom::Metric metric = geom::Metric::kPlane)
+        : side_(side), metric_(metric) {
+        if (side <= 0.0 || cell <= 0.0) {
+            throw std::invalid_argument(
+                "LegacySpatialGrid: side and cell must be > 0");
+        }
+        cells_per_side_ = std::max<std::size_t>(
+            1, static_cast<std::size_t>(std::floor(side / cell)));
+        cell_size_ = side / static_cast<double>(cells_per_side_);
+        buckets_.resize(cells_per_side_ * cells_per_side_);
+    }
+
+    void insert(util::NodeId id, geom::Vec2 pos) {
+        if (id >= entries_.size()) {
+            entries_.resize(id + 1);
+        }
+        if (entries_[id].live) {
+            throw std::logic_error(
+                "LegacySpatialGrid::insert: id already present");
+        }
+        const std::size_t cell = cell_of(pos);
+        entries_[id] = Entry{pos, true, cell, buckets_[cell].size()};
+        buckets_[cell].push_back(id);
+        ++live_count_;
+    }
+
+    void remove(util::NodeId id) {
+        if (!contains(id)) {
+            throw std::logic_error(
+                "LegacySpatialGrid::remove: id not present");
+        }
+        unlink(id);
+        entries_[id].live = false;
+        --live_count_;
+    }
+
+    void move(util::NodeId id, geom::Vec2 new_pos) {
+        if (!contains(id)) {
+            throw std::logic_error("LegacySpatialGrid::move: id not present");
+        }
+        Entry& e = entries_[id];
+        const std::size_t new_cell = cell_of(new_pos);
+        if (new_cell != e.cell) {
+            unlink(id);
+            e.cell = new_cell;
+            e.slot = buckets_[new_cell].size();
+            buckets_[new_cell].push_back(id);
+        }
+        e.pos = new_pos;
+    }
+
+    bool contains(util::NodeId id) const {
+        return id < entries_.size() && entries_[id].live;
+    }
+
+    std::size_t size() const { return live_count_; }
+
+    void query(geom::Vec2 center, double radius,
+               std::vector<util::NodeId>& out,
+               util::NodeId exclude = util::kInvalidNode) const {
+        const double r_sq = radius * radius;
+        const auto reach =
+            static_cast<long>(std::ceil(radius / cell_size_));
+        const long cx = static_cast<long>(
+            std::min(center.x / cell_size_,
+                     static_cast<double>(cells_per_side_ - 1)));
+        const long cy = static_cast<long>(
+            std::min(center.y / cell_size_,
+                     static_cast<double>(cells_per_side_ - 1)));
+        const long n = static_cast<long>(cells_per_side_);
+
+        for (long dy = -reach; dy <= reach; ++dy) {
+            for (long dx = -reach; dx <= reach; ++dx) {
+                long gx = cx + dx;
+                long gy = cy + dy;
+                if (metric_ == geom::Metric::kTorus) {
+                    gx = ((gx % n) + n) % n;
+                    gy = ((gy % n) + n) % n;
+                } else if (gx < 0 || gy < 0 || gx >= n || gy >= n) {
+                    continue;
+                }
+                const auto& bucket =
+                    buckets_[static_cast<std::size_t>(gy) * cells_per_side_ +
+                             static_cast<std::size_t>(gx)];
+                for (const util::NodeId id : bucket) {
+                    if (id == exclude) {
+                        continue;
+                    }
+                    const geom::Vec2 p = entries_[id].pos;
+                    const double d =
+                        metric_ == geom::Metric::kTorus
+                            ? geom::torus_distance(center, p, side_)
+                            : geom::distance(center, p);
+                    if (d * d <= r_sq) {
+                        out.push_back(id);
+                    }
+                }
+            }
+        }
+        if (metric_ == geom::Metric::kTorus && 2 * reach + 1 >= n) {
+            std::sort(out.begin(), out.end());
+            out.erase(std::unique(out.begin(), out.end()), out.end());
+        }
+    }
+
+private:
+    struct Entry {
+        geom::Vec2 pos;
+        bool live = false;
+        std::size_t cell = 0;
+        std::size_t slot = 0;
+    };
+
+    std::size_t cell_of(geom::Vec2 pos) const {
+        const auto clamp_idx = [this](double coord) {
+            if (coord < 0.0) coord = 0.0;
+            auto idx = static_cast<std::size_t>(coord / cell_size_);
+            return std::min(idx, cells_per_side_ - 1);
+        };
+        return clamp_idx(pos.y) * cells_per_side_ + clamp_idx(pos.x);
+    }
+
+    void unlink(util::NodeId id) {
+        Entry& e = entries_[id];
+        auto& bucket = buckets_[e.cell];
+        const util::NodeId last = bucket.back();
+        bucket[e.slot] = last;
+        entries_[last].slot = e.slot;
+        bucket.pop_back();
+    }
+
+    double side_;
+    double cell_size_;
+    std::size_t cells_per_side_;
+    geom::Metric metric_;
+    std::vector<std::vector<util::NodeId>> buckets_;
+    std::vector<Entry> entries_;
+    std::size_t live_count_ = 0;
+};
+
+}  // namespace pqs::test

@@ -1,0 +1,26 @@
+// Fixture: per-call heap construction inside a // pqs-hot function.
+#include <memory>
+#include <string>
+#include <vector>
+
+struct Packet {
+    int id = 0;
+};
+
+struct Link {
+    // pqs-hot
+    void broadcast(int from) {
+        std::vector<int> receivers;  // expect-lint: hot-path-alloc
+        receivers.push_back(from);
+        auto copy = std::make_shared<Packet>();  // expect-lint: hot-path-alloc
+        std::string label = "tx";  // expect-lint: hot-path-alloc
+        (void)copy;
+        (void)label;
+    }
+
+    // Not annotated: the same constructions are fine in cold paths.
+    void summarize() {
+        std::vector<int> rows;
+        rows.push_back(1);
+    }
+};

@@ -1,0 +1,24 @@
+// Fixture: a // pqs-hot function that stays allocation-free by reusing a
+// pooled buffer passed in (or acquired from a free list) instead of
+// constructing vectors per call.
+#include <vector>
+
+struct Grid {
+    void query(double x, std::vector<int>& out) const {
+        out.push_back(static_cast<int>(x));
+    }
+};
+
+struct Link {
+    // pqs-hot
+    void broadcast(double origin, std::vector<int>& scratch) {
+        scratch.clear();
+        grid.query(origin, scratch);
+        for (const int id : scratch) {
+            last = id;
+        }
+    }
+
+    Grid grid;
+    int last = 0;
+};

@@ -168,6 +168,49 @@ TEST(GoldenDeterminism, TracingOnPreservesFingerprint) {
         << "\ngot      " << got;
 }
 
+TEST(GoldenDeterminism, HotPathsAllocationFree) {
+    // Regression gate for the scale refactor's hot paths: a standard
+    // scenario (no fail-fraction shuffle, no RAWMS prefill) must finish
+    // with ZERO alive-node snapshot copies — every per-op draw goes
+    // through AliveSet rank-select — zero heap-allocated callbacks, and a
+    // recycling packet pool.
+    const ScenarioParams p = golden_params();
+    const ScenarioResult r = run_scenario(p);
+    EXPECT_EQ(r.kernel.alive_snapshots, 0u);
+    EXPECT_EQ(r.kernel.callback_heap_allocs, 0u);
+    EXPECT_GT(r.kernel.packet_pool_reuses, 0u);
+}
+
+// Same scenario with closed-form (lazy) mobility. Lazy legs cannot be
+// bit-identical to ticked ones (arrivals stop being quantized to the
+// 500 ms tick), so the mode carries its own golden fingerprint.
+const Fingerprint kGoldenLazy = {
+    .sim_events = 9920,
+    .events_scheduled = 10264,
+    .events_fired = 9920,
+    .events_cancelled = 157,
+    .callback_heap_allocs = 0,
+    .grid_queries = 4336,
+    .grid_moves = 10,
+    .grid_cell_crossings = 10,
+    .advertise_quorum = 13,
+    .lookup_quorum = 13,
+    .hits = 29,
+    .intersects = 29,
+    .msgs_total = 5508,
+};
+
+TEST(GoldenDeterminism, LazyMobilityFingerprint) {
+    ScenarioParams p = golden_params();
+    p.world.waypoint.lazy = true;
+    const Fingerprint got = fingerprint_of(run_scenario(p), p);
+    EXPECT_TRUE(got == kGoldenLazy)
+        << "lazy-mobility fingerprint changed.\nexpected " << kGoldenLazy
+        << "\ngot      " << got
+        << "\nIf the change is intended, update kGoldenLazy and justify "
+           "the new numbers in the PR body.";
+}
+
 TEST(GoldenDeterminism, RepeatRunBitIdentical) {
     // Independent of the hardcoded constants: two in-process runs of the
     // same seed must agree exactly (catches e.g. state leaking between

@@ -47,6 +47,15 @@ correctness contracts, so this checker enforces them statically:
       measurement elsewhere (src/exp's events/s reporting) carries an
       explicit allow().
 
+  hot-path-alloc
+      A function annotated `// pqs-hot` (per-event / per-lookup hot path:
+      link tx fan-out, alive-set sampling) must not construct a
+      std::vector or std::string, nor call std::make_unique /
+      std::make_shared, in its body: per-call heap traffic at n=100k
+      dominates the event loop. Reuse a pooled buffer (acquire_ids /
+      BlockPool / World::new_packet) or hoist the allocation out of the
+      hot function.
+
 Suppress a finding with `// pqs-lint: allow(<rule-id>)` on the same line.
 
 Usage:
@@ -66,9 +75,11 @@ RULE_UNORDERED_OUTPUT = "unordered-output"
 RULE_RAW_STDOUT = "raw-stdout"
 RULE_DANGLING_SCHEDULE = "dangling-schedule-capture"
 RULE_RAW_TIMESTAMP = "raw-timestamp"
+RULE_HOT_ALLOC = "hot-path-alloc"
 
 ALL_RULES = (RULE_HELD_REF, RULE_RAW_RANDOM, RULE_UNORDERED_OUTPUT,
-             RULE_RAW_STDOUT, RULE_DANGLING_SCHEDULE, RULE_RAW_TIMESTAMP)
+             RULE_RAW_STDOUT, RULE_DANGLING_SCHEDULE, RULE_RAW_TIMESTAMP,
+             RULE_HOT_ALLOC)
 
 # Calls that can synchronously re-enter the location service and resolve
 # (erase) a pending op while the caller still holds a table reference.
@@ -125,6 +136,20 @@ RAW_TIMESTAMP_RE = re.compile(
     r"|\bclock_gettime\s*\(|\bgettimeofday\s*\(|\btimespec_get\s*\(")
 
 ALLOW_RE = re.compile(r"//\s*pqs-lint:\s*allow\(([\w,\s-]+)\)")
+
+# `// pqs-hot` marks the function definition that follows (annotation on
+# or above the signature); its body is scanned for per-call heap traffic.
+HOT_ANNOT_RE = re.compile(r"//\s*pqs-hot\b")
+
+# Heap construction inside a hot body: a by-value vector/string local or
+# temporary (a `>&`/`>*` parameter or return type does not match), or a
+# make_unique / make_shared call.
+HOT_ALLOC_RE = re.compile(
+    r"\bstd\s*::\s*vector\s*<[^;{}&*]*>\s*\w+\s*[;({=]"
+    r"|\bstd\s*::\s*vector\s*<[^;{}&*]*>\s*\{"
+    r"|\bstd\s*::\s*string\s+\w+\s*[;({=]"
+    r"|\bstd\s*::\s*make_unique\s*<"
+    r"|\bstd\s*::\s*make_shared\s*<")
 
 
 class Violation:
@@ -440,6 +465,31 @@ def lint_file(path, rel, violations):
                        "raw '%s' in src/; route output through the logging "
                        "util (PQS_INFO/...) or an explicit FILE*/CsvWriter "
                        "sink" % m.group(0).strip().rstrip("("))
+
+    # --- hot-path-alloc (bodies of // pqs-hot annotated functions) ---
+    # The annotation lives in a comment, so it is found in the raw lines;
+    # the body scan runs over the stripped ones.
+    for start, raw_line in enumerate(raw_lines):
+        if not HOT_ANNOT_RE.search(raw_line):
+            continue
+        depth = 0
+        entered = False
+        for j in range(start, min(start + 500, len(lines))):
+            body = lines[j]
+            if not entered and "{" not in body:
+                continue
+            entered = True
+            for m in HOT_ALLOC_RE.finditer(body):
+                report(j, RULE_HOT_ALLOC,
+                       "heap construction '%s' inside a // pqs-hot "
+                       "function (annotated line %d); reuse a pooled "
+                       "buffer (acquire_ids / BlockPool / new_packet) or "
+                       "hoist it out of the hot path"
+                       % (m.group(0).strip().rstrip("(;{=").strip(),
+                          start + 1))
+            depth += body.count("{") - body.count("}")
+            if depth <= 0:
+                break
 
     # --- raw-timestamp (src/ only; the time sources themselves exempt) ---
     if in_src and not norm.startswith(("src/sim/", "src/obs/")):
