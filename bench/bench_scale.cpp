@@ -106,6 +106,8 @@ private:
                 ++revives_;
             }
         }
+        // pqs-lint: fire-and-forget(driver outlives simulator.run(); the
+        // chain dies with the event queue at the end of the measured run)
         world_.simulator().schedule_in(sim::kSecond, [this] { tick(); });
     }
 
@@ -136,6 +138,8 @@ private:
             world_.stack(from).send_broadcast(std::make_shared<Payload>());
             ++sends_;
         }
+        // pqs-lint: fire-and-forget(driver outlives simulator.run(); the
+        // chain dies with the event queue at the end of the measured run)
         world_.simulator().schedule_in(spacing_, [this] { tick(); });
     }
 

@@ -3,8 +3,11 @@
 # pass. Mirrors what reviewers will run:
 #
 #   1. warnings-as-errors build (-Wall -Wextra -Wshadow -Wconversion)
-#   2. full ctest suite, which includes the project linter (pqs_lint)
-#      and its fixture self-test (test_lint_fixtures)
+#   2. full ctest suite, which includes the project analyzer (pqs_lint:
+#      line rules + whole-project flow rules with an incremental cache),
+#      its JSON schema gate (pqs_lint_json_schema), its fixture
+#      self-test (test_lint_fixtures), and its unit tests
+#      (pqs_lint_unittests)
 #   3. bench JSON schema gate: the committed BENCH_kernel.json and
 #      BENCH_scale.json baselines plus fresh `bench_kernel --smoke` and
 #      `bench_scale --smoke` emissions must all satisfy
@@ -34,9 +37,15 @@ cmake -B build-check -S "$ROOT" -DPQS_WERROR=ON >/dev/null
 cmake --build build-check -j "$JOBS"
 ctest --test-dir build-check --output-on-failure -j "$JOBS"
 
-step "2/6 project linter (standalone rerun for a readable report)"
-python3 tools/pqs_lint/pqs_lint.py --root "$ROOT"
+step "2/6 project analyzer (standalone rerun for a readable report)"
+# Reuses the incremental cache the ctest run above populated, prints
+# per-rule wall time, and validates the JSON report against pqs_lint/1.
+python3 tools/pqs_lint/pqs_lint.py --root "$ROOT" --timings \
+    --cache-file build-check/pqs_lint_cache.json \
+    --json-out build-check/pqs_lint_report.json
+python3 scripts/check_lint_json.py build-check/pqs_lint_report.json
 python3 tools/pqs_lint/check_fixtures.py --root "$ROOT"
+python3 tools/pqs_lint/test_pqs_lint.py
 
 step "3/6 bench JSON schema gate (committed baselines + fresh smoke runs)"
 # The ctest pass above already ran bench_kernel --smoke and

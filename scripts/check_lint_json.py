@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Schema sanity check for `pqs_lint --format=json` emissions (pqs_lint/1).
+
+Expected document shape:
+  - version == 1, tool == "pqs_lint";
+  - `rules`: non-empty list of unique rule-name strings containing the
+    four flow rules (event-lifetime, transitive-hot-path-alloc,
+    transitive-raw-random, guarded-by);
+  - `stats`: files_scanned >= 1 and parsed + cached == files_scanned +
+    files_graph_only (every file the analyzer touched is accounted for,
+    by fresh parse or cache hit);
+  - `timings_ms`: per-rule non-negative numbers plus a `total` entry;
+    every rule listed in `rules` has a timing entry;
+  - `findings`: each with file (posix path), line >= 1, rule drawn from
+    `rules`, non-empty message; flow findings may carry a `chain` of
+    {file, line, function} hops.
+
+A linter that silently drops a rule, stops timing one, or emits a
+finding no rule owns fails scripts/check.sh instead of rotting quietly.
+
+Usage: check_lint_json.py FILE [FILE...]   (exit 1 on any violation)
+"""
+
+import json
+import sys
+
+FLOW_RULES = ("event-lifetime", "transitive-hot-path-alloc",
+              "transitive-raw-random", "guarded-by")
+
+
+def fail(path, message):
+    print("%s: %s" % (path, message))
+    return 1
+
+
+def check(path, doc):
+    errors = 0
+    if doc.get("version") != 1:
+        errors += fail(path, "version must be 1 (got %r)"
+                       % doc.get("version"))
+    if doc.get("tool") != "pqs_lint":
+        errors += fail(path, "tool must be 'pqs_lint' (got %r)"
+                       % doc.get("tool"))
+
+    rules = doc.get("rules")
+    if (not isinstance(rules, list) or not rules
+            or not all(isinstance(r, str) and r for r in rules)):
+        errors += fail(path, "rules must be a non-empty list of strings")
+        rules = []
+    if len(set(rules)) != len(rules):
+        errors += fail(path, "rules contains duplicates")
+    for rule in FLOW_RULES:
+        if rule not in rules:
+            errors += fail(path, "flow rule %r missing from rules" % rule)
+
+    stats = doc.get("stats")
+    if not isinstance(stats, dict):
+        errors += fail(path, "stats must be an object")
+        stats = {}
+    counted = ("files_scanned", "files_graph_only", "parsed", "cached")
+    for key in counted:
+        if not isinstance(stats.get(key), int) or stats.get(key, -1) < 0:
+            errors += fail(path, "stats.%s must be a non-negative int "
+                           "(got %r)" % (key, stats.get(key)))
+    if all(isinstance(stats.get(k), int) for k in counted):
+        if stats["files_scanned"] < 1:
+            errors += fail(path, "stats.files_scanned must be >= 1")
+        total = stats["files_scanned"] + stats["files_graph_only"]
+        if stats["parsed"] + stats["cached"] != total:
+            errors += fail(path, "parsed (%d) + cached (%d) != scanned + "
+                           "graph-only (%d)"
+                           % (stats["parsed"], stats["cached"], total))
+
+    timings = doc.get("timings_ms")
+    if not isinstance(timings, dict):
+        errors += fail(path, "timings_ms must be an object")
+        timings = {}
+    for key, value in timings.items():
+        if not isinstance(value, (int, float)) or value < 0:
+            errors += fail(path, "timings_ms[%r] must be a non-negative "
+                           "number (got %r)" % (key, value))
+    if "total" not in timings:
+        errors += fail(path, "timings_ms must include 'total'")
+    for rule in rules:
+        if rule not in timings:
+            errors += fail(path, "rule %r has no timings_ms entry" % rule)
+
+    findings = doc.get("findings")
+    if not isinstance(findings, list):
+        errors += fail(path, "findings must be a list")
+        findings = []
+    for i, f in enumerate(findings):
+        where = "findings[%d]" % i
+        if not isinstance(f, dict):
+            errors += fail(path, "%s must be an object" % where)
+            continue
+        if not isinstance(f.get("file"), str) or not f.get("file"):
+            errors += fail(path, "%s.file must be a non-empty string"
+                           % where)
+        elif "\\" in f["file"]:
+            errors += fail(path, "%s.file must be a posix path" % where)
+        if not isinstance(f.get("line"), int) or f.get("line", 0) < 1:
+            errors += fail(path, "%s.line must be an int >= 1" % where)
+        if f.get("rule") not in rules:
+            errors += fail(path, "%s.rule %r not in rules"
+                           % (where, f.get("rule")))
+        if not isinstance(f.get("message"), str) or not f.get("message"):
+            errors += fail(path, "%s.message must be a non-empty string"
+                           % where)
+        chain = f.get("chain")
+        if chain is not None:
+            if not isinstance(chain, list) or not chain:
+                errors += fail(path, "%s.chain must be a non-empty list"
+                               % where)
+            else:
+                for j, hop in enumerate(chain):
+                    if (not isinstance(hop, dict)
+                            or not isinstance(hop.get("function"), str)
+                            or not isinstance(hop.get("file"), str)
+                            or not isinstance(hop.get("line"), int)):
+                        errors += fail(path, "%s.chain[%d] must have "
+                                       "function/file/line" % (where, j))
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip())
+        return 2
+    errors = 0
+    for path in argv[1:]:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as exc:
+            errors += fail(path, "unreadable or invalid JSON: %s" % exc)
+            continue
+        errors += check(path, doc)
+        if not errors:
+            print("%s: ok (%d rules, %d findings, %d files scanned)"
+                  % (path, len(doc["rules"]), len(doc["findings"]),
+                     doc["stats"]["files_scanned"]))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -129,6 +129,8 @@ void FloodingStrategy::handle_flood(util::NodeId id, util::NodeId prev,
     // Jitter the rebroadcast to desynchronize neighbors (§4.4).
     const sim::Time jitter = static_cast<sim::Time>(
         rng_.uniform_u64(static_cast<std::uint64_t>(kBroadcastJitter) + 1));
+    // pqs-lint: fire-and-forget(strategy lives in the World-owned service
+    // for the whole run; the body re-checks alive(id) before touching it)
     ctx_.world.simulator().schedule_in(jitter, [this, id, fwd] {
         if (ctx_.world.alive(id)) {
             ctx_.world.stack(id).send_broadcast(fwd);
@@ -228,6 +230,8 @@ void FloodingStrategy::launch_round(util::AccessId op, util::NodeId origin,
 
     // Forget this round's parent pointers once replies can no longer be in
     // flight (bounds per-node state across long runs).
+    // pqs-lint: fire-and-forget(GC sweep over this strategy's own maps;
+    // the strategy is World-service-owned and outlives the event queue)
     ctx_.world.simulator().schedule_in(
         settle_time(ttl) + 10 * sim::kSecond, [this, op, ttl] {
             const RoundKey round{op, ttl};
@@ -238,6 +242,8 @@ void FloodingStrategy::launch_round(util::AccessId op, util::NodeId origin,
 
     // Round completion: resolve advertises; for lookups either escalate the
     // ring or declare a miss if no reply arrived.
+    // pqs-lint: fire-and-forget(round-completion check; a resolved or
+    // erased op makes the body a no-op via the ops_.find miss)
     ctx_.world.simulator().schedule_in(settle_time(ttl), [this, op, origin] {
         auto e = ops_.find(op);
         if (!e) {

@@ -381,6 +381,8 @@ void RandomStrategy::sampling_forward(
             sampling_terminal(at, std::move(next));
             return;
         }
+        // pqs-lint: fire-and-forget(walk continuation owns its message via
+        // shared_ptr; sampling_visit re-validates liveness at the next hop)
         ctx_.world.simulator().schedule_in(
             1 * sim::kMillisecond,
             [this, at, next] { sampling_visit(at, next); });

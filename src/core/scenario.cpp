@@ -48,6 +48,8 @@ void seq_launch(const std::shared_ptr<SeqState>& state) {
     }
     const std::size_t index = state->next++;
     state->op(index, [state] {
+        // pqs-lint: fire-and-forget(chain owns SeqState by shared_ptr; it
+        // ends itself via state->finished when the op budget is spent)
         state->world.simulator().schedule_in(state->spacing,
                                              [state] { seq_launch(state); });
     });
@@ -77,6 +79,8 @@ void periodic_fire(const std::shared_ptr<Periodic>& task) {
     if (!task->body()) {
         return;
     }
+    // pqs-lint: fire-and-forget(chain owns Periodic by shared_ptr and stops
+    // itself when body() returns false; no external owner to cancel from)
     task->world.simulator().schedule_in(task->period,
                                         [task] { periodic_fire(task); });
 }
@@ -316,6 +320,8 @@ ScenarioResult run_scenario(const ScenarioParams& params) {
                     }
                     return true;
                 }});
+            // pqs-lint: fire-and-forget(kicks off a shared_ptr-owned
+            // periodic_fire chain; see the chain's own annotation)
             world.simulator().schedule_in(live.estimate_period,
                                           [task] { periodic_fire(task); });
         }

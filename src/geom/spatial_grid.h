@@ -49,14 +49,6 @@ public:
     void query(Vec2 center, double radius, std::vector<util::NodeId>& out,
                util::NodeId exclude = util::kInvalidNode) const;
 
-    std::vector<util::NodeId> query(Vec2 center, double radius,
-                                    util::NodeId exclude =
-                                        util::kInvalidNode) const {
-        std::vector<util::NodeId> out;
-        query(center, radius, out, exclude);
-        return out;
-    }
-
     // All ids in cells intersecting the `radius`-circle at `center`, with
     // NO distance test: candidates for a caller that filters against its
     // own (e.g. lazily-advanced, exact) positions rather than the grid's

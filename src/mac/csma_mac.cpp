@@ -65,6 +65,8 @@ void CsmaMac::attempt() {
         params_.slot * static_cast<sim::Time>(
                            rng_.index(static_cast<std::size_t>(head.cw) + 1));
     const std::uint64_t gen = generation_;
+    // pqs-lint: fire-and-forget(generation check orphans the backoff after
+    // shutdown(), which the destructor runs; stale timers become no-ops)
     simulator_.schedule_in(defer, [this, gen] {
         if (gen != generation_ || !busy_) {
             return;
@@ -87,6 +89,8 @@ void CsmaMac::transmit_head() {
                 head.frame.bytes);
     channel_.transmit(self_, head.frame, duration);
     const std::uint64_t gen = generation_;
+    // pqs-lint: fire-and-forget(generation check orphans the tx-done event
+    // after shutdown(), which the destructor runs; stale timers are no-ops)
     simulator_.schedule_in(duration, [this, gen] {
         if (gen == generation_) {
             on_tx_done();
@@ -153,6 +157,8 @@ void CsmaMac::send_ack(util::NodeId to, std::uint32_t mac_seq) {
     const sim::Time duration = frame_duration(params_.ack_bytes, true);
     const std::uint64_t gen = generation_;
     // Acks go out after SIFS without contention (they win over DIFS waits).
+    // pqs-lint: fire-and-forget(generation check orphans the ack after
+    // shutdown(), which the destructor runs; stale timers are no-ops)
     simulator_.schedule_in(params_.sifs, [this, gen, ack, duration] {
         if (gen == generation_) {
             channel_.transmit(self_, ack, duration);

@@ -48,6 +48,11 @@ public:
     CsmaMac(util::NodeId self, sim::Simulator& simulator, phy::Channel& channel,
             phy::Radio& radio, MacParams params, util::Rng rng);
 
+    // A MAC destroyed with the ack timeout pending would leave the
+    // simulator holding a callback into freed memory; shutdown() cancels
+    // it (and invalidates the generation the backoff timers check).
+    ~CsmaMac() { shutdown(); }
+
     // Queues a frame. dst == phy::kBroadcastId broadcasts (no ack, no retry).
     void send(phy::Frame frame, TxCallback done);
 

@@ -59,6 +59,8 @@ void RawmsMembership::schedule_next_launch(util::NodeId origin) {
     const auto period = static_cast<std::uint64_t>(params_.advertise_period);
     const sim::Time delay = static_cast<sim::Time>(
         period / 2 + rng_.uniform_u64(period));
+    // pqs-lint: fire-and-forget(membership service is World-owned for the
+    // whole run; the body re-checks alive(origin) before launching)
     world_.simulator().schedule_in(delay, [this, origin] {
         if (world_.alive(origin)) {
             launch_walk(origin);
@@ -98,6 +100,8 @@ void RawmsMembership::forward(util::NodeId at,
             return;
         }
         // Re-examine locally after a short beat (no transmission).
+        // pqs-lint: fire-and-forget(salvage retry owns its message via
+        // shared_ptr; forward() re-validates node liveness on entry)
         world_.simulator().schedule_in(1 * sim::kMillisecond, [this, at, next] {
             forward(at, next, params_.salvage_retries);
         });

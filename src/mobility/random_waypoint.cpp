@@ -9,6 +9,8 @@ namespace pqs::mobility {
 void RandomWaypoint::start_node(MobilityHost& host, util::NodeId id,
                                 util::Rng& rng) {
     pick_leg(host, id, rng);
+    // pqs-lint: fire-and-forget(mobility model and host are World-owned
+    // for the whole run; tick() stops itself when the node dies)
     host.simulator().schedule_in(params_.tick, [this, &host, id, &rng] {
         tick(host, id, rng);
     });
@@ -38,12 +40,16 @@ void RandomWaypoint::tick(MobilityHost& host, util::NodeId id,
     if (dist <= step) {
         host.set_position(id, leg.target);
         // Pause, then pick the next leg and resume ticking.
+        // pqs-lint: fire-and-forget(self-rescheduling walk; the body
+        // re-checks alive(id) and the model is World-owned for the run)
         host.simulator().schedule_in(params_.pause, [this, &host, id, &rng] {
             if (!host.alive(id)) {
                 legs_.erase(id);
                 return;
             }
             pick_leg(host, id, rng);
+            // pqs-lint: fire-and-forget(tick() re-checks alive(id) on
+            // entry; the chain ends itself when the node dies)
             host.simulator().schedule_in(
                 params_.tick, [this, &host, id, &rng] { tick(host, id, rng); });
         });
@@ -51,6 +57,8 @@ void RandomWaypoint::tick(MobilityHost& host, util::NodeId id,
     }
 
     host.set_position(id, pos + to_target * (step / dist));
+    // pqs-lint: fire-and-forget(tick() re-checks alive(id) on entry; the
+    // chain ends itself when the node dies)
     host.simulator().schedule_in(params_.tick, [this, &host, id, &rng] {
         tick(host, id, rng);
     });
@@ -79,12 +87,16 @@ void LazyRandomWaypoint::begin_next_leg(MobilityHost& host, util::NodeId id,
                             rng.uniform(0.0, host.side())};
     const double speed = rng.uniform(params_.min_speed, params_.max_speed);
     const sim::Time travel = host.begin_leg(id, target, speed);
+    // pqs-lint: fire-and-forget(generation check orphans arrival events
+    // from a node's previous life; the model is World-owned for the run)
     host.simulator().schedule_in(
         travel, [this, &host, id, &rng, gen, target] {
             if (gen != gens_[id] || !host.alive(id)) {
                 return;
             }
             host.set_position(id, target);  // commit the exact endpoint
+            // pqs-lint: fire-and-forget(begin_next_leg re-checks the
+            // generation and liveness before arming the next leg)
             host.simulator().schedule_in(
                 params_.pause, [this, &host, id, &rng, gen] {
                     begin_next_leg(host, id, rng, gen);

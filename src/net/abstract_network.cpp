@@ -42,6 +42,8 @@ void AbstractLink::unicast(PacketPtr p, LinkTxCallback done) {
         IdList listeners = acquire_ids();
         world_.nodes_within(world_.position(from), world_.range(),
                             *listeners, from);
+        // pqs-lint: fire-and-forget(in-flight overhear delivery; the link
+        // is World-owned and the body re-checks listener liveness)
         world_.simulator().schedule_in(
             delay,
             [this, p, to, listeners = std::move(listeners)]() mutable {
@@ -54,6 +56,8 @@ void AbstractLink::unicast(PacketPtr p, LinkTxCallback done) {
             });
     }
 
+    // pqs-lint: fire-and-forget(in-flight frame; deliverability and node
+    // liveness are re-evaluated at delivery time, per the airtime model)
     world_.simulator().schedule_in(delay, [this, p, from, to,
                                            done = std::move(done)]() mutable {
         // Evaluate deliverability at delivery time: mobility or failures
@@ -79,6 +83,8 @@ void AbstractLink::unicast(PacketPtr p, LinkTxCallback done) {
             }
         } else if (done) {
             // The MAC burns its retry budget before reporting failure.
+            // pqs-lint: fire-and-forget(failure callback owns its state by
+            // value; nothing it touches can die before it fires)
             world_.simulator().schedule_in(
                 params_.failure_detect,
                 [done = std::move(done)] { done(false); });
@@ -100,6 +106,8 @@ void AbstractLink::broadcast(PacketPtr p) {
     IdList receivers = acquire_ids();
     world_.nodes_within(world_.position(from), world_.range(), *receivers,
                         from);
+    // pqs-lint: fire-and-forget(in-flight broadcast; receivers are
+    // re-validated alive-and-in-range at delivery time)
     world_.simulator().schedule_in(
         delay,
         [this, p, from, receivers = std::move(receivers)]() mutable {
@@ -131,6 +139,8 @@ void AbstractLink::inject_duplicate(const PacketPtr& p, util::NodeId to) {
     // The duplicate trails the original by one extra hop delay and must
     // still find the receiver alive — a node that crashed in between
     // swallows it.
+    // pqs-lint: fire-and-forget(injected duplicate; the body re-checks the
+    // receiver is still alive, and the link is World-owned for the run)
     world_.simulator().schedule_in(hop_delay(), [this, p, to] {
         if (world_.alive(to)) {
             world_.deliver(to, p);

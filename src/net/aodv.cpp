@@ -382,6 +382,8 @@ void Aodv::on_rreq(util::NodeId from, const RreqBody& body, int ttl) {
     // Forwarding jitter desynchronizes neighbor rebroadcasts (RFC 5148).
     const sim::Time jitter = static_cast<sim::Time>(stack_.rng().uniform_u64(
         static_cast<std::uint64_t>(params_.rreq_jitter) + 1));
+    // pqs-lint: fire-and-forget(Aodv lives inside the arena-placed
+    // NodeStack for the whole run; the body re-checks running() first)
     stack_.world().simulator().schedule_in(jitter, [this, p] {
         if (stack_.running()) {
             stack_.link_broadcast(p);

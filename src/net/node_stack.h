@@ -27,6 +27,11 @@ class NodeStack {
 public:
     NodeStack(World& world, util::NodeId id, util::Rng rng);
 
+    // A stack destroyed while its heartbeat is pending (teardown with
+    // live nodes, container reallocation) would leave the simulator a
+    // callback into freed memory; shutdown() cancels the timer.
+    ~NodeStack() { shutdown(); }
+
     util::NodeId id() const { return id_; }
     World& world() { return world_; }
     util::Rng& rng() { return rng_; }

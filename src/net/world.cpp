@@ -236,6 +236,8 @@ void World::schedule_crossing(util::NodeId id) {
         return;  // the arrival commit performs the final cell move
     }
     const std::uint32_t epoch = m.epoch;
+    // pqs-lint: fire-and-forget(epoch check orphans crossing events from a
+    // node's previous leg/life; World outlives the event queue it drains)
     simulator_.schedule_in(delay, [this, id, epoch] {
         const MotionState& s = motion_[id];
         if (epoch != s.epoch || !s.moving || !alive(id)) {

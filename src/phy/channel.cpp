@@ -24,6 +24,8 @@ void Channel::transmit(util::NodeId src, Frame frame, sim::Time duration) {
     if (auto it = radios_.find(src); it != radios_.end()) {
         Radio* tx_radio = it->second;
         tx_radio->begin_transmit();
+        // pqs-lint: fire-and-forget(radios register for the channel's whole
+        // lifetime; end_transmit just flips the carrier state back)
         simulator_.schedule_in(duration,
                                [tx_radio] { tx_radio->end_transmit(); });
     }
@@ -46,6 +48,8 @@ void Channel::transmit(util::NodeId src, Frame frame, sim::Time duration) {
         Radio* radio = it->second;
         radio->frame_begin(frame, power);
         const std::uint64_t frame_id = frame.frame_id;
+        // pqs-lint: fire-and-forget(frame_end is keyed by frame_id, so a
+        // stale event misses; radios outlive the channel's event horizon)
         simulator_.schedule_in(
             duration, [radio, frame_id] { radio->frame_end(frame_id); });
     }

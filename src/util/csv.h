@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "util/thread_annotations.h"
+
 namespace pqs::util {
 
 // Directory configured via PQS_CSV_DIR; empty means "export disabled".
@@ -96,9 +98,11 @@ private:
         return s.str();
     }
 
-    std::ofstream out_;
     std::mutex mutex_;
-    bool enabled_ = false;
+    // Written by row()/commit() from any trial thread; the header write in
+    // the constructor is exempt (no concurrent access can exist yet).
+    std::ofstream out_ PQS_GUARDED_BY(mutex_);
+    bool enabled_ = false;  // set once in the constructor, then read-only
 };
 
 }  // namespace pqs::util

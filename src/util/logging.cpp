@@ -7,6 +7,8 @@
 #include <mutex>
 #include <utility>
 
+#include "util/thread_annotations.h"
+
 namespace pqs::util {
 
 namespace {
@@ -17,6 +19,11 @@ std::atomic<LogLevel> g_level = [] {
 }();
 
 std::mutex g_log_mutex;
+
+// Every emitted line goes through this stream; worker threads log
+// concurrently, so both the pointer and the stream it designates are
+// serialized by g_log_mutex.
+std::ostream* g_sink PQS_GUARDED_BY(g_log_mutex) = &std::clog;
 
 // Per-thread virtual clock: each worker running a trial stamps its lines
 // with its own simulator's time.
@@ -39,6 +46,13 @@ LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void set_log_level(LogLevel level) {
     g_level.store(level, std::memory_order_relaxed);
+}
+
+std::ostream* set_log_sink(std::ostream* sink) {
+    const std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::ostream* previous = g_sink;
+    g_sink = sink != nullptr ? sink : &std::clog;
+    return previous;
 }
 
 LogLevel parse_log_level(const std::string& text) {
@@ -65,8 +79,8 @@ void emit(LogLevel level, const std::string& message) {
         std::snprintf(stamp, sizeof(stamp), " t=%.6fs", t_clock());
     }
     const std::lock_guard<std::mutex> lock(g_log_mutex);
-    std::clog << "[pqs:" << level_name(level) << stamp << "] " << message
-              << '\n';
+    *g_sink << "[pqs:" << level_name(level) << stamp << "] " << message
+            << '\n';
 }
 
 }  // namespace detail

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <functional>
+#include <iosfwd>
 #include <sstream>
 #include <string>
 
@@ -21,6 +22,11 @@ LogLevel log_level();
 void set_log_level(LogLevel level);
 // Parses "debug"/"info"/"warn"/"error"/"off"; unknown strings mean kOff.
 LogLevel parse_log_level(const std::string& text);
+
+// Redirects emitted lines (default: std::clog) and returns the previous
+// sink; the caller keeps `sink` alive until it is replaced again. Used by
+// tests to capture output.
+std::ostream* set_log_sink(std::ostream* sink);
 
 // Installs a thread-local virtual clock (returning seconds) for the guard's
 // lifetime; emitted lines gain a "t=<seconds>s" stamp. Nesting restores the

@@ -7,7 +7,35 @@
 #include <thread>
 #include <vector>
 
+#include "util/thread_annotations.h"
+
 namespace pqs::util {
+
+namespace {
+
+// Funnel for the first exception thrown by any worker (later ones are
+// dropped); the slot outlives the pool, and take() runs after join(), but
+// store() races between workers, hence the guarded pointer.
+class ErrorSlot {
+public:
+    void store(std::exception_ptr error) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (!first_) {
+            first_ = std::move(error);
+        }
+    }
+
+    std::exception_ptr take() {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return first_;
+    }
+
+private:
+    std::mutex mutex_;
+    std::exception_ptr first_ PQS_GUARDED_BY(mutex_);
+};
+
+}  // namespace
 
 std::size_t default_thread_count() {
     if (const char* env = std::getenv("PQS_THREADS")) {
@@ -39,8 +67,7 @@ void parallel_for(std::size_t count, std::size_t threads,
     }
 
     std::atomic<std::size_t> next{0};
-    std::mutex error_mutex;
-    std::exception_ptr first_error;
+    ErrorSlot errors;
 
     const auto worker = [&] {
         for (;;) {
@@ -51,10 +78,7 @@ void parallel_for(std::size_t count, std::size_t threads,
             try {
                 body(i);
             } catch (...) {
-                const std::lock_guard<std::mutex> lock(error_mutex);
-                if (!first_error) {
-                    first_error = std::current_exception();
-                }
+                errors.store(std::current_exception());
             }
         }
     };
@@ -68,8 +92,8 @@ void parallel_for(std::size_t count, std::size_t threads,
     for (std::thread& t : pool) {
         t.join();
     }
-    if (first_error) {
-        std::rethrow_exception(first_error);
+    if (std::exception_ptr first = errors.take()) {
+        std::rethrow_exception(first);
     }
 }
 

@@ -1,0 +1,21 @@
+// Thread-safety annotations checked by tools/pqs_lint (rule guarded-by).
+//
+// The macros expand to nothing — the container has no clang, so instead
+// of clang's -Wthread-safety attributes the pqs_lint analyzer enforces
+// them: a field marked PQS_GUARDED_BY(m) may only be touched while `m`
+// is held (a lock_guard/scoped_lock/unique_lock in scope, a manual
+// m.lock(), or a PQS_REQUIRES(m) contract on the enclosing function);
+// calls to a PQS_REQUIRES(m) function are checked the same way.
+// Constructors and destructors of the owning class are exempt (an object
+// under construction or destruction is single-threaded by definition).
+//
+//   class Counter {
+//       void bump() { std::lock_guard<std::mutex> lk(mu_); ++n_; }
+//       void bump_locked() PQS_REQUIRES(mu_) { ++n_; }
+//       std::mutex mu_;
+//       long n_ PQS_GUARDED_BY(mu_) = 0;
+//   };
+#pragma once
+
+#define PQS_GUARDED_BY(mutex)
+#define PQS_REQUIRES(mutex)

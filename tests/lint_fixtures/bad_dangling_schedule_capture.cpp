@@ -10,6 +10,9 @@ struct Sim {
 
 void drive(Sim& sim, std::function<void()>& op) {
     std::function<void()> launch = [] {};
+    // The discarded ids also violate event-lifetime: nothing could cancel
+    // these stragglers even if the caller wanted to.
+    // expect-lint: event-lifetime
     sim.schedule_in(10, [&launch] { launch(); });  // expect-lint: dangling-schedule-capture
     sim.schedule_in(20, [&] { launch(); });        // expect-lint: dangling-schedule-capture
     sim.schedule_in(30, [&op] { op(); });          // expect-lint: dangling-schedule-capture

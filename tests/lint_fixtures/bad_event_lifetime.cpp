@@ -1,0 +1,36 @@
+// Fixture: the PR 4/5 dangling-event class. An armed EventId with no
+// cancel() on any destructor path (or none at all) leaves the simulator
+// holding a callback into freed memory when the owner dies first.
+namespace sim {
+using EventId = long;
+struct Simulator {
+    EventId schedule_in(long delay, void (*fn)());
+    bool cancel(EventId id);
+};
+}  // namespace sim
+
+void fire();
+
+class Refresher {
+public:
+    explicit Refresher(sim::Simulator& simulator) : simulator_(simulator) {}
+    // No destructor: nothing can ever cancel timer_.
+    void arm() {
+        timer_ = simulator_.schedule_in(10, &fire);  // expect-lint: event-lifetime
+    }
+
+private:
+    sim::Simulator& simulator_;
+    sim::EventId timer_ = 0;
+};
+
+void kick(sim::Simulator& simulator) {
+    // Discarded id: uncancellable by construction.
+    simulator.schedule_in(5, &fire);  // expect-lint: event-lifetime
+}
+
+void local_leak(sim::Simulator& simulator) {
+    // Stored in a local that the function never cancels.
+    sim::EventId id = simulator.schedule_in(7, &fire);  // expect-lint: event-lifetime
+    (void)id;
+}

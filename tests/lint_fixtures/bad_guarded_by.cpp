@@ -1,0 +1,23 @@
+// Fixture: PQS_GUARDED_BY / PQS_REQUIRES violations — touching an
+// annotated field without its mutex, and calling a PQS_REQUIRES function
+// without holding the contract mutex.
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+class Counter {
+public:
+    void bump() {
+        ++hits_;  // expect-lint: guarded-by
+    }
+
+    void reset_locked() PQS_REQUIRES(mu_) { hits_ = 0; }
+
+    void wipe() {
+        reset_locked();  // expect-lint: guarded-by
+    }
+
+private:
+    std::mutex mu_;
+    long hits_ PQS_GUARDED_BY(mu_) = 0;
+};

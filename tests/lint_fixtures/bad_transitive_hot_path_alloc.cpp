@@ -1,0 +1,15 @@
+// Fixture: a hot-annotated function laundering heap traffic through a
+// helper. The direct rule (hot-path-alloc) cannot see it; the transitive
+// rule walks the call graph and reports the chain.
+#include <vector>
+
+std::vector<int> snapshot_ids() {
+    std::vector<int> out;  // expect-lint: transitive-hot-path-alloc
+    out.push_back(1);
+    return out;
+}
+
+// pqs-hot: called once per delivered packet.
+void deliver_one() {
+    (void)snapshot_ids();
+}

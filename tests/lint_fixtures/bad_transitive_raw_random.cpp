@@ -1,0 +1,14 @@
+// Fixture: raw entropy hiding in a helper reachable from trial code.
+// The direct rule flags the std::rand call; the transitive rule proves
+// trial code reaches it and reports the chain.
+#include <cstdlib>
+
+int jitter_ms() {
+    // expect-lint: raw-random
+    // expect-lint: transitive-raw-random
+    return std::rand() % 10;
+}
+
+void run_trial() {
+    (void)jitter_ms();
+}

@@ -1,0 +1,42 @@
+// Fixture: the three sanctioned event-ownership patterns — a field
+// cancelled on the destructor path, a local cancelled in the same
+// function, and a justified fire-and-forget annotation.
+namespace sim {
+using EventId = long;
+struct Simulator {
+    EventId schedule_in(long delay, void (*fn)());
+    bool cancel(EventId id);
+};
+}  // namespace sim
+
+void fire();
+
+class Refresher {
+public:
+    explicit Refresher(sim::Simulator& simulator) : simulator_(simulator) {}
+    ~Refresher() { stop(); }
+
+    void arm() { timer_ = simulator_.schedule_in(10, &fire); }
+
+    void stop() {
+        if (timer_ != 0) {
+            simulator_.cancel(timer_);
+            timer_ = 0;
+        }
+    }
+
+private:
+    sim::Simulator& simulator_;
+    sim::EventId timer_ = 0;
+};
+
+void bounded_wait(sim::Simulator& simulator) {
+    sim::EventId id = simulator.schedule_in(7, &fire);
+    simulator.cancel(id);
+}
+
+void heartbeat(sim::Simulator& simulator) {
+    // pqs-lint: fire-and-forget(self-contained tick touching only the
+    // simulator-owned world; firing after any owner dies is harmless)
+    simulator.schedule_in(5, &fire);
+}

@@ -1,0 +1,34 @@
+// Fixture: the sanctioned access patterns for PQS_GUARDED_BY state — a
+// RAII lock in scope, a manual lock()/unlock() pair, a PQS_REQUIRES
+// contract call made under the lock, and the constructor exemption.
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+class Counter {
+public:
+    Counter() { hits_ = 0; }  // single-threaded by construction: exempt
+
+    void bump() {
+        const std::lock_guard<std::mutex> lock(mu_);
+        ++hits_;
+    }
+
+    void bump_by(long n) {
+        const std::lock_guard<std::mutex> lock(mu_);
+        add_locked(n);
+    }
+
+    long total() {
+        mu_.lock();
+        const long t = hits_;
+        mu_.unlock();
+        return t;
+    }
+
+private:
+    void add_locked(long n) PQS_REQUIRES(mu_) { hits_ += n; }
+
+    std::mutex mu_;
+    long hits_ PQS_GUARDED_BY(mu_) = 0;
+};

@@ -16,5 +16,7 @@ struct State {
 void drive(Sim& sim) {
     auto state = std::make_shared<State>();
     state->launch = [] {};
+    // pqs-lint: fire-and-forget(the event owns its state via the shared_ptr
+    // capture; firing late is safe and cancelling is never required)
     sim.schedule_in(10, [state] { state->launch(); });
 }

@@ -1,0 +1,14 @@
+// Fixture: the pooled-buffer discipline — helpers reached from a
+// hot-annotated function append into caller-owned scratch instead of
+// constructing containers of their own.
+#include <vector>
+
+void snapshot_ids(std::vector<int>& out) {
+    out.push_back(1);
+}
+
+// pqs-hot: called once per delivered packet.
+void deliver_one(std::vector<int>& scratch) {
+    scratch.clear();
+    snapshot_ids(scratch);
+}

@@ -1,0 +1,15 @@
+// Fixture: the seeded-Rng discipline — helpers draw from a util::Rng
+// handed down the call chain, so every trial replays bit-for-bit.
+namespace util {
+struct Rng {
+    unsigned next();
+};
+}  // namespace util
+
+int jitter_ms(util::Rng& rng) {
+    return static_cast<int>(rng.next() % 10);
+}
+
+void run_trial(util::Rng& rng) {
+    (void)jitter_ms(rng);
+}

@@ -164,6 +164,25 @@ TEST_F(MacFixture, ShutdownDropsQueue) {
     EXPECT_TRUE(received[1].empty());
 }
 
+TEST_F(MacFixture, DestructionCancelsPendingAckTimer) {
+    build({{0.0, 0.0}, {120.0, 0.0}});
+    positions.kill(1);  // the ack can never arrive
+    macs[0]->send(data(1), [](bool) {});
+    // Step into the ack-wait window: first transmission done, and the only
+    // event left in the whole simulation is mac 0's ack timeout.
+    while (simulator.now() < sim::kSecond &&
+           !(macs[0]->tx_attempts() >= 1 &&
+             simulator.pending_events() == 1)) {
+        simulator.run_until(simulator.now() + 10 * sim::kMicrosecond);
+    }
+    ASSERT_EQ(simulator.pending_events(), 1u);
+    // Destroying the MAC mid-wait must cancel the timer; leaving it armed
+    // would fire a callback into freed memory.
+    macs[0].reset();
+    EXPECT_EQ(simulator.pending_events(), 0u);
+    simulator.run_until(5 * sim::kSecond);
+}
+
 TEST_F(MacFixture, FrameDurationScalesWithSize) {
     build({{0.0, 0.0}, {120.0, 0.0}});
     // Big frames take longer: measure ack time difference indirectly.

@@ -9,6 +9,17 @@
 namespace pqs::geom {
 namespace {
 
+// By-value convenience over the appending SpatialGrid::query. The grid
+// itself only exposes the out-param form so production callers cannot
+// allocate per query on the hot path.
+std::vector<util::NodeId> query(const SpatialGrid& grid, Vec2 center,
+                                double radius,
+                                util::NodeId exclude = util::kInvalidNode) {
+    std::vector<util::NodeId> out;
+    grid.query(center, radius, out, exclude);
+    return out;
+}
+
 std::vector<util::NodeId> brute_force(const std::vector<Vec2>& pts,
                                       Vec2 center, double radius,
                                       util::NodeId exclude, Metric metric,
@@ -37,17 +48,17 @@ TEST(SpatialGrid, InsertQueryRemove) {
     grid.insert(2, {50.0, 50.0});
     EXPECT_EQ(grid.size(), 3u);
 
-    auto near = grid.query({5.0, 5.0}, 5.0);
+    auto near = query(grid, {5.0, 5.0}, 5.0);
     std::sort(near.begin(), near.end());
     EXPECT_EQ(near, (std::vector<util::NodeId>{0, 1}));
 
-    near = grid.query({5.0, 5.0}, 5.0, /*exclude=*/0);
+    near = query(grid, {5.0, 5.0}, 5.0, /*exclude=*/0);
     EXPECT_EQ(near, (std::vector<util::NodeId>{1}));
 
     grid.remove(1);
     EXPECT_EQ(grid.size(), 2u);
     EXPECT_FALSE(grid.contains(1));
-    near = grid.query({5.0, 5.0}, 5.0);
+    near = query(grid, {5.0, 5.0}, 5.0);
     EXPECT_EQ(near, (std::vector<util::NodeId>{0}));
 }
 
@@ -69,8 +80,8 @@ TEST(SpatialGrid, MoveAcrossCells) {
     grid.insert(0, {5.0, 5.0});
     grid.move(0, {95.0, 95.0});
     EXPECT_EQ(grid.position(0).x, 95.0);
-    EXPECT_TRUE(grid.query({5.0, 5.0}, 8.0).empty());
-    EXPECT_EQ(grid.query({95.0, 95.0}, 8.0).size(), 1u);
+    EXPECT_TRUE(query(grid, {5.0, 5.0}, 8.0).empty());
+    EXPECT_EQ(query(grid, {95.0, 95.0}, 8.0).size(), 1u);
 }
 
 TEST(SpatialGrid, QueryMatchesBruteForcePlane) {
@@ -85,7 +96,7 @@ TEST(SpatialGrid, QueryMatchesBruteForcePlane) {
     for (int trial = 0; trial < 50; ++trial) {
         const Vec2 center{rng.uniform(0.0, side), rng.uniform(0.0, side)};
         const double radius = rng.uniform(1.0, 60.0);
-        auto got = grid.query(center, radius);
+        auto got = query(grid, center, radius);
         auto want = brute_force(pts, center, radius, util::kInvalidNode,
                                 Metric::kPlane, side);
         std::sort(got.begin(), got.end());
@@ -106,7 +117,7 @@ TEST(SpatialGrid, QueryMatchesBruteForceTorus) {
     for (int trial = 0; trial < 50; ++trial) {
         const Vec2 center{rng.uniform(0.0, side), rng.uniform(0.0, side)};
         const double radius = rng.uniform(1.0, 45.0);
-        auto got = grid.query(center, radius);
+        auto got = query(grid, center, radius);
         auto want = brute_force(pts, center, radius, util::kInvalidNode,
                                 Metric::kTorus, side);
         std::sort(got.begin(), got.end());
@@ -119,7 +130,7 @@ TEST(SpatialGrid, TorusWrapsAcrossBoundary) {
     SpatialGrid grid(100.0, 10.0, Metric::kTorus);
     grid.insert(0, {1.0, 50.0});
     grid.insert(1, {99.0, 50.0});
-    const auto near = grid.query({1.0, 50.0}, 5.0, 0);
+    const auto near = query(grid, {1.0, 50.0}, 5.0, 0);
     EXPECT_EQ(near, (std::vector<util::NodeId>{1}));
 }
 
@@ -128,7 +139,7 @@ TEST(SpatialGrid, SparseIdsSupported) {
     grid.insert(1000, {5.0, 5.0});
     EXPECT_TRUE(grid.contains(1000));
     EXPECT_FALSE(grid.contains(999));
-    EXPECT_EQ(grid.query({5.0, 5.0}, 1.0).front(), 1000u);
+    EXPECT_EQ(query(grid, {5.0, 5.0}, 1.0).front(), 1000u);
 }
 
 TEST(SpatialGridMove, SameCellUpdatesPositionWithoutCrossing) {
@@ -141,8 +152,8 @@ TEST(SpatialGridMove, SameCellUpdatesPositionWithoutCrossing) {
     EXPECT_EQ(grid.stats().grid_cell_crossings, 0u);
     // The updated position — not the insert-time one — must drive both
     // the distance test and the bucket lookup.
-    EXPECT_EQ(grid.query({9.5, 9.5}, 1.0).size(), 1u);
-    EXPECT_TRUE(grid.query({5.0, 5.0}, 1.0).empty());
+    EXPECT_EQ(query(grid, {9.5, 9.5}, 1.0).size(), 1u);
+    EXPECT_TRUE(query(grid, {5.0, 5.0}, 1.0).empty());
 }
 
 TEST(SpatialGridMove, CellBoundaryCrossings) {
@@ -151,7 +162,7 @@ TEST(SpatialGridMove, CellBoundaryCrossings) {
     // Cross the x boundary by a hair: cell (0,0) -> (1,0).
     grid.move(0, {10.0, 5.0});
     EXPECT_EQ(grid.stats().grid_cell_crossings, 1u);
-    EXPECT_EQ(grid.query({10.5, 5.0}, 1.0).size(), 1u);
+    EXPECT_EQ(query(grid, {10.5, 5.0}, 1.0).size(), 1u);
     // Exactly on the boundary going back below it.
     grid.move(0, {9.999, 5.0});
     EXPECT_EQ(grid.stats().grid_cell_crossings, 2u);
@@ -159,7 +170,7 @@ TEST(SpatialGridMove, CellBoundaryCrossings) {
     grid.move(0, {15.0, 15.0});
     EXPECT_EQ(grid.stats().grid_cell_crossings, 3u);
     EXPECT_EQ(grid.stats().grid_moves, 3u);
-    EXPECT_EQ(grid.query({15.0, 15.0}, 1.0).size(), 1u);
+    EXPECT_EQ(query(grid, {15.0, 15.0}, 1.0).size(), 1u);
     EXPECT_EQ(grid.size(), 1u);
 }
 
@@ -172,7 +183,7 @@ TEST(SpatialGridMove, CornerCellsAndClamping) {
                               Vec2{0.0, 100.0}, Vec2{100.0, 100.0}}) {
         grid.move(0, corner);
         EXPECT_EQ(grid.position(0).x, corner.x);
-        const auto near = grid.query(corner, 0.5);
+        const auto near = query(grid, corner, 0.5);
         ASSERT_EQ(near.size(), 1u) << "corner " << corner.x << ","
                                    << corner.y;
         EXPECT_EQ(near.front(), 0u);
@@ -181,7 +192,7 @@ TEST(SpatialGridMove, CornerCellsAndClamping) {
     // than indexing out of bounds (mobility integration can overshoot by
     // an epsilon before the waypoint model reflects).
     grid.move(0, {-0.25, 100.25});
-    EXPECT_EQ(grid.query({0.0, 100.0}, 1.0).size(), 1u);
+    EXPECT_EQ(query(grid, {0.0, 100.0}, 1.0).size(), 1u);
     EXPECT_EQ(grid.size(), 1u);
 }
 
@@ -194,17 +205,17 @@ TEST(SpatialGridMove, SwapRemoveKeepsCohabitantsConsistent) {
     grid.insert(11, {2.0, 2.0});
     grid.insert(12, {3.0, 3.0});
     grid.move(11, {55.0, 55.0});
-    auto near = grid.query({2.0, 2.0}, 5.0);
+    auto near = query(grid, {2.0, 2.0}, 5.0);
     std::sort(near.begin(), near.end());
     EXPECT_EQ(near, (std::vector<util::NodeId>{10, 12}));
     grid.move(11, {2.0, 2.0});
-    near = grid.query({2.0, 2.0}, 5.0);
+    near = query(grid, {2.0, 2.0}, 5.0);
     std::sort(near.begin(), near.end());
     EXPECT_EQ(near, (std::vector<util::NodeId>{10, 11, 12}));
     // And removing the node whose slot was fixed up must still unlink
     // cleanly (regression guard for stale Entry::slot).
     grid.remove(12);
-    near = grid.query({2.0, 2.0}, 5.0);
+    near = query(grid, {2.0, 2.0}, 5.0);
     std::sort(near.begin(), near.end());
     EXPECT_EQ(near, (std::vector<util::NodeId>{10, 11}));
 }
@@ -230,7 +241,7 @@ TEST(SpatialGridMove, RandomWalkMatchesBruteForce) {
         }
         const Vec2 center{rng.uniform(0.0, side), rng.uniform(0.0, side)};
         const double radius = rng.uniform(1.0, 30.0);
-        auto got = grid.query(center, radius);
+        auto got = query(grid, center, radius);
         auto want = brute_force(pts, center, radius, util::kInvalidNode,
                                 Metric::kPlane, side);
         std::sort(got.begin(), got.end());

@@ -99,6 +99,22 @@ TEST(World, HeartbeatPopulatesNeighborTables) {
     }
 }
 
+TEST(World, StackDestructionCancelsHeartbeat) {
+    WorldParams p = small_world();
+    p.oracle_neighbors = false;
+    World w(p);
+    // A stack created and destroyed outside the world's arena must not
+    // leave its heartbeat in the event queue: the callback captures `this`
+    // and would fire into freed memory.
+    const std::size_t before = w.simulator().pending_events();
+    {
+        NodeStack extra(w, 0, util::Rng(99));
+        extra.start();
+        EXPECT_EQ(w.simulator().pending_events(), before + 1);
+    }
+    EXPECT_EQ(w.simulator().pending_events(), before);
+}
+
 TEST(World, OracleNeighborsImmediate) {
     WorldParams p = small_world();
     p.oracle_neighbors = true;

@@ -1,0 +1,102 @@
+"""Content-hash incremental cache for pqs_lint.
+
+Per scanned file the cache stores the symbol-table model and the
+allow-filtered line-rule findings, keyed by the sha256 of the file's
+content. The whole cache is additionally keyed by a hash over the lint
+tool's own sources, so editing any rule invalidates everything. Flow
+rules are cheap (they run over the in-memory models) and are recomputed
+every run; the expensive work — tokenize + parse + line rules per file —
+is skipped for unchanged files, which is what makes the warm ctest gate
+fast.
+
+The cache lives in a single JSON file (default: build/pqs_lint_cache.json
+or wherever --cache-file points); a corrupt or version-skewed cache is
+silently discarded.
+"""
+
+import hashlib
+import json
+import os
+
+CACHE_VERSION = 2
+
+_TOOL_SOURCES = ("cpplex.py", "symtab.py", "callgraph.py", "flowrules.py",
+                 "linerules.py", "cache.py", "pqs_lint.py")
+
+
+def content_hash(data):
+    if isinstance(data, str):
+        data = data.encode("utf-8", "replace")
+    return hashlib.sha256(data).hexdigest()
+
+
+def tool_hash():
+    """sha256 over every lint tool source, in fixed order."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    h = hashlib.sha256()
+    for name in _TOOL_SOURCES:
+        path = os.path.join(here, name)
+        try:
+            with open(path, "rb") as f:
+                h.update(name.encode())
+                h.update(f.read())
+        except OSError:
+            h.update(b"missing:" + name.encode())
+    return h.hexdigest()
+
+
+class LintCache:
+    def __init__(self, path):
+        self.path = path
+        self.tool = tool_hash()
+        self.entries = {}
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self):
+        if not self.path:
+            return
+        try:
+            with open(self.path, "r", encoding="utf-8") as f:
+                data = json.load(f)
+            if (data.get("version") == CACHE_VERSION
+                    and data.get("tool") == self.tool):
+                self.entries = data.get("files", {})
+        except (OSError, ValueError):
+            pass
+
+    def get(self, rel, text_hash):
+        """Cached {model, line_findings} for `rel`, or None."""
+        entry = self.entries.get(rel)
+        if entry is not None and entry.get("hash") == text_hash:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def put(self, rel, text_hash, model, line_findings):
+        self.entries[rel] = {
+            "hash": text_hash,
+            "model": model,
+            "line_findings": line_findings,
+        }
+
+    def prune(self, live_rels):
+        """Drops entries for files no longer scanned."""
+        for rel in list(self.entries):
+            if rel not in live_rels:
+                del self.entries[rel]
+
+    def save(self):
+        if not self.path:
+            return
+        tmp = self.path + ".tmp"
+        try:
+            os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+            with open(tmp, "w", encoding="utf-8") as f:
+                json.dump({"version": CACHE_VERSION, "tool": self.tool,
+                           "files": self.entries}, f)
+            os.replace(tmp, self.path)
+        except OSError:
+            pass

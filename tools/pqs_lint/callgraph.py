@@ -1,0 +1,125 @@
+"""Cross-TU call graph over the per-file symbol tables.
+
+Resolution is name-based and deliberately over-approximate (no overload
+or template resolution): a call site `foo(...)` links to every project
+function named `foo` — except that when the caller is a member of class C
+and C itself defines `foo`, the call resolves to C::foo alone (the common
+`stop()` / `tick()` pattern where several classes share method names).
+
+Nodes are (file_index, function_index) pairs into the model list, so the
+graph stays cheap to rebuild from cached per-file models.
+"""
+
+import collections
+
+# Method names ubiquitous on STL containers/smart pointers. A call to one
+# of these resolves only within the caller's own class: cross-class
+# resolution would alias nearly every map/set/vector operation onto any
+# project class that happens to define the same name (e.g. a route-table
+# `.insert()` is not SpatialGrid::insert). The cost — missing a genuine
+# cross-class `grid_.insert(...)` edge — is the documented precision
+# tradeoff of name-based resolution.
+GENERIC_METHOD_NAMES = frozenset({
+    "insert", "erase", "find", "clear", "count", "at", "begin", "end",
+    "size", "empty", "reserve", "resize", "push_back", "emplace_back",
+    "emplace", "pop_back", "push", "pop", "front", "back", "top", "get",
+    "reset", "swap", "contains", "move", "lock", "unlock", "data",
+    "c_str", "append", "substr", "value", "has_value",
+})
+
+
+class CallGraph:
+    def __init__(self, models):
+        self.models = models
+        # Flat function table: node id -> (file_idx, fn dict)
+        self.nodes = []
+        self.by_name = collections.defaultdict(list)  # name -> [node ids]
+        self.by_qname = collections.defaultdict(list)
+        for fi, model in enumerate(models):
+            for fn in model["functions"]:
+                nid = len(self.nodes)
+                self.nodes.append((fi, fn))
+                self.by_name[fn["name"]].append(nid)
+                self.by_qname[fn["qname"]].append(nid)
+        # Merged class info across files (declaration in .h, dtor in .cpp).
+        self.classes = {}
+        for model in models:
+            for cls, info in model["classes"].items():
+                merged = self.classes.setdefault(cls, {
+                    "event_fields": [], "guarded": {}, "has_dtor": False})
+                for f in info["event_fields"]:
+                    if f not in merged["event_fields"]:
+                        merged["event_fields"].append(f)
+                merged["guarded"].update(info["guarded"])
+                merged["has_dtor"] = merged["has_dtor"] or info["has_dtor"]
+        self._edges = {}
+
+    def fn(self, nid):
+        return self.nodes[nid][1]
+
+    def file_of(self, nid):
+        return self.models[self.nodes[nid][0]]["path"]
+
+    def resolve_call(self, caller_nid, name):
+        """Node ids a call to `name` from `caller` may reach."""
+        candidates = self.by_name.get(name)
+        if not candidates:
+            return []
+        caller = self.fn(caller_nid)
+        cls = caller["cls"]
+        if cls:
+            same_cls = [nid for nid in candidates
+                        if self.fn(nid)["cls"] == cls]
+            if same_cls:
+                return same_cls
+        if name in GENERIC_METHOD_NAMES:
+            return []
+        return candidates
+
+    def callees(self, nid):
+        """Resolved callee node ids, with the call line that reaches each
+        (first call site wins). Cached per node."""
+        cached = self._edges.get(nid)
+        if cached is not None:
+            return cached
+        out = {}
+        for name, line, _held in self.fn(nid)["calls"]:
+            for target in self.resolve_call(nid, name):
+                if target != nid and target not in out:
+                    out[target] = line
+        self._edges[nid] = out
+        return out
+
+    def reachable(self, start_nid, max_depth):
+        """BFS closure. Returns {node id: (parent id or None, call line or
+        None)} including start, so callers can rebuild call chains."""
+        seen = {start_nid: (None, None)}
+        frontier = [start_nid]
+        depth = 0
+        while frontier and depth < max_depth:
+            depth += 1
+            nxt = []
+            for nid in frontier:
+                for target, line in self.callees(nid).items():
+                    if target not in seen:
+                        seen[target] = (nid, line)
+                        nxt.append(target)
+            frontier = nxt
+        return seen
+
+    def chain(self, seen, nid):
+        """Rebuilds the call chain root -> ... -> nid from a `reachable`
+        result as a list of {function, file, line} hops."""
+        hops = []
+        cur = nid
+        while cur is not None:
+            parent, _line = seen[cur]
+            fn = self.fn(cur)
+            hops.append({
+                "function": fn["qname"],
+                "file": self.file_of(cur),
+                "line": fn["line"],
+            })
+            cur = parent
+        hops.reverse()
+        return hops

@@ -1,0 +1,304 @@
+"""The four flow-aware rules built on the symbol tables and call graph.
+
+  event-lifetime
+      Every EventId returned by schedule_in/schedule_at must be owned:
+      stored in a member/field that some destructor path (destructor body
+      plus everything it transitively calls) cancel()s, or stored in a
+      local that the same function cancel()s, or explicitly annotated
+      `// pqs-lint: fire-and-forget(<why>)`. Discarded ids and
+      never-cancelled fields are the PR 3/4/5 dangling-event bug class.
+
+  transitive-hot-path-alloc
+      A `// pqs-hot` function must not reach heap construction through
+      helpers either: the PR 6 direct-only rule extended over the call
+      graph, reported as a call-chain trace.
+
+  transitive-raw-random
+      Raw entropy (std::rand, std::random_device, time(nullptr), srand)
+      reachable from trial code (any function defined under src/ or
+      bench/) breaks bit-for-bit determinism even when the entropy hides
+      in a helper; reported with the chain from trial code to the sink.
+
+  guarded-by
+      PQS_GUARDED_BY(m) fields (and file-scope globals) may only be
+      touched while m is held — a lock_guard/scoped_lock/unique_lock in
+      scope, a manual m.lock(), or a PQS_REQUIRES(m) contract on the
+      enclosing function. Constructors and destructors of the owning
+      class are exempt (single-threaded by construction). Calls to a
+      PQS_REQUIRES(m) function are checked the same way.
+
+Findings carry optional call-chain traces ({function, file, line} hops).
+"""
+
+HOT_DEPTH = 8
+ENTROPY_DEPTH = 10
+DTOR_DEPTH = 4
+
+RULE_EVENT_LIFETIME = "event-lifetime"
+RULE_TRANSITIVE_HOT = "transitive-hot-path-alloc"
+RULE_TRANSITIVE_RANDOM = "transitive-raw-random"
+RULE_GUARDED_BY = "guarded-by"
+
+FLOW_RULES = (RULE_EVENT_LIFETIME, RULE_TRANSITIVE_HOT,
+              RULE_TRANSITIVE_RANDOM, RULE_GUARDED_BY)
+
+
+def _finding(path, line, rule, message, chain=None):
+    out = {"file": path, "line": line, "rule": rule, "message": message}
+    if chain:
+        out["chain"] = chain
+    return out
+
+
+def _fmt_chain(chain):
+    return " -> ".join("%s (%s:%d)" % (h["function"], h["file"], h["line"])
+                       for h in chain)
+
+
+def _is_rng_exempt(path):
+    return path.startswith("src/util/rng.")
+
+
+def check_event_lifetime(graph, in_scope):
+    """in_scope: predicate(path) — which files get findings reported."""
+    findings = []
+
+    # Pass 1: the set of field names cancelled on some destructor path.
+    # Ownership is resolved by field *name* (the repo convention keeps
+    # event-id fields distinctly named); this tolerates the common
+    # indirection where the struct holding the id has no destructor of its
+    # own and an owning table/strategy destructor does the cancelling.
+    dtor_cancelled = set()
+    for nid, (_fi, fn) in enumerate(graph.nodes):
+        if not fn["is_dtor"] or fn["decl_only"]:
+            continue
+        seen = graph.reachable(nid, DTOR_DEPTH)
+        for reached in seen:
+            rfn = graph.fn(reached)
+            if rfn["has_cancel"]:
+                dtor_cancelled.update(rfn["cancel_idents"])
+
+    for nid, (_fi, fn) in enumerate(graph.nodes):
+        path = graph.file_of(nid)
+        if not in_scope(path) or fn["decl_only"]:
+            continue
+        for site in fn["schedules"]:
+            line = site["line"]
+            if site["ff"]:
+                if not site["ff_why"]:
+                    findings.append(_finding(
+                        path, line, RULE_EVENT_LIFETIME,
+                        "fire-and-forget annotation without a "
+                        "justification; write `// pqs-lint: "
+                        "fire-and-forget(<why this event cannot dangle>)`"))
+                continue
+            kind = site["kind"]
+            if kind == "returned":
+                continue  # the caller's storage site is checked instead
+            if kind == "discard":
+                findings.append(_finding(
+                    path, line, RULE_EVENT_LIFETIME,
+                    "EventId returned by schedule_in/schedule_at is "
+                    "discarded in %s; the event cannot be cancelled if "
+                    "its owner dies first — store it in a tracked field "
+                    "cancelled on the destructor path, or annotate "
+                    "`// pqs-lint: fire-and-forget(<why>)`" % fn["qname"]))
+                continue
+            target = site["target"]
+            if kind == "local":
+                if target in fn["cancel_args"]:
+                    continue
+                findings.append(_finding(
+                    path, line, RULE_EVENT_LIFETIME,
+                    "EventId stored in local '%s' in %s but never "
+                    "cancel()ed in the same function; a straggler "
+                    "outliving this scope cannot be reclaimed — cancel "
+                    "it, persist it in an owner, or annotate "
+                    "`// pqs-lint: fire-and-forget(<why>)`"
+                    % (target, fn["qname"])))
+                continue
+            # member / field
+            if target in dtor_cancelled:
+                continue
+            owners = [cls for cls, info in graph.classes.items()
+                      if target in info["event_fields"]]
+            owner_note = ""
+            if owners:
+                with_dtor = [c for c in owners
+                             if graph.classes[c]["has_dtor"]]
+                if with_dtor:
+                    owner_note = ("; %s has a destructor but no path from "
+                                  "it cancels '%s'"
+                                  % ("/".join(sorted(with_dtor)), target))
+                else:
+                    owner_note = ("; owning %s has no destructor at all"
+                                  % "/".join("class %s" % c
+                                             for c in sorted(owners)))
+            findings.append(_finding(
+                path, line, RULE_EVENT_LIFETIME,
+                "event field '%s' is armed in %s but never cancel()ed on "
+                "any destructor path%s — a %s destroyed with the event "
+                "pending leaves a dangling callback (the PR 4/5 bug "
+                "class)" % (target, fn["qname"], owner_note,
+                            owners[0] if owners else "owner")))
+    return findings
+
+
+def check_transitive_hot_alloc(graph, in_scope):
+    findings = []
+    reported = set()
+    for nid, (_fi, fn) in enumerate(graph.nodes):
+        if not fn["is_hot"] or not in_scope(graph.file_of(nid)):
+            continue
+        seen = graph.reachable(nid, HOT_DEPTH)
+        for reached in seen:
+            if reached == nid:
+                continue  # direct allocs are the line rule's job
+            rfn = graph.fn(reached)
+            if rfn["is_hot"] or not rfn["allocs"]:
+                continue
+            rpath = graph.file_of(reached)
+            if not in_scope(rpath):
+                continue  # graph-only file (tests/): context, not target
+            for what, line in rfn["allocs"]:
+                key = (fn["qname"], rfn["qname"], line)
+                if key in reported:
+                    continue
+                reported.add(key)
+                chain = graph.chain(seen, reached)
+                findings.append(_finding(
+                    rpath, line, RULE_TRANSITIVE_HOT,
+                    "heap construction '%s' in %s is reachable from "
+                    "// pqs-hot %s via %s — hot paths must not launder "
+                    "allocations through helpers; use a pooled buffer or "
+                    "hoist the allocation" % (what, rfn["qname"],
+                                              fn["qname"],
+                                              _fmt_chain(chain)),
+                    chain=chain))
+    return findings
+
+
+def check_transitive_raw_random(graph, in_scope):
+    # Entropy sinks: functions whose body touches a raw entropy source.
+    sinks = {}
+    for nid, (_fi, fn) in enumerate(graph.nodes):
+        path = graph.file_of(nid)
+        if fn["entropy"] and in_scope(path) and not _is_rng_exempt(path):
+            sinks[nid] = fn["entropy"]
+    if not sinks:
+        return []
+
+    findings = []
+    reported = set()
+    for nid, (_fi, fn) in enumerate(graph.nodes):
+        path = graph.file_of(nid)
+        if not (path.startswith("src/") or path.startswith("bench/")):
+            continue
+        if not in_scope(path) or fn["decl_only"]:
+            continue
+        seen = graph.reachable(nid, ENTROPY_DEPTH)
+        for sink_nid, entropy in sinks.items():
+            if sink_nid not in seen or sink_nid == nid:
+                continue
+            sfn = graph.fn(sink_nid)
+            for what, line in entropy:
+                key = (sfn["qname"], line)
+                if key in reported:
+                    continue
+                reported.add(key)
+                chain = graph.chain(seen, sink_nid)
+                findings.append(_finding(
+                    graph.file_of(sink_nid), line, RULE_TRANSITIVE_RANDOM,
+                    "raw entropy '%s' in %s is reachable from trial code "
+                    "via %s — all randomness must flow from a seeded "
+                    "util::Rng passed down the chain" %
+                    (what, sfn["qname"], _fmt_chain(chain)),
+                    chain=chain))
+    return findings
+
+
+def check_guarded_by(graph, in_scope):
+    findings = []
+    # Per-file globals with guards.
+    global_guards = {}  # path -> {name: mutex}
+    for model in graph.models:
+        if model["globals"]:
+            global_guards[model["path"]] = {
+                name: info["guarded_by"]
+                for name, info in model["globals"].items()}
+    # REQUIRES contracts merged over declarations and definitions.
+    requires_by_qname = {}
+    for _fi, fn in graph.nodes:
+        if fn["requires"]:
+            requires_by_qname.setdefault(fn["qname"], set()).update(
+                fn["requires"])
+
+    def fn_requires(fn):
+        return requires_by_qname.get(fn["qname"], set())
+
+    for nid, (_fi, fn) in enumerate(graph.nodes):
+        path = graph.file_of(nid)
+        if fn["decl_only"] or not in_scope(path):
+            continue
+        cls_guarded = graph.classes.get(fn["cls"], {}).get("guarded", {}) \
+            if fn["cls"] else {}
+        file_guarded = global_guards.get(path, {})
+        held_via_contract = fn_requires(fn)
+
+        for name, line, held in fn["member_uses"]:
+            mutex = cls_guarded.get(name) or file_guarded.get(name)
+            if mutex is None:
+                continue
+            if fn["is_ctor"] or fn["is_dtor"]:
+                continue  # single-threaded by construction
+            if mutex in held or mutex in held_via_contract:
+                continue
+            findings.append(_finding(
+                path, line, RULE_GUARDED_BY,
+                "'%s' is PQS_GUARDED_BY(%s) but %s accesses it without "
+                "holding %s — take a lock_guard or annotate the function "
+                "PQS_REQUIRES(%s)" % (name, mutex, fn["qname"], mutex,
+                                      mutex)))
+
+        # Calls into PQS_REQUIRES functions must hold the contract mutex.
+        for name, line, held in fn["calls"]:
+            for target in graph.resolve_call(nid, name):
+                tfn = graph.fn(target)
+                need = fn_requires(tfn)
+                if not need:
+                    continue
+                # Mutex names are only meaningful on the same object:
+                # check same-class calls and same-file free functions.
+                same_cls = tfn["cls"] and tfn["cls"] == fn["cls"]
+                same_file_free = not tfn["cls"] and \
+                    graph.file_of(target) == path
+                if not (same_cls or same_file_free):
+                    continue
+                if fn["is_ctor"] or fn["is_dtor"]:
+                    continue
+                missing = [m for m in sorted(need)
+                           if m not in held and
+                           m not in held_via_contract]
+                if missing:
+                    findings.append(_finding(
+                        path, line, RULE_GUARDED_BY,
+                        "%s calls %s, which is PQS_REQUIRES(%s), without "
+                        "holding %s" % (fn["qname"], tfn["qname"],
+                                        ", ".join(sorted(need)),
+                                        "/".join(missing))))
+                break  # one report per call site
+    return findings
+
+
+def run_flow_rules(models, in_scope):
+    """Runs all four rules; returns (findings, per_rule_timings_getter is
+    handled by the caller timing each entry)."""
+    from callgraph import CallGraph
+    graph = CallGraph(models)
+    out = {}
+    out[RULE_EVENT_LIFETIME] = check_event_lifetime(graph, in_scope)
+    out[RULE_TRANSITIVE_HOT] = check_transitive_hot_alloc(graph, in_scope)
+    out[RULE_TRANSITIVE_RANDOM] = check_transitive_raw_random(graph,
+                                                              in_scope)
+    out[RULE_GUARDED_BY] = check_guarded_by(graph, in_scope)
+    return graph, out

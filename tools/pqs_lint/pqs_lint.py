@@ -1,550 +1,414 @@
 #!/usr/bin/env python3
-"""pqs_lint — project-specific C++ lint rules for the pqs simulator.
+"""pqs_lint — project-specific flow-aware static analysis for the pqs
+simulator.
 
 Generic tools (clang-tidy, sanitizers) cannot express the repo's own
-correctness contracts, so this checker enforces them statically:
+correctness contracts, so this checker enforces them statically. It runs
+in passes:
 
-  held-ref-across-send
-      A reference / pointer / handle obtained from an OpTable (ops_.find /
-      ops_.open), or a reference derived from it (e.g. `OpState& state =
-      entry->state`), must not be used after a reentrant network call
-      (send_routed / send_unicast / send_broadcast / send / deliver) in the
-      same scope: those calls can deliver synchronously, resolve the op and
-      erase the entry (the PR 1 use-after-free class). Re-find() after the
-      call instead.
+  1. tokenize       cpplex.py — comment/raw-string/pp-safe token stream
+  2. symbol tables  symtab.py — per-file functions, classes, fields,
+                    schedule/cancel/alloc/entropy/lock facts
+  3. call graph     callgraph.py — cross-TU, name-based, over-approximate
+  4. rules          linerules.py (the per-file rules from PR 2-6) and
+                    flowrules.py (the flow-aware rules), reported with
+                    call-chain traces where a chain explains the finding
 
-  raw-random
-      All randomness must flow from util::Rng (seeded, reproducible).
-      std::rand / srand / std::random_device / time(nullptr) are banned
-      outside src/util/rng.* — any of them silently breaks bit-for-bit
-      determinism of experiments.
+Line rules: held-ref-across-send, raw-random, unordered-output,
+raw-stdout, dangling-schedule-capture, raw-timestamp, hot-path-alloc.
 
-  unordered-output
-      Iterating a std::unordered_{map,set,...} directly into stdout/CSV
-      output produces rows whose order depends on hash seeding and layout;
-      published series must be byte-identical across runs and machines.
-      Copy into a sorted container first.
+Flow rules: event-lifetime (every armed EventId must be cancelled on its
+owner's destructor path or annotated fire-and-forget), transitive
+hot-path-alloc, transitive-raw-random, guarded-by (PQS_GUARDED_BY /
+PQS_REQUIRES thread-safety annotations).
 
-  raw-stdout
-      No raw std::cout / printf in src/ outside the logging util
-      (src/util/logging.*): simulation output must go through the leveled
-      logger or an explicit FILE*/CsvWriter sink chosen by the caller.
+Scanning covers src/, bench/, and tools/ (tests/ is parsed into the call
+graph but only reported on request); raw-stdout and raw-timestamp stay
+src/-scoped by design. Suppression: `// pqs-lint: allow(<rule>)` on the
+line, `// pqs-lint: fire-and-forget(<why>)` on a schedule call, or a
+justified entry in tools/pqs_lint/baseline.json.
 
-  dangling-schedule-capture
-      A lambda passed to schedule_in / schedule_at must not capture a
-      stack-local (or reference-parameter) std::function by reference:
-      the event outlives the enclosing scope whenever the driver loop
-      exits early (deadline, abort), and the straggler then calls through
-      a dangling reference (the scenario-driver use-after-scope class).
-      Move the continuation into shared-owned state captured by value.
-
-  raw-timestamp
-      Simulation and measurement code must use virtual time
-      (sim::Simulator::now() / sim::Time) — wall-clock reads
-      (std::chrono::*_clock::now, clock_gettime, gettimeofday, ...) make
-      latency metrics depend on host speed and break determinism. Only
-      src/sim/ and src/obs/ may touch clocks; deliberate wall-clock perf
-      measurement elsewhere (src/exp's events/s reporting) carries an
-      explicit allow().
-
-  hot-path-alloc
-      A function annotated `// pqs-hot` (per-event / per-lookup hot path:
-      link tx fan-out, alive-set sampling) must not construct a
-      std::vector or std::string, nor call std::make_unique /
-      std::make_shared, in its body: per-call heap traffic at n=100k
-      dominates the event loop. Reuse a pooled buffer (acquire_ids /
-      BlockPool / World::new_packet) or hoist the allocation out of the
-      hot function.
-
-Suppress a finding with `// pqs-lint: allow(<rule-id>)` on the same line.
-
-Usage:
-  pqs_lint.py [--root REPO_ROOT] [files...]
-With no files, lints every .h/.cpp under REPO_ROOT/src. Exit code 1 when
-violations are found.
+Per-file work (tokenize + parse + line rules) is cached by content hash
+(--cache-file); flow rules re-run over the cached models, so a no-change
+rerun touches no file twice.
 """
 
 import argparse
+import json
 import os
-import re
 import sys
+import time
 
-RULE_HELD_REF = "held-ref-across-send"
-RULE_RAW_RANDOM = "raw-random"
-RULE_UNORDERED_OUTPUT = "unordered-output"
-RULE_RAW_STDOUT = "raw-stdout"
-RULE_DANGLING_SCHEDULE = "dangling-schedule-capture"
-RULE_RAW_TIMESTAMP = "raw-timestamp"
-RULE_HOT_ALLOC = "hot-path-alloc"
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-ALL_RULES = (RULE_HELD_REF, RULE_RAW_RANDOM, RULE_UNORDERED_OUTPUT,
-             RULE_RAW_STDOUT, RULE_DANGLING_SCHEDULE, RULE_RAW_TIMESTAMP,
-             RULE_HOT_ALLOC)
+import cache as cache_mod          # noqa: E402
+import callgraph                   # noqa: E402
+import flowrules                   # noqa: E402
+import linerules                   # noqa: E402
+import symtab                      # noqa: E402
 
-# Calls that can synchronously re-enter the location service and resolve
-# (erase) a pending op while the caller still holds a table reference.
-REENTRANT_CALLS = ("send_routed", "send_unicast", "send_broadcast",
-                   "deliver", "send")
+from linerules import LINE_RULES   # noqa: E402
+from flowrules import FLOW_RULES   # noqa: E402
 
-REENTRANT_RE = re.compile(
-    r"\b(?:%s)\s*\(" % "|".join(REENTRANT_CALLS))
+ALL_RULES = LINE_RULES + FLOW_RULES
 
-# `auto entry = ops_.find(op)` / `auto& entry = ops_.open(...)` /
-# `Entry* e = table.ops_.find(...)`; the initializer may start on the next
-# line, which strip-and-join below flattens away.
-OPTABLE_BIND_RE = re.compile(
-    r"(?:\bauto\b\s*[&*]?|\b[A-Za-z_][\w:]*(?:<[^;=]*>)?\s*[&*])\s*"
-    r"(\w+)\s*=\s*[\w.\->]*\bops_?\.\s*(?:find|open)\s*\(")
+# Soft per-rule wall-time budget for the ctest gate (1-core container);
+# overruns are reported on stderr so regressions are visible in CI logs.
+RULE_BUDGET_MS = 2000.0
 
-# A reference derived from a held entry: `OpState& state = entry->state;`
-DERIVED_REF_RE = re.compile(
-    r"\b[A-Za-z_][\w:]*&\s+(\w+)\s*=\s*(\w+)\s*(?:->|\.)\s*state\b")
-
-REASSIGN_TEMPLATE = r"\b%s\s*=\s*[\w.\->]*\bops_?\.\s*(?:find|open)\s*\("
-
-RAW_RANDOM_RE = re.compile(
-    r"\bstd::rand\b|\bsrand\s*\(|\brand\s*\(\s*\)|std::random_device\b"
-    r"|\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)")
-
-UNORDERED_DECL_RE = re.compile(
-    r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<[^;{]*>\s*"
-    r"(\w+)\s*[;={(]")
-
-RANGE_FOR_RE = re.compile(r"\bfor\s*\([^:;()]*:\s*([\w.\->]+)\s*\)")
-
-OUTPUT_SINK_RE = re.compile(
-    r"std::cout\b|\bprintf\s*\(|\bfprintf\s*\(|\bputs\s*\(|\.row\s*\("
-    r"|RowBuffer\b|CsvWriter\b|\bcsv\w*\s*(?:\.|->)")
-
-RAW_STDOUT_RE = re.compile(r"std::cout\b|(?<![\w:])(?:std::)?printf\s*\(|"
-                           r"(?<![\w:])puts\s*\(")
-
-# std::function declared as a local or bound/taken by reference; either
-# way the object lives on some enclosing stack frame, so a scheduled event
-# ref-capturing it can dangle.
-STD_FUNCTION_NAME_RE = re.compile(
-    r"\bstd\s*::\s*function\s*<[^;{}]*>\s*&?\s*(\w+)\s*[;=,)]")
-
-SCHEDULE_CALL_RE = re.compile(r"\bschedule_(?:in|at)\s*\(")
-
-LAMBDA_CAPTURE_RE = re.compile(r"\[([^\[\]]*)\]")
-
-RAW_TIMESTAMP_RE = re.compile(
-    r"std\s*::\s*chrono\s*::\s*"
-    r"(?:steady_clock|system_clock|high_resolution_clock)\b"
-    r"|\b\w*[Cc]lock\s*::\s*now\s*\("
-    r"|\bclock_gettime\s*\(|\bgettimeofday\s*\(|\btimespec_get\s*\(")
-
-ALLOW_RE = re.compile(r"//\s*pqs-lint:\s*allow\(([\w,\s-]+)\)")
-
-# `// pqs-hot` marks the function definition that follows (annotation on
-# or above the signature); its body is scanned for per-call heap traffic.
-HOT_ANNOT_RE = re.compile(r"//\s*pqs-hot\b")
-
-# Heap construction inside a hot body: a by-value vector/string local or
-# temporary (a `>&`/`>*` parameter or return type does not match), or a
-# make_unique / make_shared call.
-HOT_ALLOC_RE = re.compile(
-    r"\bstd\s*::\s*vector\s*<[^;{}&*]*>\s*\w+\s*[;({=]"
-    r"|\bstd\s*::\s*vector\s*<[^;{}&*]*>\s*\{"
-    r"|\bstd\s*::\s*string\s+\w+\s*[;({=]"
-    r"|\bstd\s*::\s*make_unique\s*<"
-    r"|\bstd\s*::\s*make_shared\s*<")
+SCAN_DIRS = ("src", "bench", "tools")
+GRAPH_ONLY_DIRS = ("tests",)
+CPP_EXTS = (".h", ".cpp", ".hpp", ".cc")
 
 
 class Violation:
-    def __init__(self, path, line, rule, message):
+    def __init__(self, path, line, rule, message, chain=None):
         self.path = path
         self.line = line
         self.rule = rule
         self.message = message
+        self.chain = chain
 
     def __str__(self):
         return "%s:%d: [%s] %s" % (self.path, self.line, self.rule,
                                    self.message)
 
-
-def parse_allows(raw_lines):
-    """Per-line set of suppressed rule ids from `// pqs-lint: allow(...)`."""
-    allows = {}
-    for i, line in enumerate(raw_lines):
-        m = ALLOW_RE.search(line)
-        if m:
-            allows[i] = {r.strip() for r in m.group(1).split(",")}
-    return allows
-
-
-def strip_comments_and_strings(text):
-    """Blanks comments and string/char literal contents, preserving line
-    structure so reported line numbers stay exact."""
-    out = []
-    i = 0
-    n = len(text)
-    state = None  # None | 'line' | 'block' | '"' | "'"
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state is None:
-            if c == "/" and nxt == "/":
-                state = "line"
-                out.append("  ")
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                state = "block"
-                out.append("  ")
-                i += 2
-                continue
-            if c in "\"'":
-                state = c
-                out.append(c)
-                i += 1
-                continue
-            out.append(c)
-        elif state == "line":
-            if c == "\n":
-                state = None
-                out.append(c)
-            else:
-                out.append(" ")
-        elif state == "block":
-            if c == "*" and nxt == "/":
-                state = None
-                out.append("  ")
-                i += 2
-                continue
-            out.append(c if c == "\n" else " ")
-        else:  # inside a string/char literal
-            if c == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            if c == state:
-                state = None
-                out.append(c)
-            elif c == "\n":  # unterminated (raw string etc.) — bail out
-                state = None
-                out.append(c)
-            else:
-                out.append(" ")
-        i += 1
-    return "".join(out)
-
-
-def join_continuations(lines):
-    """Maps each physical line to a 'logical' line: a declaration whose
-    initializer starts on the following line(s) is folded into one string
-    for pattern matching, keyed by the first physical line."""
-    logical = []
-    for i, line in enumerate(lines):
-        text = line
-        j = i
-        # Fold while the line looks unfinished (ends with '=' or '(' or ',')
-        while (j + 1 < len(lines)
-               and re.search(r"[=,(]\s*$", text)
-               and len(text) < 2000):
-            j += 1
-            text = text + " " + lines[j].strip()
-        logical.append(text)
-    return logical
-
-
-class HeldRefChecker:
-    """Flow-approximate scope tracker for rule held-ref-across-send."""
-
-    class Taint:
-        def __init__(self, depth, cond_scoped):
-            self.depth = depth
-            self.cond_scoped = cond_scoped
-            self.went_deeper = False
-            self.barrier_line = None
-
-    def __init__(self, path, violations):
-        self.path = path
-        self.violations = violations
-        self.taints = {}
-        self.depth = 0
-
-    def check_line(self, lineno, line, logical):
-        # 1. Re-binds clear the barrier: a fresh find() after the send is
-        #    exactly the sanctioned pattern.
-        for var in list(self.taints):
-            if re.search(REASSIGN_TEMPLATE % re.escape(var), logical):
-                self.taints[var] = self.Taint(
-                    self.depth, bool(re.match(r"\s*(?:if|while|for)\s*\(",
-                                              logical)))
-
-        # 2. Uses after a barrier.
-        for var, taint in self.taints.items():
-            if taint.barrier_line is None or lineno <= taint.barrier_line:
-                continue
-            if re.search(r"\b%s\b" % re.escape(var), line):
-                self.violations.append(Violation(
-                    self.path, lineno + 1, RULE_HELD_REF,
-                    "'%s' (OpTable entry state bound at line %d) used after "
-                    "the reentrant call at line %d; the entry may have been "
-                    "resolved and erased — re-find() the op instead"
-                    % (var, taint.decl_line + 1, taint.barrier_line + 1)))
-                taint.barrier_line = None  # one report per var
-
-        # 3. New binds.
-        m = OPTABLE_BIND_RE.search(logical)
-        if m:
-            taint = self.Taint(self.depth,
-                               bool(re.match(r"\s*(?:if|while|for)\s*\(",
-                                             logical)))
-            taint.decl_line = lineno
-            self.taints[m.group(1)] = taint
-        dm = DERIVED_REF_RE.search(logical)
-        if dm and dm.group(2) in self.taints:
-            taint = self.Taint(self.depth, False)
-            taint.decl_line = lineno
-            self.taints[dm.group(1)] = taint
-
-        # 4. Barriers: any reentrant call arms every live taint declared on
-        #    an earlier line (same-line uses are argument evaluation, safe).
-        if REENTRANT_RE.search(line):
-            for var, taint in self.taints.items():
-                if taint.barrier_line is None and taint.decl_line < lineno:
-                    taint.barrier_line = lineno
-
-        # 5. Scope bookkeeping.
-        self.depth += line.count("{") - line.count("}")
-        for var in list(self.taints):
-            taint = self.taints[var]
-            if self.depth > taint.depth:
-                taint.went_deeper = True
-            dead = (self.depth < taint.depth
-                    or (taint.cond_scoped and taint.went_deeper
-                        and self.depth <= taint.depth))
-            if dead:
-                del self.taints[var]
-
-
-class DanglingScheduleChecker:
-    """Scope tracker for rule dangling-schedule-capture: std::function
-    objects living on some stack frame (locals, members of local structs,
-    or (reference) parameters) whose names are ref-captured by a lambda
-    handed to schedule_in/schedule_at. The scheduled event can outlive the
-    enclosing scope whenever the driver loop exits early, at which point
-    the straggler calls through a dangling reference."""
-
-    def __init__(self, path, violations):
-        self.path = path
-        self.violations = violations
-        self.funcs = {}  # name -> (decl depth, decl line)
-        self.depth = 0
-
-    def check_line(self, lineno, line, logical):
-        # 1. New std::function declarations/parameters on this line.
-        for m in STD_FUNCTION_NAME_RE.finditer(logical):
-            if m.group(1) not in self.funcs:
-                self.funcs[m.group(1)] = (self.depth, lineno)
-
-        # 2. schedule_in/schedule_at calls whose lambda ref-captures a
-        #    tracked std::function. Only lines that *start* the call are
-        #    examined (the logical join pulls in continuation lines).
-        if SCHEDULE_CALL_RE.search(line):
-            sm = SCHEDULE_CALL_RE.search(logical)
-            rest = logical[sm.end():]
-            cm = LAMBDA_CAPTURE_RE.search(rest)
-            if cm:
-                caps = [c.strip() for c in cm.group(1).split(",")
-                        if c.strip()]
-                default_ref = "&" in caps
-                body = rest[cm.end():]
-                for name, (_d, decl) in self.funcs.items():
-                    explicit = any(re.fullmatch(r"&\s*%s" % re.escape(name),
-                                                c) for c in caps)
-                    implicit = default_ref and re.search(
-                        r"\b%s\b" % re.escape(name), body)
-                    if explicit or implicit:
-                        self.violations.append(Violation(
-                            self.path, lineno + 1, RULE_DANGLING_SCHEDULE,
-                            "scheduled event captures stack-local "
-                            "std::function '%s' (declared line %d) by "
-                            "reference; a straggler firing after the "
-                            "enclosing scope returns calls through a "
-                            "dangling reference — move the continuation "
-                            "into shared-owned state captured by value"
-                            % (name, decl + 1)))
-
-        # 3. Scope bookkeeping: names die when their scope closes.
-        self.depth += line.count("{") - line.count("}")
-        for name in list(self.funcs):
-            if self.depth < self.funcs[name][0]:
-                del self.funcs[name]
-
-
-def lint_file(path, rel, violations):
-    with open(path, "r", encoding="utf-8", errors="replace") as f:
-        raw = f.read()
-    raw_lines = raw.split("\n")
-    allows = parse_allows(raw_lines)
-    stripped = strip_comments_and_strings(raw)
-    lines = stripped.split("\n")
-    logical = join_continuations(lines)
-
-    def allowed(lineno, rule):
-        return rule in allows.get(lineno, ())
-
-    def report(lineno, rule, message):
-        if not allowed(lineno, rule):
-            violations.append(Violation(path, lineno + 1, rule, message))
-
-    norm = rel.replace(os.sep, "/")
-    in_src = norm.startswith("src/")
-    is_rng_util = norm.startswith("src/util/rng.")
-    is_log_util = norm.startswith("src/util/logging.")
-
-    # --- held-ref-across-send (everywhere) ---
-    held = HeldRefChecker(path, [])
-    for i, line in enumerate(lines):
-        held.check_line(i, line, logical[i])
-    for v in held.violations:
-        if not allowed(v.line - 1, RULE_HELD_REF):
-            violations.append(v)
-
-    # --- dangling-schedule-capture (everywhere) ---
-    dangle = DanglingScheduleChecker(path, [])
-    for i, line in enumerate(lines):
-        dangle.check_line(i, line, logical[i])
-    for v in dangle.violations:
-        if not allowed(v.line - 1, RULE_DANGLING_SCHEDULE):
-            violations.append(v)
-
-    # --- raw-random ---
-    if not is_rng_util:
-        for i, line in enumerate(lines):
-            m = RAW_RANDOM_RE.search(line)
-            if m:
-                report(i, RULE_RAW_RANDOM,
-                       "'%s' breaks deterministic seeding; use util::Rng "
-                       "(src/util/rng.h) instead" % m.group(0).strip())
-
-    # --- unordered-output ---
-    unordered_vars = set()
-    for i, line in enumerate(lines):
-        for m in UNORDERED_DECL_RE.finditer(line):
-            unordered_vars.add(m.group(1))
-    for i, line in enumerate(lines):
-        fm = RANGE_FOR_RE.search(line)
-        if not fm:
-            continue
-        seq = fm.group(1)
-        tail = re.split(r"\.|->", seq)[-1]
-        if tail not in unordered_vars:
-            continue
-        # Scan the loop body (up to the matching close of the loop's brace
-        # depth, or the single following statement).
-        depth = 0
-        opened = False
-        for j in range(i, min(i + 60, len(lines))):
-            body = lines[j]
-            if OUTPUT_SINK_RE.search(body) and not allowed(
-                    i, RULE_UNORDERED_OUTPUT):
-                report(i, RULE_UNORDERED_OUTPUT,
-                       "iteration over unordered container '%s' feeds "
-                       "output; hash order is nondeterministic — sort "
-                       "first" % tail)
-                break
-            depth += body.count("{") - body.count("}")
-            if body.count("{") > 0:
-                opened = True
-            if opened and depth <= 0 and j > i:
-                break
-            if not opened and j > i and body.strip().endswith(";"):
-                break
-
-    # --- raw-stdout (src/ only, logging util exempt) ---
-    if in_src and not is_log_util:
-        for i, line in enumerate(lines):
-            m = RAW_STDOUT_RE.search(line)
-            if m:
-                report(i, RULE_RAW_STDOUT,
-                       "raw '%s' in src/; route output through the logging "
-                       "util (PQS_INFO/...) or an explicit FILE*/CsvWriter "
-                       "sink" % m.group(0).strip().rstrip("("))
-
-    # --- hot-path-alloc (bodies of // pqs-hot annotated functions) ---
-    # The annotation lives in a comment, so it is found in the raw lines;
-    # the body scan runs over the stripped ones.
-    for start, raw_line in enumerate(raw_lines):
-        if not HOT_ANNOT_RE.search(raw_line):
-            continue
-        depth = 0
-        entered = False
-        for j in range(start, min(start + 500, len(lines))):
-            body = lines[j]
-            if not entered and "{" not in body:
-                continue
-            entered = True
-            for m in HOT_ALLOC_RE.finditer(body):
-                report(j, RULE_HOT_ALLOC,
-                       "heap construction '%s' inside a // pqs-hot "
-                       "function (annotated line %d); reuse a pooled "
-                       "buffer (acquire_ids / BlockPool / new_packet) or "
-                       "hoist it out of the hot path"
-                       % (m.group(0).strip().rstrip("(;{=").strip(),
-                          start + 1))
-            depth += body.count("{") - body.count("}")
-            if depth <= 0:
-                break
-
-    # --- raw-timestamp (src/ only; the time sources themselves exempt) ---
-    if in_src and not norm.startswith(("src/sim/", "src/obs/")):
-        for i, line in enumerate(lines):
-            m = RAW_TIMESTAMP_RE.search(line)
-            if m:
-                report(i, RULE_RAW_TIMESTAMP,
-                       "wall-clock read '%s' outside src/sim//src/obs/; "
-                       "use sim::Simulator::now() virtual time (explicit "
-                       "perf measurement needs an allow())"
-                       % m.group(0).strip().rstrip("("))
+    def to_json(self):
+        out = {"file": self.path.replace(os.sep, "/"), "line": self.line,
+               "rule": self.rule, "message": self.message}
+        if self.chain:
+            out["chain"] = self.chain
+        return out
 
 
 def collect_default_files(root):
-    out = []
-    src = os.path.join(root, "src")
-    for base, _dirs, names in os.walk(src):
-        for name in sorted(names):
-            if name.endswith((".h", ".cpp", ".hpp", ".cc")):
-                out.append(os.path.join(base, name))
-    return sorted(out)
+    """(scan files, graph-only files), both as root-relative paths."""
+    scan, graph_only = [], []
+    for top, sink in ((SCAN_DIRS, scan), (GRAPH_ONLY_DIRS, graph_only)):
+        for d in top:
+            base_dir = os.path.join(root, d)
+            for base, dirs, names in os.walk(base_dir):
+                # Fixtures contain deliberate violations and must not
+                # pollute the project call graph.
+                dirs[:] = [x for x in sorted(dirs)
+                           if x != "lint_fixtures"]
+                for name in sorted(names):
+                    if name.endswith(CPP_EXTS):
+                        sink.append(os.path.relpath(
+                            os.path.join(base, name), root))
+    return scan, graph_only
+
+
+def load_baseline(path):
+    """Baseline entries: [{rule, file, contains?, why}]. `why` is
+    mandatory — an unexplained suppression is itself an error."""
+    if not path or not os.path.exists(path):
+        return []
+    with open(path, "r", encoding="utf-8") as f:
+        entries = json.load(f)
+    for i, e in enumerate(entries):
+        for key in ("rule", "file", "why"):
+            if not e.get(key):
+                raise SystemExit(
+                    "pqs_lint: baseline entry %d lacks required key '%s'"
+                    % (i, key))
+    return entries
+
+
+def baseline_match(entry, v):
+    if entry["rule"] != v.rule:
+        return False
+    if entry["file"] != v.path.replace(os.sep, "/"):
+        return False
+    contains = entry.get("contains")
+    return not contains or contains in v.message
+
+
+class FileRecord:
+    __slots__ = ("rel", "norm", "model", "line_findings", "allows",
+                 "scanned")
+
+    def __init__(self, rel, norm, model, line_findings, allows, scanned):
+        self.rel = rel
+        self.norm = norm
+        self.model = model
+        self.line_findings = line_findings
+        self.allows = allows
+        self.scanned = scanned
+
+
+def process_file(root, rel, scanned, cache, timings_ms, stats):
+    """Loads one file, via cache when possible. Returns a FileRecord."""
+    path = os.path.join(root, rel)
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    norm = rel.replace(os.sep, "/")
+    # Allow lines are re-parsed every run (cheap) so flow-rule findings
+    # can honour them even on cache hits.
+    allows = linerules.parse_allows(text.split("\n"))
+
+    h = cache_mod.content_hash(text) if cache else None
+    if cache:
+        entry = cache.get(norm, h)
+        if entry is not None and (not scanned
+                                  or entry["line_findings"] is not None):
+            stats["cached"] += 1
+            return FileRecord(rel, norm, entry["model"],
+                              entry["line_findings"] or [], allows,
+                              scanned)
+
+    stats["parsed"] += 1
+    line_findings = None
+    if scanned:
+        prep = linerules.Prep(text)
+        line_findings = linerules.run_line_rules(norm, prep, timings_ms)
+    t0 = time.monotonic()
+    model = symtab.build_model(norm, text)
+    timings_ms["symtab"] = timings_ms.get("symtab", 0.0) + \
+        (time.monotonic() - t0) * 1e3
+    if cache:
+        cache.put(norm, h, model, line_findings)
+    return FileRecord(rel, norm, model, line_findings or [], allows,
+                      scanned)
+
+
+def run(root, scan_rels, graph_rels, cache, timings_ms):
+    """Full analysis. Returns (violations, stats)."""
+    stats = {"parsed": 0, "cached": 0,
+             "files_scanned": len(scan_rels),
+             "files_graph_only": len(graph_rels)}
+
+    records = []
+    for rel in scan_rels:
+        records.append(process_file(root, rel, True, cache, timings_ms,
+                                    stats))
+    for rel in graph_rels:
+        records.append(process_file(root, rel, False, cache, timings_ms,
+                                    stats))
+
+    violations = []
+    allows_by_file = {}
+    scan_set = set()
+    for rec in records:
+        allows_by_file[rec.norm] = rec.allows
+        if rec.scanned:
+            scan_set.add(rec.norm)
+            for f in rec.line_findings:
+                violations.append(Violation(rec.rel, f["line"], f["rule"],
+                                            f["message"]))
+
+    # Flow rules over the whole-project call graph.
+    t0 = time.monotonic()
+    graph = callgraph.CallGraph([rec.model for rec in records])
+    timings_ms["callgraph"] = (time.monotonic() - t0) * 1e3
+
+    def in_scope(path):
+        return path in scan_set
+
+    flow_checks = (
+        (flowrules.RULE_EVENT_LIFETIME, flowrules.check_event_lifetime),
+        (flowrules.RULE_TRANSITIVE_HOT,
+         flowrules.check_transitive_hot_alloc),
+        (flowrules.RULE_TRANSITIVE_RANDOM,
+         flowrules.check_transitive_raw_random),
+        (flowrules.RULE_GUARDED_BY, flowrules.check_guarded_by),
+    )
+    for rule, check in flow_checks:
+        t0 = time.monotonic()
+        for f in check(graph, in_scope):
+            allowed = f["rule"] in allows_by_file.get(
+                f["file"], {}).get(f["line"] - 1, ())
+            if allowed:
+                continue
+            violations.append(Violation(f["file"], f["line"], f["rule"],
+                                        f["message"], f.get("chain")))
+        timings_ms[rule] = timings_ms.get(rule, 0.0) + \
+            (time.monotonic() - t0) * 1e3
+
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return violations, stats
+
+
+def lint_one(path, rel):
+    """Lints one file standalone (line + flow rules, single-file call
+    graph). Used by the fixture harness."""
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    norm = rel.replace(os.sep, "/")
+    allows = linerules.parse_allows(text.split("\n"))
+    prep = linerules.Prep(text)
+    violations = [Violation(rel, f["line"], f["rule"], f["message"])
+                  for f in linerules.run_line_rules(norm, prep)]
+    model = symtab.build_model(norm, text)
+    graph = callgraph.CallGraph([model])
+    for _rule, check in (
+            ("", flowrules.check_event_lifetime),
+            ("", flowrules.check_transitive_hot_alloc),
+            ("", flowrules.check_transitive_raw_random),
+            ("", flowrules.check_guarded_by)):
+        for f in check(graph, lambda p: True):
+            if f["rule"] in allows.get(f["line"] - 1, ()):
+                continue
+            violations.append(Violation(f["file"], f["line"], f["rule"],
+                                        f["message"], f.get("chain")))
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return violations
+
+
+def lint_file(path, rel, violations):
+    """Back-compat shim (PR 2 API): append Violations for one file."""
+    violations.extend(lint_one(path, rel))
+
+
+def emit_timings(timings_ms, stream):
+    for rule in sorted(timings_ms):
+        ms = timings_ms[rule]
+        over = "  ** OVER BUDGET **" if ms > RULE_BUDGET_MS else ""
+        print("pqs-lint timing: %-28s %8.1f ms (budget %.0f ms)%s"
+              % (rule, ms, RULE_BUDGET_MS, over), file=stream)
 
 
 def main(argv=None):
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = argparse.ArgumentParser(
+        description="project-specific flow-aware C++ lint")
     parser.add_argument("--root", default=".",
                         help="repository root (default: cwd)")
     parser.add_argument("--treat-as-src", action="store_true",
-                        help="apply the src/-scoped rules (raw-stdout) to "
-                             "explicitly listed files regardless of path; "
-                             "used by the fixture tests")
+                        help="apply the src/-scoped rules (raw-stdout, "
+                             "raw-timestamp) to explicitly listed files "
+                             "regardless of path; used by fixture tests")
+    parser.add_argument("--cache-file", default=None,
+                        help="JSON incremental cache path (content-hash "
+                             "keyed; skips re-parsing unchanged files)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    parser.add_argument("--out", default=None,
+                        help="write the report here instead of stdout")
+    parser.add_argument("--json-out", default=None,
+                        help="also write the JSON report here (schema "
+                             "pqs_lint/1), independent of --format")
+    parser.add_argument("--timings", action="store_true",
+                        help="print per-rule wall time to stderr")
+    parser.add_argument("--max-seconds", type=float, default=None,
+                        help="fail if the whole run exceeds this budget")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline suppression file (default: "
+                             "baseline.json beside this script)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline file")
     parser.add_argument("files", nargs="*",
-                        help="explicit files to lint (default: ROOT/src/**)")
+                        help="explicit files to lint (default: whole "
+                             "project: src/ bench/ tools/, with tests/ "
+                             "feeding the call graph)")
     args = parser.parse_args(argv)
 
+    t_start = time.monotonic()
     root = os.path.abspath(args.root)
-    files = [os.path.abspath(f) for f in args.files] or \
-        collect_default_files(root)
 
-    violations = []
-    for path in files:
-        rel = os.path.relpath(path, root)
-        if args.treat_as_src and not rel.replace(os.sep, "/").startswith(
-                "src/"):
-            rel = os.path.join("src", os.path.basename(path))
-        lint_file(path, rel, violations)
+    baseline_path = args.baseline or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "baseline.json")
+    baseline = [] if args.no_baseline else load_baseline(baseline_path)
 
-    for v in violations:
-        print(v)
-    if violations:
-        print("pqs_lint: %d violation(s) in %d file(s)"
-              % (len(violations), len({v.path for v in violations})))
-        return 1
-    print("pqs_lint: clean (%d files)" % len(files))
-    return 0
+    cache = cache_mod.LintCache(args.cache_file) if args.cache_file \
+        else None
+    timings_ms = {}
+
+    if args.files:
+        # Explicit file list: each file is linted standalone (line rules
+        # + single-file flow rules); the cache is not consulted.
+        violations = []
+        for f in args.files:
+            path = os.path.abspath(f)
+            rel = os.path.relpath(path, root)
+            if args.treat_as_src and not rel.replace(
+                    os.sep, "/").startswith("src/"):
+                rel = os.path.join("src", os.path.basename(f))
+            violations.extend(lint_one(path, rel))
+        violations.sort(key=lambda v: (v.path, v.line, v.rule))
+        stats = {"parsed": len(args.files), "cached": 0,
+                 "files_scanned": len(args.files), "files_graph_only": 0}
+    else:
+        scan_rels, graph_rels = collect_default_files(root)
+        violations, stats = run(root, scan_rels, graph_rels, cache,
+                                timings_ms)
+        if cache:
+            cache.prune({r.replace(os.sep, "/")
+                         for r in scan_rels + graph_rels})
+            cache.save()
+            stats["cache_hits"] = cache.hits
+            stats["cache_misses"] = cache.misses
+
+    # Baseline filtering, tracking which entries still match something.
+    if baseline:
+        used = [False] * len(baseline)
+        kept = []
+        for v in violations:
+            hit = False
+            for i, entry in enumerate(baseline):
+                if baseline_match(entry, v):
+                    used[i] = True
+                    hit = True
+                    break
+            if not hit:
+                kept.append(v)
+        violations = kept
+        for i, entry in enumerate(baseline):
+            if not used[i]:
+                print("pqs_lint: warning: stale baseline entry %d "
+                      "(%s in %s) matches nothing — delete it"
+                      % (i, entry["rule"], entry["file"]),
+                      file=sys.stderr)
+
+    elapsed = time.monotonic() - t_start
+    # On a warm-cache run the line rules never execute (their findings
+    # come from the cache), so make the zero cost explicit rather than
+    # dropping their timing entries.
+    for rule in ALL_RULES:
+        timings_ms.setdefault(rule, 0.0)
+    timings_ms["total"] = elapsed * 1e3
+    if args.timings:
+        emit_timings(timings_ms, sys.stderr)
+
+    doc = {
+        "version": 1,
+        "tool": "pqs_lint",
+        "rules": list(ALL_RULES),
+        "stats": stats,
+        "timings_ms": {k: round(v, 2) for k, v in timings_ms.items()},
+        "findings": [v.to_json() for v in violations],
+    }
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as jf:
+            json.dump(doc, jf, indent=2)
+            jf.write("\n")
+
+    sink = open(args.out, "w", encoding="utf-8") if args.out \
+        else sys.stdout
+    try:
+        if args.format == "json":
+            json.dump(doc, sink, indent=2)
+            sink.write("\n")
+        else:
+            for v in violations:
+                print(v, file=sink)
+            if violations:
+                print("pqs_lint: %d violation(s) in %d file(s)"
+                      % (len(violations),
+                         len({v.path for v in violations})), file=sink)
+            else:
+                print("pqs_lint: clean (%d files scanned, %d parsed, "
+                      "%d cached, %.2fs)"
+                      % (stats["files_scanned"], stats["parsed"],
+                         stats["cached"], elapsed), file=sink)
+    finally:
+        if args.out:
+            sink.close()
+
+    if args.max_seconds is not None and elapsed > args.max_seconds:
+        print("pqs_lint: FAIL — run took %.2fs (budget %.2fs)"
+              % (elapsed, args.max_seconds), file=sys.stderr)
+        return 2
+    return 1 if violations else 0
 
 
 if __name__ == "__main__":
