@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Regenerates the perf baselines at the repo root:
-#   BENCH_kernel.json — kernel micro/e2e benches (pqs.bench_kernel/1)
-#   BENCH_scale.json  — n=100k live-churn scale bench (pqs.bench_scale/1)
+#   BENCH_kernel.json    — kernel micro/e2e benches (pqs.bench_kernel/1)
+#   BENCH_scale.json     — n=100k live-churn scale bench (pqs.bench_scale/1)
+#   BENCH_byzantine.json — b-masking failure-rate sweep vs the closed-form
+#                          bound + the end-to-end adversary scenario
+#                          (pqs.bench_byzantine/1)
 # Run it on the machine whose numbers you want to record (the committed
 # baselines come from the 1-core CI container), then commit the refreshed
 # files together with a README "Performance" note when the numbers move
@@ -21,18 +24,22 @@ JOBS=$(nproc 2>/dev/null || echo 2)
 MODE="${1:-full}"
 
 cmake -B build -S "$ROOT" >/dev/null
-cmake --build build -j "$JOBS" --target bench_kernel --target bench_scale
+cmake --build build -j "$JOBS" --target bench_kernel --target bench_scale \
+  --target bench_byzantine
 
 case "$MODE" in
   full)
     ./build/bench/bench_kernel --out BENCH_kernel.json
     ./build/bench/bench_scale --out BENCH_scale.json
+    ./build/bench/bench_byzantine --out BENCH_byzantine.json
     ;;
   smoke)
     ./build/bench/bench_kernel --smoke --out BENCH_kernel.json
     ./build/bench/bench_scale --smoke --out BENCH_scale.json
+    ./build/bench/bench_byzantine --smoke --out BENCH_byzantine.json
     ;;
   *) echo "usage: scripts/bench.sh [full|smoke]" >&2; exit 2 ;;
 esac
 
-python3 scripts/check_bench_json.py BENCH_kernel.json BENCH_scale.json
+python3 scripts/check_bench_json.py BENCH_kernel.json BENCH_scale.json \
+  BENCH_byzantine.json

@@ -19,6 +19,15 @@ pqs.bench_scale/1 (BENCH_scale.json):
     the scale-path liveness counters (grid_cell_crossings,
     packet_pool_reuses, calendar_pushes) strictly positive.
 
+pqs.bench_byzantine/1 (BENCH_byzantine.json):
+  - mode in {smoke, full}; non-empty mc.sweep and e2e.sweep lists;
+  - every mc point: quorum_size > b, bound in (0, 1], trials > 0, and
+    measured_rate <= bound + ci_halfwidth (the measured masking-failure
+    rate must track the closed-form b-masking bound);
+  - the b = 0 mc point exists (the Corollary 5.3 reduction anchor);
+  - every e2e point: rates in [0, 1], mrw_load in (0, 1]; tampered == 0
+    at b == 0 and tampered > 0 at b > 0.
+
 A broken bench emitter (or a hand-edited baseline) fails scripts/check.sh
 instead of silently corrupting the bench trajectory.
 
@@ -129,9 +138,94 @@ def check_kernel(path, doc):
     return errors
 
 
+def check_byzantine(path, doc):
+    errors = 0
+    if doc.get("mode") not in ("smoke", "full"):
+        errors += fail(path, "mode must be 'smoke' or 'full' (got %r)"
+                       % doc.get("mode"))
+
+    mc = doc.get("mc")
+    if not isinstance(mc, dict):
+        return errors + fail(path, "mc must be an object")
+    sweep = mc.get("sweep")
+    if not isinstance(sweep, list) or not sweep:
+        return errors + fail(path, "mc.sweep must be a non-empty list")
+    trials = mc.get("trials")
+    if not isinstance(trials, int) or trials <= 0:
+        errors += fail(path, "mc.trials must be a positive integer")
+    saw_b0 = False
+    for i, pt in enumerate(sweep):
+        where = "mc.sweep[%d]" % i
+        if not isinstance(pt, dict):
+            errors += fail(path, where + " is not an object")
+            continue
+        b = pt.get("b")
+        q = pt.get("quorum_size")
+        bound = pt.get("bound")
+        measured = pt.get("measured_rate")
+        ci = pt.get("ci_halfwidth")
+        if not isinstance(b, int) or b < 0:
+            errors += fail(path, where + ".b must be a non-negative int")
+            continue
+        saw_b0 = saw_b0 or b == 0
+        if not isinstance(q, int) or q <= b:
+            errors += fail(path, where + ".quorum_size must be an int > b")
+        if not isinstance(bound, (int, float)) or not 0 < bound <= 1:
+            errors += fail(path, where + ".bound must be in (0, 1]")
+            continue
+        if (not isinstance(measured, (int, float))
+                or not isinstance(ci, (int, float))
+                or measured < 0 or ci <= 0):
+            errors += fail(path, where + " needs measured_rate >= 0 and "
+                           "ci_halfwidth > 0")
+            continue
+        if measured > bound + ci:
+            errors += fail(path, "%s: measured masking-failure rate %g "
+                           "exceeds the closed-form bound %g (+%g CI) — "
+                           "the theory and the measurement diverged"
+                           % (where, measured, bound, ci))
+    if not saw_b0:
+        errors += fail(path, "mc.sweep has no b = 0 point (the Corollary "
+                       "5.3 reduction anchor)")
+
+    e2e = doc.get("e2e")
+    if not isinstance(e2e, dict):
+        return errors + fail(path, "e2e must be an object")
+    e2e_sweep = e2e.get("sweep")
+    if not isinstance(e2e_sweep, list) or not e2e_sweep:
+        return errors + fail(path, "e2e.sweep must be a non-empty list")
+    for i, pt in enumerate(e2e_sweep):
+        where = "e2e.sweep[%d]" % i
+        if not isinstance(pt, dict):
+            errors += fail(path, where + " is not an object")
+            continue
+        b = pt.get("b")
+        if not isinstance(b, int) or b < 0:
+            errors += fail(path, where + ".b must be a non-negative int")
+            continue
+        for key in ("hit_ratio", "inconclusive_rate"):
+            value = pt.get(key)
+            if not isinstance(value, (int, float)) or not 0 <= value <= 1:
+                errors += fail(path, "%s.%s must be in [0, 1]"
+                               % (where, key))
+        load = pt.get("mrw_load")
+        if not isinstance(load, (int, float)) or not 0 < load <= 1:
+            errors += fail(path, where + ".mrw_load must be in (0, 1]")
+        tampered = pt.get("tampered")
+        if not isinstance(tampered, (int, float)) or tampered < 0:
+            errors += fail(path, where + ".tampered must be >= 0")
+        elif b == 0 and tampered != 0:
+            errors += fail(path, where + ": replies tampered at b = 0")
+        elif b > 0 and tampered == 0:
+            errors += fail(path, where + ": adversary never tampered a "
+                           "reply at b > 0")
+    return errors
+
+
 SCHEMAS = {
     "pqs.bench_kernel/1": check_kernel,
     "pqs.bench_scale/1": check_scale,
+    "pqs.bench_byzantine/1": check_byzantine,
 }
 
 

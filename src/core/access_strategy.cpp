@@ -17,8 +17,7 @@ LoadSummary summarize_load(const ServiceContext& ctx) {
     double sum_sq = 0.0;
     std::size_t count = 0;
     ctx.world.alive_set().for_each([&](util::NodeId id) {
-        const double x =
-            id < ctx.load.size() ? static_cast<double>(ctx.load[id]) : 0.0;
+        const double x = static_cast<double>(ctx.load.touches(id));
         sum += x;
         sum_sq += x * x;
         summary.max = std::max(summary.max, x);
@@ -33,6 +32,10 @@ LoadSummary summarize_load(const ServiceContext& ctx) {
     summary.cv = summary.mean > 0.0
                      ? std::sqrt(std::max(0.0, var)) / summary.mean
                      : 0.0;
+    if (ctx.load.accesses() > 0) {
+        summary.mrw_load =
+            summary.max / static_cast<double>(ctx.load.accesses());
+    }
     return summary;
 }
 

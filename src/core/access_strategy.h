@@ -8,6 +8,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "core/load_accountant.h"
 #include "core/metrics.h"
 #include "core/quorum_spec.h"
 #include "core/reply_path.h"
@@ -53,9 +54,10 @@ struct ServiceContext {
     sim::Time op_timeout = 30 * sim::kSecond;
     RetryPolicy retry;
     std::vector<LocalStore> stores;
-    // §3 "Load": how many quorum requests each node has served (as an
-    // advertise-quorum member storing, or a lookup-quorum member checking).
-    std::vector<std::uint64_t> load;
+    // §3 "Load" / MRW: per-node quorum-service counts and the top-level
+    // access count, from which the L(S) = max access probability estimate
+    // falls out (see core/load_accountant.h).
+    LoadAccountant load;
 
     explicit ServiceContext(net::World& w) : world(w) {}
 
@@ -67,10 +69,8 @@ struct ServiceContext {
     }
 
     void count_load(util::NodeId id) {
-        if (id >= load.size()) {
-            load.resize(id + 1, 0);
-        }
-        ++load[id];
+        load.count_touch(id);
+        ++world.app_stats().quorum_loads_counted;
     }
 };
 
@@ -79,6 +79,8 @@ struct LoadSummary {
     double max = 0.0;
     // Coefficient of variation (stddev/mean): 0 = perfectly balanced.
     double cv = 0.0;
+    // MRW load L(S): the busiest alive node's touches over total accesses.
+    double mrw_load = 0.0;
 };
 
 // Load statistics over the currently-alive nodes.

@@ -9,6 +9,49 @@ constexpr std::uint32_t kAdvertiseTag = 1;
 constexpr std::uint32_t kLookupTag = 2;
 }  // namespace
 
+VoteOutcome vote_values(const std::vector<Value>& values, std::size_t b) {
+    VoteOutcome outcome;
+    std::unordered_map<Value, std::size_t> tally;
+    for (const Value v : values) {
+        ++tally[v];
+    }
+    outcome.distinct = tally.size();
+    bool first = true;
+    for (const auto& [value, votes] : tally) {
+        // Order-independent winner: more votes wins, smaller value breaks
+        // ties — the unordered iteration order never shows.
+        if (first || votes > outcome.winner_votes ||
+            (votes == outcome.winner_votes && value < outcome.winner)) {
+            outcome.winner = value;
+            outcome.winner_votes = votes;
+            first = false;
+        }
+    }
+    outcome.outvoted = values.size() - outcome.winner_votes;
+    outcome.conclusive = outcome.winner_votes > b;
+    return outcome;
+}
+
+void BiquorumSystem::apply_vote(AccessResult& r, util::NodeId origin,
+                                obs::TraceId trace) const {
+    if (!r.ok) {
+        return;  // a miss/timeout stays a miss — nothing to vote on
+    }
+    const VoteOutcome vote = vote_values(r.values, spec_.byzantine_b);
+    r.winner_votes = vote.winner_votes;
+    if (vote.conclusive) {
+        r.value = vote.winner;
+        obs::record(trace, obs::EventKind::kVoteWin, origin,
+                    vote.winner_votes, vote.outvoted);
+        return;
+    }
+    r.ok = false;
+    r.inconclusive = true;
+    r.value.reset();
+    obs::record(trace, obs::EventKind::kVoteInconclusive, origin,
+                vote.distinct, r.values.size());
+}
+
 BiquorumSystem::BiquorumSystem(net::World& world, BiquorumSpec spec,
                                membership::MembershipService* membership)
     : spec_(spec), ctx_(world), router_(world) {
@@ -74,6 +117,7 @@ double BiquorumSystem::intersection_guarantee() const {
 
 void BiquorumSystem::advertise(util::NodeId origin, util::Key key,
                                Value value, AccessCallback done) {
+    ctx_.load.count_access();
     const obs::TraceId trace = obs::maybe_new_trace();
     obs::record(trace, obs::EventKind::kSpanBegin, origin,
                 static_cast<std::uint64_t>(AccessKind::kAdvertise), key);
@@ -83,6 +127,7 @@ void BiquorumSystem::advertise(util::NodeId origin, util::Key key,
 
 void BiquorumSystem::lookup(util::NodeId origin, util::Key key,
                             AccessCallback done) {
+    ctx_.load.count_access();
     const obs::TraceId trace = obs::maybe_new_trace();
     obs::record(trace, obs::EventKind::kSpanBegin, origin,
                 static_cast<std::uint64_t>(AccessKind::kLookup), key);
@@ -126,7 +171,13 @@ void BiquorumSystem::access_with_retry(AccessKind kind, util::NodeId origin,
     strategy.access(
         kind, origin, key, value, trace,
         [this, kind, origin, key, value, trace, first_issue, attempt,
-         done = std::move(done)](const AccessResult& r) mutable {
+         done = std::move(done)](const AccessResult& raw) mutable {
+            AccessResult r = raw;
+            if (kind == AccessKind::kLookup && spec_.byzantine_b > 0) {
+                // Vote before the retry decision: an inconclusive attempt
+                // is retried like any other failure.
+                apply_vote(r, origin, trace);
+            }
             const RetryPolicy& policy = ctx_.retry;
             if (!r.ok && attempt < policy.max_attempts &&
                 ctx_.world.alive(origin)) {

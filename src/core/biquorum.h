@@ -14,6 +14,20 @@
 
 namespace pqs::core {
 
+// Outcome of b-masking value voting over a lookup's collected replies.
+struct VoteOutcome {
+    bool conclusive = false;  // some value got > b concurring replies
+    Value winner = 0;
+    std::size_t winner_votes = 0;
+    std::size_t outvoted = 0;  // replies not concurring with the winner
+    std::size_t distinct = 0;  // distinct values seen
+};
+
+// Tallies reply values; the winner needs strictly more than b votes to
+// mask up to b forged replies (ties broken toward the smaller value so
+// the outcome is deterministic regardless of reply order).
+VoteOutcome vote_values(const std::vector<Value>& values, std::size_t b);
+
 class BiquorumSystem {
 public:
     // `membership` may be null when neither strategy is RANDOM-based.
@@ -56,6 +70,13 @@ private:
                            util::Key key, Value value, obs::TraceId trace,
                            sim::Time first_issue, AccessCallback done,
                            int attempt);
+
+    // b-masking post-processing of one lookup attempt (byzantine_b > 0):
+    // keeps the result only if some value got > b concurring replies,
+    // else marks it inconclusive (which the retry policy treats like any
+    // other failed attempt).
+    void apply_vote(AccessResult& r, util::NodeId origin,
+                    obs::TraceId trace) const;
 
     BiquorumSpec spec_;
     ServiceContext ctx_;

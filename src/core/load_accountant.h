@@ -1,0 +1,47 @@
+// Per-node access-load accounting in the Malkhi-Reiter-Wool framework
+// ("The Load and Availability of Byzantine Quorum Systems"): the load
+// L(S) a strategy induces is the access probability of the busiest node.
+// The accountant tracks, per node, how many quorum requests it served
+// (touches) and how many top-level accesses were issued overall, so
+// L(S) is estimated as max_i touches(i)/accesses. Touch increments are
+// mirrored into KernelStats (quorum_loads_counted) by ServiceContext.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace pqs::core {
+
+class LoadAccountant {
+public:
+    // One top-level quorum access (advertise or lookup) was issued.
+    void count_access() { ++accesses_; }
+
+    // Node `id` served a quorum request (stored an advertise, answered or
+    // checked a lookup).
+    void count_touch(util::NodeId id) {
+        if (id >= touches_.size()) {
+            touches_.resize(id + 1, 0);
+        }
+        ++touches_[id];
+    }
+
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t touches(util::NodeId id) const {
+        return id < touches_.size() ? touches_[id] : 0;
+    }
+    const std::vector<std::uint64_t>& touch_table() const { return touches_; }
+
+    // MRW load estimate: the empirical access probability of the busiest
+    // node, max_i touches(i)/accesses. 0 before any access.
+    double max_access_probability() const;
+
+private:
+    std::vector<std::uint64_t> touches_;
+    std::uint64_t accesses_ = 0;
+};
+
+}  // namespace pqs::core

@@ -31,6 +31,12 @@ struct AccessResult {
     // resolution — end to end across retries, backoff delays included.
     sim::Time latency = 0;
     bool timed_out = false;
+    // b-masking value voting (BiquorumSpec::byzantine_b > 0): the lookup
+    // got replies but no value reached > b concurring votes, so nothing
+    // can be trusted; ok is false and value is cleared.
+    bool inconclusive = false;
+    // Replies that concurred with the returned value (0 when not voting).
+    std::size_t winner_votes = 0;
     // How many access attempts this result reflects (1 = first try;
     // >1 when ServiceContext::retry re-issued a failed access).
     int attempts = 1;

@@ -6,26 +6,41 @@
 namespace pqs::core {
 
 void BiquorumSpec::resolve_sizes(std::size_t n) {
+    const std::size_t b = byzantine_b;
     const bool derived =
         advertise.quorum_size == 0 || lookup.quorum_size == 0;
     if (advertise.quorum_size == 0 && lookup.quorum_size == 0) {
-        const std::size_t q = symmetric_quorum_size(n, eps);
+        const std::size_t q = masking_symmetric_quorum_size(n, eps, b);
         advertise.quorum_size = q;
         lookup.quorum_size = q;
     } else if (advertise.quorum_size == 0) {
-        advertise.quorum_size = lookup_size_for(lookup.quorum_size, n, eps);
+        // Solve (qa-b)·qℓ ≥ n·μ_min for qa with qℓ fixed: size the correct
+        // part against the lookup quorum, then add back the fault budget.
+        advertise.quorum_size =
+            masking_lookup_size_for(lookup.quorum_size + b, n, eps, b) + b;
     } else if (lookup.quorum_size == 0) {
-        lookup.quorum_size = lookup_size_for(advertise.quorum_size, n, eps);
+        lookup.quorum_size =
+            masking_lookup_size_for(advertise.quorum_size, n, eps, b);
     }
-    // Corollary 5.3: any size this function derived must honor the
-    // |Qa|·|Qℓ| ≥ n·ln(1/ε) product bound. Explicitly-set pairs are
-    // exempt — the degradation benches deliberately undersize quorums.
-    const double product = static_cast<double>(advertise.quorum_size) *
-                           static_cast<double>(lookup.quorum_size);
-    PQS_DCHECK(!derived || product + 1e-9 >= min_quorum_product(n, eps),
-               "derived quorum sizes violate Corollary 5.3: |Qa|="
+    if (b > 0) {
+        // Voting tallies every reply; first-hit resolution cannot count
+        // concurrence.
+        lookup.collect_all_replies = true;
+    }
+    // Corollary 5.3 (resp. its masking generalization): any size this
+    // function derived must honor the product bound. Explicitly-set pairs
+    // are exempt — the degradation benches deliberately undersize quorums.
+    const double correct_qa =
+        advertise.quorum_size > b
+            ? static_cast<double>(advertise.quorum_size - b)
+            : 0.0;
+    const double product =
+        correct_qa * static_cast<double>(lookup.quorum_size);
+    PQS_DCHECK(!derived ||
+                   product + 1e-9 >= min_masking_quorum_product(n, eps, b),
+               "derived quorum sizes violate the masking product bound: |Qa|="
                    << advertise.quorum_size << " |Ql|=" << lookup.quorum_size
-                   << " n=" << n << " eps=" << eps);
+                   << " n=" << n << " eps=" << eps << " b=" << b);
     static_cast<void>(derived);
     static_cast<void>(product);
 }

@@ -74,12 +74,22 @@ struct BiquorumSpec {
     StrategyConfig advertise;
     StrategyConfig lookup;
     // Desired non-intersection bound; used to derive any quorum size left
-    // at 0 via Corollary 5.3.
+    // at 0 via Corollary 5.3 (b = 0) or the b-masking generalization.
     double eps = 0.1;
+
+    // Byzantine fault budget b (Malkhi-Reiter-Wool masking). 0 keeps the
+    // plain ε-intersection system. When > 0, derived sizes satisfy the
+    // masking product bound (|Qa|-b)·|Qℓ| ≥ n·μ_min(ε,b) so that correct
+    // intersection replies outvote up to b forged ones with prob ≥ 1-ε,
+    // and lookups value-vote: a result needs > b concurring replies or is
+    // reported inconclusive. Voting needs every reply, so the lookup side
+    // is forced to collect_all_replies.
+    std::size_t byzantine_b = 0;
 
     // Resolves unset sizes for a network of n nodes: if both are 0, use the
     // symmetric size sqrt(n ln 1/eps); if one is set, size the other to
-    // meet the product bound.
+    // meet the product bound. With byzantine_b > 0 the masking analogs
+    // apply (bit-identical to the b = 0 path when byzantine_b == 0).
     void resolve_sizes(std::size_t n);
 };
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "net/node_stack.h"
+#include "net/tamper.h"
 
 namespace pqs::core {
 
@@ -96,6 +97,26 @@ void RandomStrategy::attach_node(util::NodeId id) {
                     reply->responder = id;
                     ctx_.world.stack(id).send_routed(req->op.origin, reply,
                                                      nullptr);
+                } else if (!found && req->want_reply) {
+                    // An honest node stays silent on a miss; a Byzantine
+                    // quorum member answers every query (the masking
+                    // threat model). One pointer load when no tamper is
+                    // installed — bit-identical to the pre-hook build.
+                    net::ReplyTamper* tamper = ctx_.world.tamper();
+                    Value lie = 0;
+                    if (tamper != nullptr &&
+                        tamper->on_lookup_miss(id, req->key, lie)) {
+                        auto reply = std::make_shared<QuorumReplyMsg>();
+                        reply->trace = req->trace;
+                        reply->strategy_tag = tag_;
+                        reply->op = req->op;
+                        reply->key = req->key;
+                        reply->found = true;
+                        reply->value = lie;
+                        reply->responder = id;
+                        ctx_.world.stack(id).send_routed(req->op.origin,
+                                                         reply, nullptr);
+                    }
                 }
                 return true;
             }

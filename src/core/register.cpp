@@ -1,6 +1,7 @@
 #include "core/register.h"
 
 #include <stdexcept>
+#include <unordered_map>
 
 namespace pqs::core {
 
@@ -19,13 +20,27 @@ RegisterService::RegisterService(BiquorumSystem& biquorum, util::Key key)
     }
 }
 
-Versioned RegisterService::max_of(const AccessResult& r) {
+Versioned RegisterService::max_of(const AccessResult& r, std::size_t b) {
     Value best = 0;
-    for (const Value v : r.values) {
-        best = std::max(best, v);
+    if (b == 0) {
+        for (const Value v : r.values) {
+            best = std::max(best, v);
+        }
+        if (r.value) {
+            best = std::max(best, *r.value);
+        }
+        return unpack(best);
     }
-    if (r.value) {
-        best = std::max(best, *r.value);
+    // b-masking: a forged reply can carry an arbitrarily high version, so
+    // only values with > b concurring replies may enter the maximum.
+    std::unordered_map<Value, std::size_t> tally;
+    for (const Value v : r.values) {
+        ++tally[v];
+    }
+    for (const auto& [value, votes] : tally) {
+        if (votes > b) {
+            best = std::max(best, value);
+        }
     }
     return unpack(best);
 }
@@ -37,7 +52,9 @@ void RegisterService::read(util::NodeId origin, ReadCallback done,
                       done = std::move(done)](const AccessResult& r) {
                          ReadResult result;
                          result.ok = r.ok;
-                         result.value = max_of(r);
+                         result.inconclusive = r.inconclusive;
+                         result.value =
+                             max_of(r, biquorum_.spec().byzantine_b);
                          if (!write_back || !r.ok) {
                              done(result);
                              return;
@@ -58,7 +75,14 @@ void RegisterService::write(util::NodeId origin, std::uint32_t data,
     biquorum_.lookup(
         origin, key_,
         [this, origin, data, done = std::move(done)](const AccessResult& r) {
-            const std::uint32_t next_version = max_of(r).version + 1;
+            if (r.inconclusive) {
+                // Masking failed: the version base cannot be trusted, and
+                // writing version max_of()+1 could regress the register.
+                done(false, 0);
+                return;
+            }
+            const std::uint32_t next_version =
+                max_of(r, biquorum_.spec().byzantine_b).version + 1;
             // Phase 2: store the new version at an advertise quorum.
             biquorum_.advertise(
                 origin, key_, pack(Versioned{next_version, data}),

@@ -51,6 +51,9 @@ public:
 
     struct ReadResult {
         bool ok = false;  // a quorum member held the register
+        // b-masking (spec.byzantine_b > 0): replies arrived but no value
+        // reached > b concurring votes — nothing can be trusted.
+        bool inconclusive = false;
         Versioned value;
     };
     using ReadCallback = std::function<void(const ReadResult&)>;
@@ -66,7 +69,9 @@ public:
     util::Key key() const { return key_; }
 
 private:
-    static Versioned max_of(const AccessResult& r);
+    // Highest version among trustworthy replies: all of them at b = 0,
+    // only values with > b concurring replies under b-masking.
+    static Versioned max_of(const AccessResult& r, std::size_t b);
 
     BiquorumSystem& biquorum_;
     util::Key key_;

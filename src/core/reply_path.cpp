@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/node_stack.h"
+#include "net/tamper.h"
 #include "obs/trace.h"
 
 namespace pqs::core {
@@ -27,6 +28,15 @@ void ReplyPathRouter::start_reply(util::NodeId at, std::uint32_t strategy_tag,
                                   ReplyOptions options,
                                   std::shared_ptr<ReplyTracker> tracker,
                                   obs::TraceId trace) {
+    if (net::ReplyTamper* tamper = world_.tamper()) {
+        // Byzantine responder: may forge the value in place or suppress
+        // the reply outright. Silent on suppression — the tracker is not
+        // marked dropped, so the origin cannot tell a faulty member from
+        // a slow one.
+        if (!tamper->on_reply_value(at, key, value, trace)) {
+            return;
+        }
+    }
     auto msg = std::make_shared<ReverseReplyMsg>();
     msg->trace = trace;
     msg->strategy_tag = strategy_tag;

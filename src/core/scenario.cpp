@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "core/byzantine_adversary.h"
 #include "core/maintenance.h"
 #include "obs/trace.h"
 #include "sim/fault_plan.h"
@@ -135,6 +136,24 @@ ScenarioResult run_scenario(const ScenarioParams& params) {
     }
     LocationService service(world, params.spec, membership.get());
     service.biquorum().context().op_timeout = params.op_timeout;
+    service.biquorum().context().retry = RetryPolicy{
+        params.op_max_attempts, params.op_retry_backoff, 2.0};
+
+    // Byzantine adversary: nothing below exists at b == 0 (no allocations,
+    // no RNG, no spawn listener), so the classic run is bit-identical to a
+    // build without the tamper hook.
+    std::unique_ptr<sim::ByzantinePlan> byz_plan;
+    std::unique_ptr<ByzantineAdversary> byz_adversary;
+    if (params.byzantine.b > 0) {
+        byz_plan = std::make_unique<sim::ByzantinePlan>(
+            params.byzantine,
+            util::Rng(params.world.seed ^ 0xbad0c0de5eed));
+        byz_plan->recruit_static(params.world.n);
+        world.add_spawn_listener(
+            [plan = byz_plan.get()](util::NodeId id) { plan->on_join(id); });
+        byz_adversary =
+            std::make_unique<ByzantineAdversary>(world, *byz_plan);
+    }
 
     ScenarioResult result;
     result.n = params.world.n;
@@ -332,6 +351,7 @@ ScenarioResult run_scenario(const ScenarioParams& params) {
     std::size_t intersections = 0;
     std::size_t reply_drops = 0;
     std::size_t lkp_timeouts = 0;
+    std::size_t inconclusives = 0;
     util::Accumulator lkp_nodes;
     util::Accumulator lkp_latency;
     if (!aborted) {
@@ -366,6 +386,9 @@ ScenarioResult run_scenario(const ScenarioParams& params) {
                         }
                         if (r.timed_out) {
                             ++lkp_timeouts;
+                        }
+                        if (r.inconclusive) {
+                            ++inconclusives;
                         }
                         if (r.intersected) {
                             ++intersections;
@@ -455,6 +478,12 @@ ScenarioResult run_scenario(const ScenarioParams& params) {
         (after_lkp.routing - before_lkp.routing) / n_lkp;
     result.aborted = aborted ? 1.0 : 0.0;
     result.load = summarize_load(service.biquorum().context());
+    result.inconclusive_rate = static_cast<double>(inconclusives) / n_lkp;
+    if (byz_plan != nullptr) {
+        result.byzantine_marked = static_cast<double>(byz_plan->marked());
+        result.byzantine_tampered =
+            static_cast<double>(byz_plan->counters().tampered());
+    }
     result.sim_events =
         static_cast<double>(world.simulator().events_processed());
     result.kernel = world.kernel_stats();
@@ -491,6 +520,10 @@ namespace {
     X(load.mean)                  \
     X(load.max)                   \
     X(load.cv)                    \
+    X(load.mrw_load)              \
+    X(inconclusive_rate)          \
+    X(byzantine_marked)           \
+    X(byzantine_tampered)         \
     X(aborted)                    \
     X(live_crashes)               \
     X(live_joins)                 \

@@ -14,6 +14,7 @@
 #include "core/location_service.h"
 #include "membership/oracle_membership.h"
 #include "net/world.h"
+#include "sim/byzantine_plan.h"
 #include "obs/latency_histogram.h"
 #include "util/kernel_stats.h"
 #include "util/stats.h"
@@ -86,6 +87,12 @@ struct ScenarioParams {
     sim::Time warmup = 15 * sim::kSecond;
     sim::Time op_spacing = 200 * sim::kMillisecond;
     sim::Time op_timeout = 20 * sim::kSecond;
+    // Operation-level retry for the classic two-phase run (a vote-
+    // inconclusive lookup attempt retries like any failed one). The live
+    // phase keeps its own live.op_max_attempts. 1 = single attempt, the
+    // historical behavior.
+    int op_max_attempts = 1;
+    sim::Time op_retry_backoff = 500 * sim::kMillisecond;
 
     // Look up keys that were never advertised (measures the cost of a
     // miss: the full quorum is paid, no early halting — Fig. 16).
@@ -101,6 +108,14 @@ struct ScenarioParams {
     // Continuous churn during the lookup phase (replaces the step churn
     // above when enabled).
     LiveChurnParams live;
+
+    // Byzantine reply-path adversary (off at byzantine.b == 0, where the
+    // run is bit-identical to a build without the hook). byzantine.b is
+    // how many nodes actually misbehave; spec.byzantine_b is the masking
+    // budget the protocol defends against — keeping them independent lets
+    // experiments measure what happens when the adversary exceeds (or
+    // stays under) the provisioned budget.
+    sim::ByzantinePlanParams byzantine;
 };
 
 struct ScenarioResult {
@@ -131,6 +146,11 @@ struct ScenarioResult {
 
     // §3 load metric over the whole run (advertise + lookup phases).
     LoadSummary load;
+
+    // b-masking / adversary accounting (all zero when byzantine.b == 0).
+    double inconclusive_rate = 0.0;   // lookups ending vote-inconclusive
+    double byzantine_marked = 0.0;    // nodes the plan actually marked
+    double byzantine_tampered = 0.0;  // replies dropped or forged
 
     // 1.0 when the scenario aborted cleanly (e.g. churn left no node alive
     // to look up from); the phases after the abort report zeros.

@@ -66,6 +66,95 @@ std::size_t lookup_size_for(std::size_t qa, std::size_t n, double eps) {
         1, static_cast<std::size_t>(std::ceil(needed)));
 }
 
+namespace {
+// ln Pr[X <= b] <= -mu + b·(1 + ln mu - ln b) for b >= 1 (Poisson
+// Chernoff lower tail); -mu at b = 0. Only meaningful for mu > b.
+double log_masking_bound(double mu, std::size_t b) {
+    if (b == 0) {
+        return -mu;
+    }
+    const double bd = static_cast<double>(b);
+    return -mu + bd * (1.0 + std::log(mu) - std::log(bd));
+}
+}  // namespace
+
+double masking_failure_bound(std::size_t qa, std::size_t ql, std::size_t n,
+                             std::size_t b) {
+    if (n == 0) {
+        throw std::invalid_argument("n must be > 0");
+    }
+    if (qa <= b) {
+        return 1.0;  // the adversary can own the whole advertise quorum
+    }
+    const double mu = static_cast<double>(qa - b) * static_cast<double>(ql) /
+                      static_cast<double>(n);
+    if (mu <= static_cast<double>(b)) {
+        return 1.0;  // lower-tail bound is vacuous at or below the mean
+    }
+    return std::min(1.0, std::exp(log_masking_bound(mu, b)));
+}
+
+double masking_mu_min(double eps, std::size_t b) {
+    check_eps(eps);
+    if (b == 0) {
+        return std::log(1.0 / eps);  // Corollary 5.3, exactly
+    }
+    const double log_eps = std::log(eps);
+    // log_masking_bound is 0 at mu = b and strictly decreasing beyond
+    // (d/dmu = -1 + b/mu < 0), so the root is unique in (b, inf).
+    double lo = static_cast<double>(b);
+    double hi = static_cast<double>(b) + std::log(1.0 / eps) + 1.0;
+    while (log_masking_bound(hi, b) > log_eps) {
+        hi *= 2.0;
+    }
+    for (int i = 0; i < 200 && hi - lo > 1e-12 * hi; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        (log_masking_bound(mid, b) > log_eps ? lo : hi) = mid;
+    }
+    return hi;
+}
+
+double min_masking_quorum_product(std::size_t n, double eps, std::size_t b) {
+    if (b == 0) {
+        return min_quorum_product(n, eps);
+    }
+    return static_cast<double>(n) * masking_mu_min(eps, b);
+}
+
+std::size_t masking_symmetric_quorum_size(std::size_t n, double eps,
+                                          std::size_t b) {
+    if (b == 0) {
+        return symmetric_quorum_size(n, eps);
+    }
+    const double mu = masking_mu_min(eps, b);
+    const double bd = static_cast<double>(b);
+    const double q = 0.5 * (bd + std::sqrt(bd * bd +
+                                           4.0 * static_cast<double>(n) * mu));
+    return static_cast<std::size_t>(std::ceil(q));
+}
+
+std::size_t masking_lookup_size_for(std::size_t qa, std::size_t n, double eps,
+                                    std::size_t b) {
+    if (b == 0) {
+        return lookup_size_for(qa, n, eps);
+    }
+    if (qa <= b) {
+        throw std::invalid_argument(
+            "advertise quorum must exceed the fault budget b");
+    }
+    const double needed = min_masking_quorum_product(n, eps, b) /
+                          static_cast<double>(qa - b);
+    return std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(needed)));
+}
+
+double access_load(std::size_t q, std::size_t n) {
+    if (n == 0 || q > n) {
+        throw std::invalid_argument("access_load: need 0 <= q <= n, n > 0");
+    }
+    return static_cast<double>(q) / static_cast<double>(n);
+}
+
 double optimal_size_ratio(double tau, double cost_a, double cost_l) {
     if (tau <= 0.0 || cost_a <= 0.0 || cost_l <= 0.0) {
         throw std::invalid_argument(

@@ -37,6 +37,52 @@ std::size_t symmetric_quorum_size(std::size_t n, double eps);
 // Given |Qa|, the minimal |Ql| meeting Corollary 5.3.
 std::size_t lookup_size_for(std::size_t qa, std::size_t n, double eps);
 
+// ---------- b-masking sizing (after Malkhi-Reiter-Wool) ----------
+//
+// Threat model: up to b Byzantine members that may drop or forge replies.
+// A lookup masks them when the correct part of the intersection outvotes
+// the faulty replies, i.e. X = |Qℓ ∩ (Qa \ B)| > b. The worst-case
+// placement puts all b faulty nodes inside Qa, so X counts the hits of a
+// uniform Qℓ on the qa-b correct members: E[X] = μ = (qa-b)·qℓ/n. The
+// Poisson-dominated Chernoff lower tail gives
+//
+//   Pr[X <= b] <= exp(-μ)·(eμ/b)^b    for 1 <= b < μ,
+//
+// and exp(-μ) at b = 0 — exactly Lemma 5.1/Corollary 5.3, so every
+// masking_* function below reduces to its ε-intersection counterpart at
+// b = 0. (Sampling without replacement satisfies the binomial Chernoff
+// bound by Hoeffding '63, and the binomial MGF is dominated by the
+// Poisson MGF of the same mean, so the bound is rigorous, not heuristic.)
+
+// Closed-form upper bound on Pr[masking failure] (clamped to <= 1;
+// returns 1 whenever μ <= b, where the tail bound is vacuous).
+double masking_failure_bound(std::size_t qa, std::size_t ql, std::size_t n,
+                             std::size_t b);
+
+// Smallest μ with masking_failure_bound <= eps (bisection on the closed
+// form; exactly ln(1/eps) at b = 0).
+double masking_mu_min(double eps, std::size_t b);
+
+// Minimal (|Qa|-b)·|Qℓ| product guaranteeing masking prob >= 1-eps:
+// n · masking_mu_min(eps, b).
+double min_masking_quorum_product(std::size_t n, double eps, std::size_t b);
+
+// Symmetric masking size: smallest q with (q-b)·q >= n·μ_min, i.e.
+// ceil((b + sqrt(b² + 4·n·μ_min))/2). Delegates to symmetric_quorum_size
+// at b = 0 so the reduction is bit-exact, not merely analytic.
+std::size_t masking_symmetric_quorum_size(std::size_t n, double eps,
+                                          std::size_t b);
+
+// Given |Qa| > b, the minimal |Qℓ| with (|Qa|-b)·|Qℓ| >= n·μ_min.
+// Delegates to lookup_size_for at b = 0.
+std::size_t masking_lookup_size_for(std::size_t qa, std::size_t n, double eps,
+                                    std::size_t b);
+
+// MRW load of the symmetric probabilistic system: an access touches q of
+// n nodes uniformly, so every node is accessed w.p. q/n and
+// L(S) = max-node access probability = q/n.
+double access_load(std::size_t q, std::size_t n);
+
 // ---------- Optimal asymmetric sizing (Lemma 5.6) ----------
 
 struct SizePair {

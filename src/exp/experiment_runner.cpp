@@ -141,6 +141,26 @@ void report_perf(const RunReport& report, const char* label,
                      latency.quantile(0.95) * 1e3,
                      latency.quantile(0.99) * 1e3);
     }
+    // §3 load and availability, averaged over trials: mrw_load is the MRW
+    // access-probability load L(S) (max node touch fraction); availability
+    // is the hit ratio net of vote-inconclusive lookups. Deterministic per
+    // seed like the kernel block.
+    double mrw_load = 0.0;
+    double hit_ratio = 0.0;
+    double inconclusive = 0.0;
+    for (const TrialRecord& trial : report.trials) {
+        mrw_load += trial.result.load.mrw_load;
+        hit_ratio += trial.result.hit_ratio;
+        inconclusive += trial.result.inconclusive_rate;
+    }
+    if (!report.trials.empty()) {
+        const auto trials = static_cast<double>(report.trials.size());
+        std::fprintf(stream,
+                     "[perf] %s: mrw_load=%.4f availability=%.4f "
+                     "inconclusive=%.4f (mean/trial)\n",
+                     label, mrw_load / trials, hit_ratio / trials,
+                     inconclusive / trials);
+    }
 }
 
 }  // namespace pqs::exp

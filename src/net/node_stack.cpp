@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/tamper.h"
 #include "net/world.h"
 #include "obs/trace.h"
 
@@ -66,6 +67,23 @@ void NodeStack::link_broadcast(PacketPtr p) {
 
 void NodeStack::send_unicast(util::NodeId to, AppMsgPtr msg,
                              LinkTxCallback done) {
+    if (ReplyTamper* tamper = world_.tamper()) {
+        AppMsgPtr forged;
+        switch (tamper->on_send(id_, msg, forged)) {
+            case TamperVerdict::kPass:
+                break;
+            case TamperVerdict::kDrop:
+                // The faulty node pretends the frame went out and was
+                // acked; the origin just never hears back.
+                if (done) {
+                    done(true);
+                }
+                return;
+            case TamperVerdict::kReplace:
+                msg = std::move(forged);
+                break;
+        }
+    }
     obs::record(msg ? msg->trace : 0, obs::EventKind::kPacketSend, id_, to);
     link_unicast(make_data(world_.packet_pool(), id_, to, id_, to,
                            std::move(msg)),
@@ -81,6 +99,22 @@ void NodeStack::send_broadcast(AppMsgPtr msg) {
 
 void NodeStack::send_routed(util::NodeId dst, AppMsgPtr msg,
                             RoutedCallback done, RouteSendOptions opts) {
+    if (ReplyTamper* tamper = world_.tamper()) {
+        AppMsgPtr forged;
+        switch (tamper->on_send(id_, msg, forged)) {
+            case TamperVerdict::kPass:
+                break;
+            case TamperVerdict::kDrop:
+                // Pretend the message was delivered (Byzantine silence).
+                if (done) {
+                    done(true);
+                }
+                return;
+            case TamperVerdict::kReplace:
+                msg = std::move(forged);
+                break;
+        }
+    }
     obs::record(msg ? msg->trace : 0, obs::EventKind::kPacketSend, id_, dst);
     if (dst == id_) {
         // Loopback: the originator can be a member of its own quorum at no

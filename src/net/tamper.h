@@ -1,0 +1,49 @@
+// Byzantine reply-tampering hook. The World owns a single nullable
+// ReplyTamper*; NodeStack (direct quorum replies, relayed reverse-path
+// hops) and core::ReplyPathRouter (walk-reply origination) consult it
+// before emitting application messages. With no tamper installed the hook
+// is one pointer load and a predicted branch — no behavior change, no RNG
+// draw — which the golden-fingerprint tests pin down bit-exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.h"
+#include "util/ids.h"
+
+namespace pqs::net {
+
+enum class TamperVerdict : std::uint8_t {
+    kPass,     // emit the message untouched
+    kDrop,     // swallow the send; the sender pretends it went out
+    kReplace,  // emit the forged replacement instead
+};
+
+class ReplyTamper {
+public:
+    virtual ~ReplyTamper() = default;
+
+    // Consulted by NodeStack::send_unicast / send_routed before node `at`
+    // emits `msg`. On kReplace the implementation must fill `forged`.
+    virtual TamperVerdict on_send(util::NodeId at, const AppMsgPtr& msg,
+                                  AppMsgPtr& forged) = 0;
+
+    // Consulted by the reply-path router when node `at` originates a walk
+    // reply carrying (key, value). Returning false suppresses the reply
+    // silently (the origin never hears back); the implementation may
+    // rewrite `value` in place. `trace` tags the originating op's span.
+    virtual bool on_reply_value(util::NodeId at, std::uint64_t key,
+                                std::uint64_t& value, std::uint64_t trace) = 0;
+
+    // Consulted when node `at` receives a direct lookup request for a key
+    // it does NOT hold (where an honest node stays silent). Returning true
+    // makes the node answer anyway, claiming `forged_value` — the masking
+    // threat model's faulty quorum member, which answers every query with
+    // an arbitrary value rather than only corrupting values it happens to
+    // store. The forged reply still transits on_send; implementations must
+    // not tamper (or count) it twice.
+    virtual bool on_lookup_miss(util::NodeId at, std::uint64_t key,
+                                std::uint64_t& forged_value) = 0;
+};
+
+}  // namespace pqs::net

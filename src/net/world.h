@@ -26,6 +26,7 @@
 namespace pqs::net {
 
 class NodeStack;
+class ReplyTamper;
 
 enum class Fidelity {
     kAbstract,  // unit-disk link, ideal MAC, fast
@@ -80,8 +81,19 @@ public:
             packet_pool_.fresh_allocs() + packet_pool_.misfit_allocs();
         stats.packet_pool_reuses = packet_pool_.reuses();
         stats.alive_snapshots = alive_snapshots_;
+        stats += app_stats_;
         return stats;
     }
+
+    // Application-layer counters (load accounting, Byzantine tampers)
+    // merged into kernel_stats(); deterministic like the kernel block.
+    util::KernelStats& app_stats() { return app_stats_; }
+
+    // Byzantine reply tampering (see net/tamper.h). Null by default: the
+    // send paths check one pointer and move on, so an adversary-free run
+    // is bit-identical to a build without the hook.
+    void set_tamper(ReplyTamper* tamper) { tamper_ = tamper; }
+    ReplyTamper* tamper() const { return tamper_; }
 
     // Bytes of node-lifetime state (stacks, radios, MACs) placed in the
     // per-world arena — the deterministic companion to peak RSS.
@@ -206,6 +218,8 @@ private:
     std::vector<mac::CsmaMac*> macs_;
 
     mutable std::uint64_t alive_snapshots_ = 0;
+    util::KernelStats app_stats_;
+    ReplyTamper* tamper_ = nullptr;
 
     friend class MacLink;
 };

@@ -30,6 +30,10 @@ const char* event_kind_name(EventKind kind) {
         case EventKind::kMacBackoff: return "mac_backoff";
         case EventKind::kMacTx: return "mac_tx";
         case EventKind::kMacDrop: return "mac_drop";
+        case EventKind::kVoteWin: return "vote-win";
+        case EventKind::kVoteInconclusive: return "vote-inconclusive";
+        case EventKind::kFaultyReplySuppressed:
+            return "faulty-reply-suppressed";
     }
     return "unknown";
 }

@@ -63,11 +63,15 @@ enum class EventKind : std::uint8_t {
     kMacBackoff,  // a = contention window
     kMacTx,       // a = frame bytes
     kMacDrop,     // retries exhausted
+    // Byzantine adversary / b-masking value voting.
+    kVoteWin,                // a = winner votes, b = replies outvoted
+    kVoteInconclusive,       // a = distinct values, b = total replies
+    kFaultyReplySuppressed,  // a = behavior, b = faulty node
 };
 
 // Number of EventKind values (keep in sync with the enum).
 inline constexpr std::size_t kEventKindCount =
-    static_cast<std::size_t>(EventKind::kMacDrop) + 1;
+    static_cast<std::size_t>(EventKind::kFaultyReplySuppressed) + 1;
 
 const char* event_kind_name(EventKind kind);
 

@@ -1,0 +1,53 @@
+#include "sim/byzantine_plan.h"
+
+#include <algorithm>
+
+namespace pqs::sim {
+
+const char* byzantine_behavior_name(ByzantineBehavior behavior) {
+    switch (behavior) {
+        case ByzantineBehavior::kDropReply: return "drop-reply";
+        case ByzantineBehavior::kLieStale: return "lie-stale";
+        case ByzantineBehavior::kLieFabricate: return "lie-fabricate";
+        case ByzantineBehavior::kReplay: return "replay";
+    }
+    return "?";
+}
+
+ByzantinePlan::ByzantinePlan(ByzantinePlanParams params, util::Rng rng)
+    : params_(std::move(params)), rng_(rng) {
+    params_.recruit_joiners = std::min(params_.recruit_joiners, params_.b);
+    if (params_.mix.empty()) {
+        params_.mix.push_back(ByzantineBehavior::kLieFabricate);
+    }
+}
+
+void ByzantinePlan::mark(util::NodeId id) {
+    if (id >= flags_.size()) {
+        flags_.resize(id + 1, 0);
+    }
+    if (flags_[id] != 0) {
+        return;
+    }
+    const ByzantineBehavior behavior =
+        params_.mix[next_behavior_++ % params_.mix.size()];
+    flags_[id] = static_cast<std::uint8_t>(behavior) + 1;
+    ++marked_;
+}
+
+void ByzantinePlan::recruit_static(std::size_t n) {
+    const std::size_t want =
+        std::min(n, params_.b - params_.recruit_joiners);
+    for (const std::size_t i : rng_.sample_without_replacement(n, want)) {
+        mark(static_cast<util::NodeId>(i));
+    }
+}
+
+void ByzantinePlan::on_join(util::NodeId id) {
+    if (marked_ >= params_.b) {
+        return;
+    }
+    mark(id);
+}
+
+}  // namespace pqs::sim

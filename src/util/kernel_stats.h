@@ -32,7 +32,9 @@ namespace pqs::util {
     X(grid_rebuilds)     /* flat-storage compactions (cell overflow) */  \
     X(packet_allocs)     /* packet blocks taken from the heap */         \
     X(packet_pool_reuses) /* packet blocks recycled from the pool */     \
-    X(alive_snapshots)   /* alive_nodes()/neighbor vector copies */
+    X(alive_snapshots)   /* alive_nodes()/neighbor vector copies */       \
+    X(quorum_loads_counted) /* per-node access-load increments (MRW) */   \
+    X(byzantine_tampers) /* replies dropped/forged by the adversary */
 
 struct KernelStats {
 #define PQS_KERNEL_STATS_DECL(field) std::uint64_t field = 0;

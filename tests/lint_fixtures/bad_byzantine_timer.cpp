@@ -1,0 +1,33 @@
+// Fixture: the Byzantine-adversary variant of the dangling-event class.
+// An adversary that delays its forged replies through the simulator must
+// own those timers like any other component — an armed EventId with no
+// cancel() on the destructor path outlives a torn-down adversary (e.g.
+// when a scenario aborts mid-lookup) and fires into freed memory.
+namespace sim {
+using EventId = long;
+struct Simulator {
+    EventId schedule_in(long delay, void (*fn)());
+    bool cancel(EventId id);
+};
+}  // namespace sim
+
+void forge_reply();
+
+class DelayedTamperAdversary {
+public:
+    explicit DelayedTamperAdversary(sim::Simulator& simulator)
+        : simulator_(simulator) {}
+    // No destructor: a teardown mid-delay leaves the forged reply armed.
+    void tamper_later() {
+        pending_ = simulator_.schedule_in(50, &forge_reply);  // expect-lint: event-lifetime
+    }
+
+private:
+    sim::Simulator& simulator_;
+    sim::EventId pending_ = 0;
+};
+
+void drop_and_reinject(sim::Simulator& simulator) {
+    // Discarded id for the re-injected reply: uncancellable by design.
+    simulator.schedule_in(25, &forge_reply);  // expect-lint: event-lifetime
+}

@@ -1,0 +1,36 @@
+// Fixture: the compliant Byzantine adversary — every delayed-tamper
+// timer is a field cancelled on the destructor path, so tearing the
+// adversary down mid-delay (scenario abort, world reset) retires the
+// forged reply instead of firing it into freed memory.
+namespace sim {
+using EventId = long;
+struct Simulator {
+    EventId schedule_in(long delay, void (*fn)());
+    bool cancel(EventId id);
+};
+}  // namespace sim
+
+void forge_reply();
+
+class DelayedTamperAdversary {
+public:
+    explicit DelayedTamperAdversary(sim::Simulator& simulator)
+        : simulator_(simulator) {}
+    ~DelayedTamperAdversary() { disarm(); }
+
+    void tamper_later() {
+        disarm();  // one pending forgery at a time
+        pending_ = simulator_.schedule_in(50, &forge_reply);
+    }
+
+    void disarm() {
+        if (pending_ != 0) {
+            simulator_.cancel(pending_);
+            pending_ = 0;
+        }
+    }
+
+private:
+    sim::Simulator& simulator_;
+    sim::EventId pending_ = 0;
+};

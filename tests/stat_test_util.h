@@ -1,0 +1,92 @@
+// Statistical assertion helpers for Monte-Carlo tests: principled
+// confidence checks instead of hand-tuned tolerances.
+//
+// Each helper tests the observed success count against an exact binomial
+// tail probability: expect_rate_ge(h, n, p) fails iff observing <= h
+// successes in n trials has probability < alpha under the claimed rate p
+// (and symmetrically for the other directions). With fixed RNG seeds a
+// run is deterministic, so a failure means the code or the claimed rate
+// changed; alpha documents the false-positive budget a reseeded run
+// would have. The exact tail is tighter than a Hoeffding/Chernoff band —
+// it keeps small-trial tests (n = 60) meaningfully strict where the
+// sub-Gaussian half-width sqrt(ln(2/alpha)/2n) would be vacuous.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include <gtest/gtest.h>
+
+namespace pqs::test {
+
+// Exact Pr[X <= k] for X ~ Binomial(n, p), accumulated in log space
+// (numerically safe out to n ~ 1e6; cost O(k)).
+inline double binom_cdf(std::size_t k, std::size_t n, double p) {
+    if (p <= 0.0) {
+        return 1.0;
+    }
+    if (p >= 1.0) {
+        return k >= n ? 1.0 : 0.0;
+    }
+    if (k >= n) {
+        return 1.0;
+    }
+    const double log_p = std::log(p);
+    const double log_q = std::log1p(-p);
+    double log_term = static_cast<double>(n) * log_q;  // Pr[X = 0]
+    double cdf = std::exp(log_term);
+    for (std::size_t i = 1; i <= k; ++i) {
+        // Pr[X=i] = Pr[X=i-1] * (n-i+1)/i * p/q
+        log_term += std::log(static_cast<double>(n - i + 1) /
+                             static_cast<double>(i)) +
+                    log_p - log_q;
+        cdf += std::exp(log_term);
+    }
+    return cdf < 1.0 ? cdf : 1.0;
+}
+
+// Exact upper tail Pr[X >= k].
+inline double binom_upper_tail(std::size_t k, std::size_t n, double p) {
+    if (k == 0) {
+        return 1.0;
+    }
+    return 1.0 - binom_cdf(k - 1, n, p) < 0.0
+               ? 0.0
+               : 1.0 - binom_cdf(k - 1, n, p);
+}
+
+// The measured success rate must not fall below the claimed rate p by
+// more than sampling noise: fails iff Pr[X <= successes | p] < alpha.
+inline void expect_rate_ge(std::size_t successes, std::size_t trials,
+                           double p, double alpha = 1e-6) {
+    ASSERT_GT(trials, 0u);
+    const double tail = binom_cdf(successes, trials, p);
+    EXPECT_GE(tail, alpha)
+        << successes << "/" << trials << " successes: seeing this few "
+        << "under claimed rate " << p << " has probability " << tail
+        << " < alpha " << alpha;
+}
+
+// The measured rate must not exceed the claimed bound p by more than
+// sampling noise: fails iff Pr[X >= successes | p] < alpha. Suited to
+// tail bounds (e.g. masking failure <= eps) where the true rate may sit
+// far below the bound.
+inline void expect_rate_le(std::size_t successes, std::size_t trials,
+                           double p, double alpha = 1e-6) {
+    ASSERT_GT(trials, 0u);
+    const double tail = binom_upper_tail(successes, trials, p);
+    EXPECT_GE(tail, alpha)
+        << successes << "/" << trials << " successes: seeing this many "
+        << "under claimed bound " << p << " has probability " << tail
+        << " < alpha " << alpha;
+}
+
+// Two-sided check: the measured rate is consistent with the exact rate p
+// (each tail gets alpha/2).
+inline void expect_rate_near(std::size_t successes, std::size_t trials,
+                             double p, double alpha = 1e-6) {
+    expect_rate_ge(successes, trials, p, alpha / 2.0);
+    expect_rate_le(successes, trials, p, alpha / 2.0);
+}
+
+}  // namespace pqs::test

@@ -211,6 +211,79 @@ TEST(GoldenDeterminism, LazyMobilityFingerprint) {
            "the new numbers in the PR body.";
 }
 
+TEST(GoldenDeterminism, ByzantineHookQuiescentAtZero) {
+    // The tamper hook is compiled into every build now; at byzantine.b ==
+    // 0 it must be a dead pointer load. kGolden above (captured before
+    // the hook existed and never re-tuned for it) is the proof the b = 0
+    // event stream is bit-identical — this test adds the adversary-side
+    // accounting: nothing marked, nothing tampered, no vote ever
+    // inconclusive.
+    const ScenarioResult r = run_scenario(golden_params());
+    EXPECT_EQ(r.byzantine_marked, 0.0);
+    EXPECT_EQ(r.byzantine_tampered, 0.0);
+    EXPECT_EQ(r.inconclusive_rate, 0.0);
+}
+
+// Adversarial golden run: the b = 2 companion of golden_params(). RANDOM
+// on both sides (voting forces collect_all_replies), full membership
+// view so masking-sized quorums are reachable, one retry. The adversary
+// RNG is forked from the world seed, so this fingerprint is as stable as
+// kGolden — it pins the tamper hook's RNG consumption and event
+// ordering, not just its counters.
+ScenarioParams adversarial_params() {
+    ScenarioParams p = golden_params();
+    p.spec.lookup.kind = StrategyKind::kRandom;
+    p.spec.byzantine_b = 2;
+    p.byzantine.b = 2;
+    p.byzantine.mix = {sim::ByzantineBehavior::kLieFabricate,
+                       sim::ByzantineBehavior::kDropReply,
+                       sim::ByzantineBehavior::kLieStale,
+                       sim::ByzantineBehavior::kReplay};
+    p.membership_view = p.world.n;
+    p.op_max_attempts = 2;
+    return p;
+}
+
+const Fingerprint kGoldenByzantine = {
+    .sim_events = 47692,
+    .events_scheduled = 48528,
+    .events_fired = 47692,
+    .events_cancelled = 708,
+    .callback_heap_allocs = 0,
+    .grid_queries = 12218,
+    .grid_moves = 14636,
+    .grid_cell_crossings = 51,
+    .advertise_quorum = 22,
+    .lookup_quorum = 22,
+    .hits = 30,  // voting masks both adversaries: every lookup still hits
+    .intersects = 30,
+    .msgs_total = 21552,
+};
+
+TEST(GoldenDeterminism, ByzantineScenarioFingerprint) {
+    const ScenarioParams p = adversarial_params();
+    const ScenarioResult r = run_scenario(p);
+    const Fingerprint got = fingerprint_of(r, p);
+    EXPECT_TRUE(got == kGoldenByzantine)
+        << "adversarial fingerprint changed.\nexpected " << kGoldenByzantine
+        << "\ngot      " << got
+        << "\nIf the change is intended, update kGoldenByzantine and "
+           "justify the new numbers in the PR body.";
+    // Adversary accounting, pinned exactly (doubles holding integers).
+    EXPECT_EQ(r.byzantine_marked, 2.0);
+    EXPECT_EQ(r.byzantine_tampered, 14.0);
+}
+
+TEST(GoldenDeterminism, ByzantineRepeatRunBitIdentical) {
+    const ScenarioParams p = adversarial_params();
+    const ScenarioResult a = run_scenario(p);
+    const ScenarioResult b = run_scenario(p);
+    EXPECT_TRUE(fingerprint_of(a, p) == fingerprint_of(b, p));
+    for (const ScenarioMetric& m : scenario_metrics()) {
+        EXPECT_EQ(m.get(a), m.get(b)) << m.name;
+    }
+}
+
 TEST(GoldenDeterminism, RepeatRunBitIdentical) {
     // Independent of the hardcoded constants: two in-process runs of the
     // same seed must agree exactly (catches e.g. state leaking between

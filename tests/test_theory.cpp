@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "stat_test_util.h"
 #include "util/rng.h"
 
 namespace pqs::core {
@@ -321,12 +322,11 @@ TEST_P(MixAndMatchMonteCarlo, EmpiricalMissBelowBound) {
         }
         misses += hit ? 0 : 1;
     }
-    const double empirical = static_cast<double>(misses) / trials;
+    SCOPED_TRACE(::testing::Message() << "picker=" << picker
+                                      << " ql=" << ql);
     const double bound = nonintersection_upper_bound(qa, ql, n);
-    // Allow 3-sigma binomial slack above the bound.
-    const double sigma = std::sqrt(bound * (1.0 - bound) / trials);
-    EXPECT_LE(empirical, bound + 3.0 * sigma + 1e-9)
-        << "picker=" << picker << " ql=" << ql;
+    test::expect_rate_le(static_cast<std::size_t>(misses),
+                         static_cast<std::size_t>(trials), bound);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -350,7 +350,8 @@ TEST(MixAndMatch, ExactFormulaMatchesMonteCarlo) {
         misses += hit ? 0 : 1;
     }
     const double expected = nonintersection_exact(qa, ql, n);
-    EXPECT_NEAR(static_cast<double>(misses) / trials, expected, 0.01);
+    test::expect_rate_near(static_cast<std::size_t>(misses),
+                           static_cast<std::size_t>(trials), expected);
 }
 
 TEST(SizeEstimation, StatisticallySound) {
