@@ -46,11 +46,14 @@ int main(int argc, char** argv) {
     for (int i = 0; i < writes; ++i) {
         const auto writer = static_cast<util::NodeId>(rng.index(n));
         bool done = false;
-        reg.write(writer, 1000 + i, [&](bool ok, std::uint32_t version) {
-            std::printf("  write #%d by node %u -> version %u (%s)\n", i,
-                        writer, version, ok ? "quorum stored" : "partial");
-            done = true;
-        });
+        reg.write(writer, 1000 + i,
+                  [&](const core::RegisterService::WriteResult& r) {
+                      std::printf("  write #%d by node %u -> version %u "
+                                  "(%s)\n",
+                                  i, writer, r.version,
+                                  r.ok ? "quorum stored" : "partial");
+                      done = true;
+                  });
         while (!done && world.simulator().step()) {
         }
 

@@ -5,6 +5,9 @@
 #   BENCH_byzantine.json — b-masking failure-rate sweep vs the closed-form
 #                          bound + the end-to-end adversary scenario
 #                          (pqs.bench_byzantine/1)
+#   BENCH_frontier.json  — workload-aware quorum sizing vs the symmetric
+#                          default: analytic Lemma 5.6 frontier + measured
+#                          KV service traffic (pqs.bench_frontier/1)
 # Run it on the machine whose numbers you want to record (the committed
 # baselines come from the 1-core CI container), then commit the refreshed
 # files together with a README "Performance" note when the numbers move
@@ -25,21 +28,23 @@ MODE="${1:-full}"
 
 cmake -B build -S "$ROOT" >/dev/null
 cmake --build build -j "$JOBS" --target bench_kernel --target bench_scale \
-  --target bench_byzantine
+  --target bench_byzantine --target bench_frontier
 
 case "$MODE" in
   full)
     ./build/bench/bench_kernel --out BENCH_kernel.json
     ./build/bench/bench_scale --out BENCH_scale.json
     ./build/bench/bench_byzantine --out BENCH_byzantine.json
+    ./build/bench/bench_frontier --out BENCH_frontier.json
     ;;
   smoke)
     ./build/bench/bench_kernel --smoke --out BENCH_kernel.json
     ./build/bench/bench_scale --smoke --out BENCH_scale.json
     ./build/bench/bench_byzantine --smoke --out BENCH_byzantine.json
+    ./build/bench/bench_frontier --smoke --out BENCH_frontier.json
     ;;
   *) echo "usage: scripts/bench.sh [full|smoke]" >&2; exit 2 ;;
 esac
 
 python3 scripts/check_bench_json.py BENCH_kernel.json BENCH_scale.json \
-  BENCH_byzantine.json
+  BENCH_byzantine.json BENCH_frontier.json

@@ -28,6 +28,20 @@ pqs.bench_byzantine/1 (BENCH_byzantine.json):
   - every e2e point: rates in [0, 1], mrw_load in (0, 1]; tampered == 0
     at b == 0 and tampered > 0 at b > 0.
 
+pqs.bench_frontier/1 (BENCH_frontier.json):
+  - mode in {smoke, full}; non-empty analytic.mixes and measured.mixes;
+  - every analytic mix: best and symmetric configs with sizes > 0,
+    eps_bound in (0, eps], best.objective <= symmetric.objective
+    (the optimizer must never lose to the Corollary 5.3 default), and a
+    frontier ascending in msgs_per_op / strictly descending in
+    load_per_op;
+  - >= 2 analytic mixes with strictly positive improvement;
+  - every measured mix: symmetric / optimized / optimized_cached configs
+    with issued > 0, rates in [0, 1], mrw_load in (0, 1];
+    optimized.msgs_per_op < symmetric.msgs_per_op at EVERY mix (the
+    workload-aware sizing must beat symmetric on the wire, not just on
+    paper), and the quorum cache must not inflate messages.
+
 A broken bench emitter (or a hand-edited baseline) fails scripts/check.sh
 instead of silently corrupting the bench trajectory.
 
@@ -222,10 +236,158 @@ def check_byzantine(path, doc):
     return errors
 
 
+def _check_candidate(path, where, cand, eps, errors):
+    """Validate one optimizer candidate config; returns the error count."""
+    if not isinstance(cand, dict):
+        return errors + fail(path, where + " is not an object")
+    for key in ("advertise", "lookup"):
+        value = cand.get(key)
+        if not isinstance(value, int) or value <= 0:
+            errors += fail(path, "%s.%s must be a positive int" % (where,
+                                                                   key))
+    bound = cand.get("eps_bound")
+    if not isinstance(bound, (int, float)) or not 0 < bound <= eps + 1e-12:
+        errors += fail(path, "%s.eps_bound must be in (0, eps=%g] (got %r)"
+                       % (where, eps, bound))
+    for key in ("msgs_per_op", "load_per_op", "objective"):
+        value = cand.get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            errors += fail(path, "%s.%s must be a positive number"
+                           % (where, key))
+    return errors
+
+
+def check_frontier(path, doc):
+    errors = 0
+    if doc.get("mode") not in ("smoke", "full"):
+        errors += fail(path, "mode must be 'smoke' or 'full' (got %r)"
+                       % doc.get("mode"))
+
+    analytic = doc.get("analytic")
+    if not isinstance(analytic, dict):
+        return errors + fail(path, "analytic must be an object")
+    eps = analytic.get("eps")
+    if not isinstance(eps, (int, float)) or not 0 < eps < 1:
+        return errors + fail(path, "analytic.eps must be in (0, 1)")
+    mixes = analytic.get("mixes")
+    if not isinstance(mixes, list) or not mixes:
+        return errors + fail(path, "analytic.mixes must be a non-empty "
+                             "list")
+    strict_wins = 0
+    for i, mix in enumerate(mixes):
+        where = "analytic.mixes[%d]" % i
+        if not isinstance(mix, dict):
+            errors += fail(path, where + " is not an object")
+            continue
+        best = mix.get("best")
+        symmetric = mix.get("symmetric")
+        errors = _check_candidate(path, where + ".best", best, eps, errors)
+        errors = _check_candidate(path, where + ".symmetric", symmetric,
+                                  eps, errors)
+        if isinstance(best, dict) and isinstance(symmetric, dict):
+            b = best.get("objective")
+            s = symmetric.get("objective")
+            if (isinstance(b, (int, float)) and isinstance(s, (int, float))
+                    and b > s + 1e-9):
+                errors += fail(path, where + ": optimizer objective %g "
+                               "loses to symmetric sizing %g" % (b, s))
+        improvement = mix.get("improvement")
+        if not isinstance(improvement, (int, float)):
+            errors += fail(path, where + ".improvement must be a number")
+        elif improvement > 1e-3:
+            strict_wins += 1
+        frontier = mix.get("frontier")
+        if not isinstance(frontier, list) or not frontier:
+            errors += fail(path, where + ".frontier must be a non-empty "
+                           "list")
+            continue
+        for j in range(1, len(frontier)):
+            prev, cur = frontier[j - 1], frontier[j]
+            if not isinstance(prev, dict) or not isinstance(cur, dict):
+                errors += fail(path, "%s.frontier[%d] is not an object"
+                               % (where, j))
+                continue
+            if cur.get("msgs_per_op", 0) < prev.get("msgs_per_op", 0):
+                errors += fail(path, "%s.frontier not ascending in "
+                               "msgs_per_op at [%d]" % (where, j))
+            if cur.get("load_per_op", 0) >= prev.get("load_per_op", 0):
+                errors += fail(path, "%s.frontier not strictly descending "
+                               "in load_per_op at [%d]" % (where, j))
+    if strict_wins < 2:
+        errors += fail(path, "optimizer must beat symmetric sizing "
+                       "strictly at >= 2 mixes (got %d)" % strict_wins)
+
+    measured = doc.get("measured")
+    if not isinstance(measured, dict):
+        return errors + fail(path, "measured must be an object")
+    m_mixes = measured.get("mixes")
+    if not isinstance(m_mixes, list) or not m_mixes:
+        return errors + fail(path, "measured.mixes must be a non-empty "
+                             "list")
+    for i, mix in enumerate(m_mixes):
+        where = "measured.mixes[%d]" % i
+        if not isinstance(mix, dict):
+            errors += fail(path, where + " is not an object")
+            continue
+        configs = mix.get("configs")
+        if not isinstance(configs, list) or not configs:
+            errors += fail(path, where + ".configs must be a non-empty "
+                           "list")
+            continue
+        by_label = {}
+        for j, cfg in enumerate(configs):
+            cwhere = "%s.configs[%d]" % (where, j)
+            if not isinstance(cfg, dict):
+                errors += fail(path, cwhere + " is not an object")
+                continue
+            by_label[cfg.get("label")] = cfg
+            if not isinstance(cfg.get("issued"), int) or cfg["issued"] <= 0:
+                errors += fail(path, cwhere + ".issued must be a positive "
+                               "int")
+            for key in ("timeout_rate", "inconclusive_rate",
+                        "cache_hit_rate"):
+                value = cfg.get(key)
+                if (not isinstance(value, (int, float))
+                        or not 0 <= value <= 1):
+                    errors += fail(path, "%s.%s must be in [0, 1]"
+                                   % (cwhere, key))
+            load = cfg.get("mrw_load")
+            if not isinstance(load, (int, float)) or not 0 < load <= 1:
+                errors += fail(path, cwhere + ".mrw_load must be in "
+                               "(0, 1]")
+            msgs = cfg.get("msgs_per_op")
+            if not isinstance(msgs, (int, float)) or msgs <= 0:
+                errors += fail(path, cwhere + ".msgs_per_op must be a "
+                               "positive number")
+        for label in ("symmetric", "optimized", "optimized_cached"):
+            if label not in by_label:
+                errors += fail(path, where + " is missing config %r"
+                               % label)
+        sym = by_label.get("symmetric")
+        opt = by_label.get("optimized")
+        cached = by_label.get("optimized_cached")
+        if isinstance(sym, dict) and isinstance(opt, dict):
+            s, o = sym.get("msgs_per_op"), opt.get("msgs_per_op")
+            if (isinstance(s, (int, float)) and isinstance(o, (int, float))
+                    and o >= s):
+                errors += fail(path, "%s: optimized msgs/op %g does not "
+                               "beat symmetric %g — the workload-aware "
+                               "sizing lost on the wire" % (where, o, s))
+        if isinstance(opt, dict) and isinstance(cached, dict):
+            o, c = opt.get("msgs_per_op"), cached.get("msgs_per_op")
+            if (isinstance(o, (int, float)) and isinstance(c, (int, float))
+                    and c > o * 1.02):
+                errors += fail(path, "%s: the quorum cache inflated "
+                               "msgs/op (%g vs %g uncached)"
+                               % (where, c, o))
+    return errors
+
+
 SCHEMAS = {
     "pqs.bench_kernel/1": check_kernel,
     "pqs.bench_scale/1": check_scale,
     "pqs.bench_byzantine/1": check_byzantine,
+    "pqs.bench_frontier/1": check_frontier,
 }
 
 

@@ -32,9 +32,13 @@ LoadSummary summarize_load(const ServiceContext& ctx) {
     summary.cv = summary.mean > 0.0
                      ? std::sqrt(std::max(0.0, var)) / summary.mean
                      : 0.0;
-    if (ctx.load.accesses() > 0) {
+    // Denominator: resolved accesses (see LoadAccountant) — ops still in
+    // flight at summary time already touched nodes and must not dilute
+    // L(S). Identical to the historical accesses() count whenever every
+    // access resolved before the summary was taken.
+    if (ctx.load.access_denominator() > 0) {
         summary.mrw_load =
-            summary.max / static_cast<double>(ctx.load.accesses());
+            summary.max / static_cast<double>(ctx.load.access_denominator());
     }
     return summary;
 }

@@ -297,6 +297,19 @@ public:
                         Value value, obs::TraceId trace,
                         AccessCallback done) = 0;
 
+    // Like access(), but aimed at a caller-provided target set (a cached
+    // quorum) instead of a fresh random pick. Strategies without a notion
+    // of explicit targets ignore the hint and fall back to access().
+    // Directed accesses must NOT self-heal around dead targets (no §6.2
+    // replacements): a stale cache entry has to miss so the caller can
+    // detect it and re-resolve.
+    virtual void access_directed(AccessKind kind, util::NodeId origin,
+                                 util::Key key, Value value,
+                                 const std::vector<util::NodeId>& /*targets*/,
+                                 obs::TraceId trace, AccessCallback done) {
+        access(kind, origin, key, value, trace, std::move(done));
+    }
+
     // Reverse-path reply addressed to one of this strategy's ops.
     virtual void on_reverse_reply(util::NodeId /*origin*/,
                                   const ReverseReplyMsg& /*msg*/) {}

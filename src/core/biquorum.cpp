@@ -135,6 +135,18 @@ void BiquorumSystem::lookup(util::NodeId origin, util::Key key,
                       ctx_.world.simulator().now(), std::move(done), 1);
 }
 
+void BiquorumSystem::lookup_directed(util::NodeId origin, util::Key key,
+                                     const std::vector<util::NodeId>& targets,
+                                     AccessCallback done) {
+    ctx_.load.count_access();
+    const obs::TraceId trace = obs::maybe_new_trace();
+    obs::record(trace, obs::EventKind::kSpanBegin, origin,
+                static_cast<std::uint64_t>(AccessKind::kLookup), key);
+    access_with_retry(AccessKind::kLookup, origin, key, 0, trace,
+                      ctx_.world.simulator().now(), std::move(done), 1,
+                      &targets);
+}
+
 namespace {
 
 // Exponential backoff before attempt `attempt + 1`.
@@ -161,15 +173,13 @@ struct RetryState {
 
 }  // namespace
 
-void BiquorumSystem::access_with_retry(AccessKind kind, util::NodeId origin,
-                                       util::Key key, Value value,
-                                       obs::TraceId trace,
-                                       sim::Time first_issue,
-                                       AccessCallback done, int attempt) {
+void BiquorumSystem::access_with_retry(
+    AccessKind kind, util::NodeId origin, util::Key key, Value value,
+    obs::TraceId trace, sim::Time first_issue, AccessCallback done,
+    int attempt, const std::vector<util::NodeId>* directed) {
     AccessStrategy& strategy =
         kind == AccessKind::kAdvertise ? *advertise_ : *lookup_;
-    strategy.access(
-        kind, origin, key, value, trace,
+    auto on_attempt =
         [this, kind, origin, key, value, trace, first_issue, attempt,
          done = std::move(done)](const AccessResult& raw) mutable {
             AccessResult r = raw;
@@ -203,6 +213,10 @@ void BiquorumSystem::access_with_retry(AccessKind kind, util::NodeId origin,
             if (r.timed_out) {
                 obs::record(trace, obs::EventKind::kOpTimeout, origin);
             }
+            // Final resolution (timeouts included — their timer fired):
+            // this access now counts in the L(S) denominator. Ops still
+            // in flight at teardown never reach this point.
+            ctx_.load.count_access_resolved();
             obs::record(trace, obs::EventKind::kSpanEnd, origin,
                         static_cast<std::uint64_t>(kind),
                         static_cast<std::uint64_t>(r.ok));
@@ -216,7 +230,14 @@ void BiquorumSystem::access_with_retry(AccessKind kind, util::NodeId origin,
                     ctx_.world.simulator().now() - first_issue;
                 done(final_result);
             }
-        });
+        };
+    if (directed != nullptr) {
+        strategy.access_directed(kind, origin, key, value, *directed, trace,
+                                 std::move(on_attempt));
+    } else {
+        strategy.access(kind, origin, key, value, trace,
+                        std::move(on_attempt));
+    }
 }
 
 }  // namespace pqs::core

@@ -56,6 +56,14 @@ public:
     // One lookup-quorum access (same retry behavior).
     void lookup(util::NodeId origin, util::Key key, AccessCallback done);
 
+    // Lookup aimed at a cached target set (svc/ per-key quorum cache):
+    // the first attempt contacts `targets` directly (no §6.2 replacement
+    // healing, so stale members genuinely miss); any retries fall back to
+    // fresh random quorums.
+    void lookup_directed(util::NodeId origin, util::Key key,
+                         const std::vector<util::NodeId>& targets,
+                         AccessCallback done);
+
     LocalStore& store(util::NodeId id) { return ctx_.store(id); }
 
     // Installs handlers on a late-joining node (wired automatically via the
@@ -66,10 +74,14 @@ private:
     // One access plus its (possible) retries. `attempt` is 1-based.
     // `first_issue` is when attempt 1 was issued: the final result's
     // latency spans from there, so retries and backoff delays count.
+    // `directed` (may be null) aims the first attempt at a caller-given
+    // target set; retries always revert to fresh random quorums.
     void access_with_retry(AccessKind kind, util::NodeId origin,
                            util::Key key, Value value, obs::TraceId trace,
                            sim::Time first_issue, AccessCallback done,
-                           int attempt);
+                           int attempt,
+                           const std::vector<util::NodeId>* directed =
+                               nullptr);
 
     // b-masking post-processing of one lookup attempt (byzantine_b > 0):
     // keeps the result only if some value got > b concurring replies,

@@ -5,12 +5,13 @@
 namespace pqs::core {
 
 double LoadAccountant::max_access_probability() const {
-    if (accesses_ == 0 || touches_.empty()) {
+    const std::uint64_t denominator = access_denominator();
+    if (denominator == 0 || touches_.empty()) {
         return 0.0;
     }
     const std::uint64_t busiest =
         *std::max_element(touches_.begin(), touches_.end());
-    return static_cast<double>(busiest) / static_cast<double>(accesses_);
+    return static_cast<double>(busiest) / static_cast<double>(denominator);
 }
 
 }  // namespace pqs::core

@@ -20,6 +20,13 @@ public:
     // One top-level quorum access (advertise or lookup) was issued.
     void count_access() { ++accesses_; }
 
+    // A previously issued access reached its final resolution (success,
+    // miss, or timeout — all of them resolve; only ops still in flight at
+    // teardown never do). Keeping issue and resolution separate stops
+    // open-loop overload runs from flattering L(S): an in-flight access
+    // has already touched nodes, so it must not pad the denominator.
+    void count_access_resolved() { ++resolved_; }
+
     // Node `id` served a quorum request (stored an advertise, answered or
     // checked a lookup).
     void count_touch(util::NodeId id) {
@@ -30,18 +37,28 @@ public:
     }
 
     std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t resolved() const { return resolved_; }
     std::uint64_t touches(util::NodeId id) const {
         return id < touches_.size() ? touches_[id] : 0;
     }
     const std::vector<std::uint64_t>& touch_table() const { return touches_; }
 
+    // Denominator for L(S): resolved accesses when any resolution was
+    // recorded, else the issue count (callers that never wire resolution
+    // keep the historical behavior; fully-resolved runs are identical
+    // either way since resolved == accesses there).
+    std::uint64_t access_denominator() const {
+        return resolved_ > 0 ? resolved_ : accesses_;
+    }
+
     // MRW load estimate: the empirical access probability of the busiest
-    // node, max_i touches(i)/accesses. 0 before any access.
+    // node, max_i touches(i)/access_denominator(). 0 before any access.
     double max_access_probability() const;
 
 private:
     std::vector<std::uint64_t> touches_;
     std::uint64_t accesses_ = 0;
+    std::uint64_t resolved_ = 0;
 };
 
 }  // namespace pqs::core

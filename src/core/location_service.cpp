@@ -20,6 +20,14 @@ void LocationService::advertise(util::NodeId origin, util::Key key,
     biquorum_.advertise(origin, key, value, std::move(done));
 }
 
+void LocationService::record_published(util::NodeId origin, util::Key key,
+                                       Value value) {
+    if (origin >= published_.size()) {
+        published_.resize(origin + 1);
+    }
+    published_[origin][key] = value;
+}
+
 void LocationService::lookup(util::NodeId origin, util::Key key,
                              AccessCallback done) {
     biquorum_.lookup(origin, key, std::move(done));

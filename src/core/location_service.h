@@ -31,6 +31,15 @@ public:
     // quorums need no reconfiguration after churn — only a refresh).
     void refresh(util::NodeId origin, AccessCallback per_key_done = nullptr);
 
+    // Registers key -> value in `origin`'s published set WITHOUT issuing
+    // an advertise access. For clients that advertise through biquorum()
+    // directly (the svc/ key-value path stores packed versioned values via
+    // the register protocol) but still want QuorumRefresher to keep their
+    // keys alive under churn. The stored value is whatever the caller last
+    // recorded; with a monotonic advertise side, refreshing a superseded
+    // value is harmless.
+    void record_published(util::NodeId origin, util::Key key, Value value);
+
     // Keys `node` has published (its own advertisements, not stored data).
     const std::unordered_map<util::Key, Value>& published(
         util::NodeId node) const;

@@ -91,6 +91,9 @@ void QuorumRefresher::tick(util::NodeId node) {
     if (service_.world().alive(node) && !service_.published(node).empty()) {
         service_.refresh(node);
         ++refreshes_;
+        if (on_refresh_) {
+            on_refresh_(node);
+        }
     }
     timers_[node] = service_.world().simulator().schedule_in(
         interval_, [this, node] { tick(node); });

@@ -4,6 +4,7 @@
 // sizes to n(t).
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <unordered_map>
 
@@ -63,6 +64,14 @@ public:
     sim::Time interval() const { return interval_; }
     std::size_t refreshes_performed() const { return refreshes_; }
 
+    // Invoked after a node's keys were re-advertised. A re-advertise picks
+    // fresh advertise quorums, so any cached lookup quorum for that node's
+    // keys is stale from this moment — the svc/ key-value layer hooks this
+    // to invalidate its per-key quorum cache.
+    void set_on_refresh(std::function<void(util::NodeId)> hook) {
+        on_refresh_ = std::move(hook);
+    }
+
 private:
     void tick(util::NodeId node);
 
@@ -70,6 +79,7 @@ private:
     Params params_;
     sim::Time interval_;
     std::size_t refreshes_ = 0;
+    std::function<void(util::NodeId)> on_refresh_;
     // Pending tick per node (cancellable).
     std::unordered_map<util::NodeId, sim::EventId> timers_;
 };

@@ -8,6 +8,7 @@
 
 #include "obs/trace.h"
 #include "sim/time.h"
+#include "util/ids.h"
 
 namespace pqs::core {
 
@@ -25,6 +26,10 @@ struct AccessResult {
     // With StrategyConfig::collect_all_replies: every value returned by a
     // quorum member (used by registers to select the highest version).
     std::vector<Value> values;
+    // With collect_all_replies: the quorum member that sent values[i] is
+    // responders[i]. Lets callers remember which concrete nodes answered
+    // (e.g. the svc/ per-key quorum cache re-targets them directly).
+    std::vector<util::NodeId> responders;
     // Distinct quorum nodes contacted by this access.
     std::size_t nodes_contacted = 0;
     // Virtual time from the first issue of the access to its final

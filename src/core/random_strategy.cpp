@@ -130,6 +130,8 @@ void RandomStrategy::attach_node(util::NodeId id) {
                 if (reply->found) {
                     if (config_.collect_all_replies) {
                         entry->state.collected.push_back(reply->value);
+                        entry->state.responder_ids.push_back(
+                            reply->responder);
                         maybe_finish(reply->op);
                     } else {
                         finish(reply->op, true, reply->value);
@@ -173,6 +175,51 @@ void RandomStrategy::access(AccessKind kind, util::NodeId origin,
     }
 
     entry->state.targets = pick_targets(origin, config_.quorum_size);
+    launch_targets(op, origin);
+}
+
+void RandomStrategy::access_directed(AccessKind kind, util::NodeId origin,
+                                     util::Key key, Value value,
+                                     const std::vector<util::NodeId>& targets,
+                                     obs::TraceId trace, AccessCallback done) {
+    if (mode_ == Mode::kSampling || targets.empty()) {
+        // Walk terminals are not addressable; an empty hint means the
+        // caller has nothing cached. Either way: a plain access.
+        access(kind, origin, key, value, trace, std::move(done));
+        return;
+    }
+    const util::AccessId op = next_op(origin);
+    auto probe = std::make_shared<IntersectionProbe>();
+    auto entry = ops_.open(op, std::move(done), ctx_.op_timeout,
+                           [probe](AccessResult& r) {
+                               r.intersected = probe->intersected;
+                           });
+    entry->state.kind = kind;
+    entry->state.key = key;
+    entry->state.value = value;
+    entry->state.probe = std::move(probe);
+    entry->state.serial = config_.serial && kind == AccessKind::kLookup;
+    // No §6.2 replacements: a dead cached target must produce a visible
+    // miss, not a silently healed quorum (the caller owns invalidation).
+    entry->state.replacements_left = 0;
+    entry->state.trace = trace;
+    // Exactly the given targets, no random top-up: a directed access aims
+    // at nodes *known* to hold the key (prior responders), so padding to
+    // |Qℓ| would re-pay the random-quorum message cost the cache exists
+    // to avoid — and would silently heal a dead cached set, hiding the
+    // staleness the caller is responsible for evicting on.
+    entry->state.targets = targets;
+    if (entry->state.targets.size() > config_.quorum_size) {
+        entry->state.targets.resize(config_.quorum_size);
+    }
+    launch_targets(op, origin);
+}
+
+void RandomStrategy::launch_targets(util::AccessId op, util::NodeId origin) {
+    auto entry = ops_.find(op);
+    if (!entry) {
+        return;
+    }
     entry->state.target_quorum = entry->state.targets.size();
     if (entry->state.targets.empty()) {
         finish(op, false, 0);
@@ -311,6 +358,7 @@ void RandomStrategy::finish(util::AccessId op, bool hit, Value value) {
         result.intersected =
             result.ok || (state.probe && state.probe->intersected);
         result.values = state.collected;
+        result.responders = state.responder_ids;
         if (hit) {
             result.value = value;
         } else if (!state.collected.empty()) {

@@ -28,6 +28,15 @@ public:
     void access(AccessKind kind, util::NodeId origin, util::Key key,
                 Value value, obs::TraceId trace,
                 AccessCallback done) override;
+    // Directed access (membership mode): contacts the given targets
+    // (truncated/topped-up to the configured quorum size) with §6.2
+    // replacements disabled, so a dead cached target genuinely misses
+    // instead of being silently healed. Sampling mode has no addressable
+    // targets and falls back to a plain access.
+    void access_directed(AccessKind kind, util::NodeId origin, util::Key key,
+                         Value value,
+                         const std::vector<util::NodeId>& targets,
+                         obs::TraceId trace, AccessCallback done) override;
     void on_reverse_reply(util::NodeId origin,
                           const ReverseReplyMsg& msg) override;
 
@@ -45,6 +54,8 @@ private:
         bool serial = false;
         std::shared_ptr<IntersectionProbe> probe;
         std::vector<Value> collected;  // collect_all_replies mode
+        // Parallel to `collected`: which quorum member sent each value.
+        std::vector<util::NodeId> responder_ids;
         int replacements_left = 0;     // §6.2 application adaptation
         bool all_sent = false;
         std::size_t walks_ended = 0;  // sampling mode
@@ -54,6 +65,8 @@ private:
 
     std::vector<util::NodeId> pick_targets(util::NodeId origin,
                                            std::size_t k);
+    // Issues the op's already-chosen target list (serial or parallel).
+    void launch_targets(util::AccessId op, util::NodeId origin);
     void send_to_target(util::AccessId op, util::NodeId origin,
                         util::NodeId target);
     void on_target_resolved(util::AccessId op, util::NodeId origin,

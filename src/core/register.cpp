@@ -20,7 +20,7 @@ RegisterService::RegisterService(BiquorumSystem& biquorum, util::Key key)
     }
 }
 
-Versioned RegisterService::max_of(const AccessResult& r, std::size_t b) {
+Versioned highest_versioned(const AccessResult& r, std::size_t b) {
     Value best = 0;
     if (b == 0) {
         for (const Value v : r.values) {
@@ -53,8 +53,8 @@ void RegisterService::read(util::NodeId origin, ReadCallback done,
                          ReadResult result;
                          result.ok = r.ok;
                          result.inconclusive = r.inconclusive;
-                         result.value =
-                             max_of(r, biquorum_.spec().byzantine_b);
+                         result.value = highest_versioned(
+                             r, biquorum_.spec().byzantine_b);
                          if (!write_back || !r.ok) {
                              done(result);
                              return;
@@ -77,17 +77,34 @@ void RegisterService::write(util::NodeId origin, std::uint32_t data,
         [this, origin, data, done = std::move(done)](const AccessResult& r) {
             if (r.inconclusive) {
                 // Masking failed: the version base cannot be trusted, and
-                // writing version max_of()+1 could regress the register.
-                done(false, 0);
+                // writing highest_versioned()+1 could regress the register.
+                WriteResult result;
+                result.inconclusive = true;
+                done(result);
                 return;
             }
-            const std::uint32_t next_version =
-                max_of(r, biquorum_.spec().byzantine_b).version + 1;
+            const Versioned base =
+                highest_versioned(r, biquorum_.spec().byzantine_b);
+            if (base.version == kMaxVersion) {
+                // Version counter saturated: wrapping to 0 would pack
+                // below every stored value, so the monotonic store would
+                // drop the write on nodes holding the high version and
+                // accept it on nodes that do not — a silent fork. Refuse.
+                WriteResult result;
+                result.overflow = true;
+                result.version = kMaxVersion;
+                done(result);
+                return;
+            }
+            const std::uint32_t next_version = base.version + 1;
             // Phase 2: store the new version at an advertise quorum.
             biquorum_.advertise(
                 origin, key_, pack(Versioned{next_version, data}),
                 [next_version, done](const AccessResult& adv) {
-                    done(adv.ok, next_version);
+                    WriteResult result;
+                    result.ok = adv.ok;
+                    result.version = next_version;
+                    done(result);
                 });
         });
 }

@@ -33,6 +33,13 @@ struct Versioned {
     friend bool operator==(const Versioned&, const Versioned&) = default;
 };
 
+// The last representable version. A write that would need kMaxVersion + 1
+// must fail with WriteResult::overflow instead of wrapping to 0: a wrapped
+// write packs below every existing value, so the monotonic store would
+// silently discard it — or, worse, clobber data on nodes that never saw
+// the high-version value.
+inline constexpr std::uint32_t kMaxVersion = 0xffffffffu;
+
 constexpr Value pack(Versioned v) {
     return (static_cast<Value>(v.version) << 32) | v.data;
 }
@@ -41,6 +48,12 @@ constexpr Versioned unpack(Value value) {
     return Versioned{static_cast<std::uint32_t>(value >> 32),
                      static_cast<std::uint32_t>(value & 0xffffffffULL)};
 }
+
+// Highest version among trustworthy replies of a collected lookup: all of
+// them at b = 0, only values with > b concurring replies under b-masking
+// (a forged reply can carry an arbitrarily high version). Shared by
+// RegisterService and the svc/ key-value path.
+Versioned highest_versioned(const AccessResult& r, std::size_t b);
 
 class RegisterService {
 public:
@@ -62,17 +75,24 @@ public:
     void read(util::NodeId origin, ReadCallback done,
               bool write_back = false);
 
-    using WriteCallback =
-        std::function<void(bool ok, std::uint32_t version)>;
+    struct WriteResult {
+        bool ok = false;
+        // The register's version counter is saturated (phase 1 observed
+        // kMaxVersion): the write was refused rather than wrapped to
+        // version 0, which would clobber newer data (§6.1 monotonicity).
+        bool overflow = false;
+        // b-masking: phase 1 could not establish a trustworthy version
+        // base, so no version was assigned.
+        bool inconclusive = false;
+        // On ok: the version this write stored. On overflow: kMaxVersion.
+        std::uint32_t version = 0;
+    };
+    using WriteCallback = std::function<void(const WriteResult&)>;
     void write(util::NodeId origin, std::uint32_t data, WriteCallback done);
 
     util::Key key() const { return key_; }
 
 private:
-    // Highest version among trustworthy replies: all of them at b = 0,
-    // only values with > b concurring replies under b-masking.
-    static Versioned max_of(const AccessResult& r, std::size_t b);
-
     BiquorumSystem& biquorum_;
     util::Key key_;
 };

@@ -59,4 +59,16 @@ double LatencyHistogram::quantile(double q) const {
     return 0.0;  // unreachable while total_ > 0
 }
 
+LatencyHistogram::Summary LatencyHistogram::summary() const {
+    Summary s;
+    s.count = total_;
+    if (total_ == 0) {
+        return s;
+    }
+    s.p50_s = quantile(0.50);
+    s.p95_s = quantile(0.95);
+    s.p99_s = quantile(0.99);
+    return s;
+}
+
 }  // namespace pqs::obs

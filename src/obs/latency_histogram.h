@@ -29,6 +29,15 @@ class LatencyHistogram {
     // bucket holding the ceil(q * total)-th smallest sample. 0 when empty.
     double quantile(double q) const;
 
+    // The tail triple every perf report wants, computed in one pass.
+    struct Summary {
+        double p50_s = 0.0;
+        double p95_s = 0.0;
+        double p99_s = 0.0;
+        std::uint64_t count = 0;
+    };
+    Summary summary() const;
+
     std::uint64_t bucket_count(std::size_t i) const { return counts_[i]; }
 
     // Exposed for tests: bucket index for a value and the inclusive lower

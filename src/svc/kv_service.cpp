@@ -1,0 +1,194 @@
+#include "svc/kv_service.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pqs::svc {
+
+KvService::KvService(core::LocationService& location, Params params)
+    : loc_(location),
+      params_(params),
+      byzantine_b_(location.biquorum().spec().byzantine_b) {
+    const core::BiquorumSpec& spec = loc_.biquorum().spec();
+    if (!spec.lookup.collect_all_replies) {
+        throw std::invalid_argument(
+            "KvService: lookup side must collect_all_replies so reads see "
+            "the highest version (and so responders are recorded)");
+    }
+    if (!spec.advertise.monotonic_store) {
+        throw std::invalid_argument(
+            "KvService: advertise side must use monotonic_store so an old "
+            "write cannot clobber a newer one");
+    }
+}
+
+KvService::~KvService() {
+    if (flush_timer_ != sim::kInvalidEvent) {
+        loc_.world().simulator().cancel(flush_timer_);
+    }
+}
+
+void KvService::read(util::NodeId origin, util::Key key, ReadCallback done) {
+    std::vector<util::NodeId> targets;
+    if (params_.cache_quorums) {
+        const auto it = cache_.find(key);
+        if (it != cache_.end()) {
+            targets = it->second;  // copy: the access may outlive the entry
+        }
+    }
+    const bool directed = !targets.empty();
+    auto handler = [this, key, directed,
+                    done = std::move(done)](const core::AccessResult& r) {
+        KvReadResult out;
+        out.ok = r.ok;
+        out.inconclusive = r.inconclusive;
+        out.timed_out = r.timed_out;
+        // Served by the cache only if the cached quorum answered cleanly:
+        // attempts == 1 excludes random-retry recoveries, !timed_out
+        // excludes "resolved with partial replies at op_timeout" — a
+        // cached quorum whose dead members stalled the read for the full
+        // timeout did not serve it, and should be evicted like a miss.
+        out.from_cache =
+            directed && r.ok && r.attempts == 1 && !r.timed_out;
+        if (r.ok) {
+            out.value = core::highest_versioned(r, byzantine_b_);
+        }
+        if (directed) {
+            if (out.from_cache) {
+                ++cache_hits_;
+            } else {
+                ++cache_misses_;
+                if (params_.cache_invalidation) {
+                    evict(key);
+                }
+            }
+        }
+        if (params_.cache_quorums && r.ok && !r.responders.empty()) {
+            cache_[key] = r.responders;
+        }
+        if (done) {
+            done(out);
+        }
+    };
+    if (directed) {
+        loc_.biquorum().lookup_directed(origin, key, targets,
+                                        std::move(handler));
+    } else {
+        loc_.biquorum().lookup(origin, key, std::move(handler));
+    }
+}
+
+void KvService::write(util::NodeId origin, util::Key key, std::uint32_t data,
+                      WriteCallback done) {
+    // Phase 1: full (undirected) lookup for the current version. Writes
+    // never use the cache — a missed base version is how a wrapped
+    // counter clobbers data, so the write path always pays for a fresh
+    // quorum.
+    loc_.biquorum().lookup(
+        origin, key,
+        [this, origin, key, data,
+         done = std::move(done)](const core::AccessResult& r) {
+            if (r.inconclusive) {
+                KvWriteResult out;
+                out.inconclusive = true;
+                if (done) done(out);
+                return;
+            }
+            const core::Versioned base =
+                core::highest_versioned(r, byzantine_b_);
+            if (base.version == core::kMaxVersion) {
+                KvWriteResult out;
+                out.overflow = true;
+                out.version = core::kMaxVersion;
+                if (done) done(out);
+                return;
+            }
+            const std::uint32_t next = base.version + 1;
+            const core::Value packed =
+                core::pack(core::Versioned{next, data});
+            // Register with the location service (not via advertise(), so
+            // no duplicate access) so QuorumRefresher keeps the key alive.
+            loc_.record_published(origin, key, packed);
+            finish_write(origin, key, packed, next, std::move(done));
+        });
+}
+
+void KvService::finish_write(util::NodeId origin, util::Key key,
+                             core::Value packed, std::uint32_t version,
+                             WriteCallback done) {
+    if (params_.batch_window <= 0) {
+        loc_.biquorum().advertise(
+            origin, key, packed,
+            [version, done = std::move(done)](const core::AccessResult& adv) {
+                KvWriteResult out;
+                out.ok = adv.ok;
+                out.version = version;
+                if (done) done(out);
+            });
+        return;
+    }
+    PendingAdvertise& pending = batch_[key];
+    if (pending.waiters.empty() || packed > pending.value) {
+        pending.origin = origin;
+        pending.value = packed;  // newest version wins the flush
+    } else {
+        ++batched_writes_;  // coalesced behind a newer pending write
+    }
+    pending.waiters.push_back(Waiter{version, std::move(done)});
+    if (flush_timer_ == sim::kInvalidEvent) {
+        flush_timer_ = loc_.world().simulator().schedule_in(
+            params_.batch_window, [this] { flush_batch(); });
+    }
+}
+
+void KvService::flush_batch() {
+    flush_timer_ = sim::kInvalidEvent;
+    ++batch_flushes_;
+    // One advertise per key carries the newest pending version; every
+    // waiter behind it resolves off that single access (monotonic stores
+    // make advertising only the max equivalent to advertising each).
+    std::map<util::Key, PendingAdvertise> batch = std::move(batch_);
+    batch_.clear();
+    for (auto& [key, pending] : batch) {
+        loc_.biquorum().advertise(
+            pending.origin, key, pending.value,
+            [waiters = std::move(pending.waiters)](
+                const core::AccessResult& adv) {
+                for (const Waiter& w : waiters) {
+                    KvWriteResult out;
+                    out.ok = adv.ok;
+                    out.version = w.version;
+                    if (w.done) w.done(out);
+                }
+            });
+    }
+}
+
+void KvService::on_node_refreshed(util::NodeId node) {
+    (void)node;
+    if (!params_.cache_invalidation || cache_.empty()) {
+        return;
+    }
+    // A refresh signals churn reached this node's advertise quorums; the
+    // cached lookup quorums aged over the same churn, so drop them all.
+    // Per-key precision is not worth tracking: re-resolving a key is one
+    // cold lookup.
+    cache_invalidations_ += cache_.size();
+    cache_.clear();
+}
+
+void KvService::set_lookup_quorum_size(std::size_t size) {
+    loc_.biquorum().lookup_strategy().set_quorum_size(size);
+    if (params_.cache_invalidation && !cache_.empty()) {
+        cache_invalidations_ += cache_.size();
+        cache_.clear();
+    }
+}
+
+void KvService::evict(util::Key key) {
+    if (cache_.erase(key) > 0) {
+        ++cache_invalidations_;
+    }
+}
+
+}  // namespace pqs::svc

@@ -1,0 +1,137 @@
+// Service layer over the probabilistic biquorum: a versioned key-value
+// store that applies the register protocol (ABD two-phase, §2.5/§10)
+// per key, plus the machinery sustained traffic needs and a single
+// register never exercises:
+//
+//  - a per-key lookup-quorum cache: a successful collected lookup
+//    remembers which concrete nodes replied and aims the next read at
+//    them directly (sound by Mix-and-Match Lemma 5.2 — the ε guarantee
+//    only needs the *advertise* side random, so any fixed lookup set
+//    still ε-intersects every fresh advertise quorum). The cache goes
+//    stale when members die: invalidation is wired to QuorumRefresher
+//    re-advertises (the churn signal), size-estimator resizes, and
+//    directed misses. `Params::cache_invalidation = false` replays the
+//    pre-fix behavior where none of those evict and the hit rate never
+//    recovers after a churn burst.
+//  - advertisement batching: phase-2 advertises within a flush window
+//    are coalesced per key (newest version wins), cutting advertise
+//    accesses under write bursts to hot keys.
+//  - version-overflow refusal on the write path (register.h kMaxVersion
+//    semantics), surfaced as KvWriteResult::overflow.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "core/location_service.h"
+#include "core/register.h"
+
+namespace pqs::svc {
+
+struct KvReadResult {
+    bool ok = false;
+    bool inconclusive = false;  // b-masking: no value got > b votes
+    bool timed_out = false;
+    // The read was served by the per-key cached quorum (first attempt,
+    // directed). False for cold reads and for cached reads that missed.
+    bool from_cache = false;
+    core::Versioned value;
+};
+
+struct KvWriteResult {
+    bool ok = false;
+    bool overflow = false;      // version counter saturated; refused
+    bool inconclusive = false;  // phase 1 found no trustworthy base
+    std::uint32_t version = 0;  // on ok: the version stored
+};
+
+struct KvParams {
+    // Remember responders of successful reads and aim later reads at
+    // them directly.
+    bool cache_quorums = true;
+    // Evict cached quorums on refresh / resize / directed miss.
+    // false = the satellite-2 pre-fix reproducer: stale entries are
+    // kept forever and keep targeting dead nodes.
+    bool cache_invalidation = true;
+    // Coalesce phase-2 advertises per key and flush every window;
+    // 0 disables batching (each write advertises immediately).
+    sim::Time batch_window = 0;
+};
+
+class KvService {
+public:
+    using Params = KvParams;
+
+    KvService(core::LocationService& location, Params params = {});
+    ~KvService();
+
+    using ReadCallback = std::function<void(const KvReadResult&)>;
+    using WriteCallback = std::function<void(const KvWriteResult&)>;
+
+    void read(util::NodeId origin, util::Key key, ReadCallback done);
+    void write(util::NodeId origin, util::Key key, std::uint32_t data,
+               WriteCallback done);
+
+    // Churn-signal hook: pass to QuorumRefresher::set_on_refresh. A
+    // refresh of `node` means churn made its advertisements under-
+    // replicated — cached lookup quorums are suspect for the same reason,
+    // so evict every key this service has cached.
+    void on_node_refreshed(util::NodeId node);
+
+    // Size-estimator hook: resize the lookup quorum and drop every cached
+    // entry (cached sets were sized for the old quorum).
+    void set_lookup_quorum_size(std::size_t size);
+
+    core::BiquorumSystem& biquorum() { return loc_.biquorum(); }
+    const Params& params() const { return params_; }
+
+    std::size_t cached_keys() const { return cache_.size(); }
+    // The cached lookup quorum for `key`; empty when nothing is cached.
+    std::vector<util::NodeId> cached_quorum(util::Key key) const {
+        const auto it = cache_.find(key);
+        return it != cache_.end() ? it->second
+                                  : std::vector<util::NodeId>{};
+    }
+    std::uint64_t cache_hits() const { return cache_hits_; }
+    std::uint64_t cache_misses() const { return cache_misses_; }
+    std::uint64_t cache_invalidations() const { return cache_invalidations_; }
+    std::uint64_t batched_writes() const { return batched_writes_; }
+    std::uint64_t batch_flushes() const { return batch_flushes_; }
+
+private:
+    void finish_write(util::NodeId origin, util::Key key, core::Value packed,
+                      std::uint32_t version, WriteCallback done);
+    void flush_batch();
+    void evict(util::Key key);
+
+    core::LocationService& loc_;
+    Params params_;
+    std::size_t byzantine_b_;
+
+    std::unordered_map<util::Key, std::vector<util::NodeId>> cache_;
+    std::uint64_t cache_hits_ = 0;
+    std::uint64_t cache_misses_ = 0;
+    std::uint64_t cache_invalidations_ = 0;
+
+    // Pending batched advertises. std::map so the flush issues accesses
+    // in sorted key order — unordered iteration would consume RNG draws
+    // in an unspecified order and break bit-identical replays.
+    struct Waiter {
+        std::uint32_t version = 0;
+        WriteCallback done;
+    };
+    struct PendingAdvertise {
+        util::NodeId origin = util::kInvalidNode;
+        core::Value value = 0;  // newest packed (version, data)
+        std::vector<Waiter> waiters;
+    };
+    std::map<util::Key, PendingAdvertise> batch_;
+    sim::EventId flush_timer_ = sim::kInvalidEvent;
+    std::uint64_t batched_writes_ = 0;
+    std::uint64_t batch_flushes_ = 0;
+};
+
+}  // namespace pqs::svc

@@ -1,0 +1,35 @@
+// Fixture: the open-loop workload-driver variant of the dangling-event
+// class. A Poisson arrival loop re-arms itself from inside its own
+// callback — every link of that chain is an armed EventId, and a driver
+// destroyed mid-run (scenario end, fixture rebuild) with no cancel() on
+// the destructor path leaves the next arrival pointed at freed memory.
+namespace sim {
+using EventId = long;
+struct Simulator {
+    EventId schedule_at(long when, void (*fn)());
+    EventId schedule_in(long delay, void (*fn)());
+    bool cancel(EventId id);
+};
+}  // namespace sim
+
+void issue_operation();
+
+class OpenLoopDriver {
+public:
+    explicit OpenLoopDriver(sim::Simulator& simulator)
+        : simulator_(simulator) {}
+    // No destructor: stopping the scenario mid-run leaves the next
+    // arrival armed against a dead driver.
+    void schedule_next_arrival(long gap) {
+        arrival_timer_ = simulator_.schedule_at(gap, &issue_operation);  // expect-lint: event-lifetime
+    }
+
+private:
+    sim::Simulator& simulator_;
+    sim::EventId arrival_timer_ = 0;
+};
+
+void fire_and_hope(sim::Simulator& simulator) {
+    // Discarded id for the drain-phase flush: uncancellable by design.
+    simulator.schedule_in(40, &issue_operation);  // expect-lint: event-lifetime
+}

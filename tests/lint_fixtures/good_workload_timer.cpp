@@ -1,0 +1,37 @@
+// Fixture: the compliant open-loop workload driver — the self-re-arming
+// arrival timer is a field, each re-arm goes through the same slot, and
+// the destructor disarms it, so destroying the driver mid-run (scenario
+// end, fixture rebuild) retires the pending arrival instead of firing it
+// into freed memory.
+namespace sim {
+using EventId = long;
+struct Simulator {
+    EventId schedule_at(long when, void (*fn)());
+    bool cancel(EventId id);
+};
+}  // namespace sim
+
+void issue_operation();
+
+class OpenLoopDriver {
+public:
+    explicit OpenLoopDriver(sim::Simulator& simulator)
+        : simulator_(simulator) {}
+    ~OpenLoopDriver() { stop(); }
+
+    void schedule_next_arrival(long gap) {
+        stop();  // one pending arrival at a time
+        arrival_timer_ = simulator_.schedule_at(gap, &issue_operation);
+    }
+
+    void stop() {
+        if (arrival_timer_ != 0) {
+            simulator_.cancel(arrival_timer_);
+            arrival_timer_ = 0;
+        }
+    }
+
+private:
+    sim::Simulator& simulator_;
+    sim::EventId arrival_timer_ = 0;
+};

@@ -1,0 +1,166 @@
+// Workload-aware quorum optimizer tests: the search must match a brute-
+// force argmin, track Lemma 5.6's τ ratio, stay inside the ε budget, and
+// emit a monotone Pareto frontier that contains the composite optimum.
+#include "core/quorum_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pqs::core {
+namespace {
+
+OptimizerParams base_params(std::size_t n = 300, double eps = 0.05) {
+    OptimizerParams p;
+    p.n = n;
+    p.eps = eps;
+    return p;
+}
+
+TEST(QuorumOptimizer, AdvertiseFractionMatchesTau) {
+    EXPECT_DOUBLE_EQ(advertise_fraction(1.0), 0.5);
+    EXPECT_DOUBLE_EQ(advertise_fraction(9.0), 0.1);
+    EXPECT_DOUBLE_EQ(advertise_fraction(0.25), 0.8);
+    EXPECT_THROW(advertise_fraction(0.0), std::invalid_argument);
+    EXPECT_THROW(advertise_fraction(-1.0), std::invalid_argument);
+}
+
+TEST(QuorumOptimizer, RejectsDegenerateInputs) {
+    WorkloadProfile w;
+    EXPECT_THROW(optimize_quorums(base_params(0), w), std::invalid_argument);
+    EXPECT_THROW(optimize_quorums(base_params(100, 0.0), w),
+                 std::invalid_argument);
+    EXPECT_THROW(optimize_quorums(base_params(100, 1.0), w),
+                 std::invalid_argument);
+    OptimizerParams no_kinds = base_params();
+    no_kinds.kinds.clear();
+    EXPECT_THROW(optimize_quorums(no_kinds, w), std::invalid_argument);
+}
+
+// The optimizer's pick must match an exhaustive re-enumeration of its own
+// search space: every feasible (kind, |Qa|) has objective >= best's.
+TEST(QuorumOptimizer, BestMatchesBruteForceArgmin) {
+    for (const double tau : {0.2, 1.0, 5.0}) {
+        WorkloadProfile w;
+        w.tau = tau;
+        const OptimizerParams p = base_params();
+        const OptimizerResult r = optimize_quorums(p, w);
+        for (const StrategyKind kind : p.kinds) {
+            for (std::size_t qa = 1; qa <= p.n; ++qa) {
+                const std::size_t ql = lookup_size_for(qa, p.n, p.eps);
+                if (ql > p.n) {
+                    continue;
+                }
+                const CandidateConfig c =
+                    evaluate_candidate(kind, qa, ql, p, w);
+                EXPECT_LE(r.best.objective, c.objective)
+                    << "tau=" << tau << " qa=" << qa << " ql=" << ql;
+            }
+        }
+    }
+}
+
+// Lemma 5.6: the message-optimal ratio |Qℓ|/|Qa| = cost_a/(τ·cost_l), so
+// a read-heavy mix (τ >> 1) pushes lookups small / advertises big, and a
+// write-heavy mix (τ << 1) the reverse.
+TEST(QuorumOptimizer, SizingTracksTauDirection) {
+    OptimizerParams p = base_params();
+    p.load_weight = 0.0;  // pure message objective: Lemma 5.6 regime
+    p.kinds = {StrategyKind::kRandom};
+    WorkloadProfile read_heavy;
+    read_heavy.tau = 9.0;
+    WorkloadProfile write_heavy;
+    write_heavy.tau = 1.0 / 9.0;
+    const OptimizerResult r = optimize_quorums(p, read_heavy);
+    const OptimizerResult w = optimize_quorums(p, write_heavy);
+    EXPECT_LT(r.best.lookup, w.best.lookup);
+    EXPECT_GT(r.best.advertise, w.best.advertise);
+    // And each stays on the ε product bound rather than over-providing.
+    EXPECT_LE(r.best.eps_bound, p.eps);
+    EXPECT_LE(w.best.eps_bound, p.eps);
+}
+
+TEST(QuorumOptimizer, BeatsSymmetricAtSkewedMixes) {
+    const OptimizerParams p = base_params();
+    for (const double tau : {9.0, 1.0 / 9.0}) {
+        WorkloadProfile w;
+        w.tau = tau;
+        const OptimizerResult r = optimize_quorums(p, w);
+        EXPECT_GT(r.improvement, 0.0) << "tau=" << tau;
+        EXPECT_LT(r.best.objective, r.symmetric.objective) << "tau=" << tau;
+    }
+    // Balanced traffic: symmetric sizing is already near-optimal, but the
+    // baseline lives inside the search space so best can never lose.
+    WorkloadProfile balanced;
+    const OptimizerResult r = optimize_quorums(p, balanced);
+    EXPECT_GE(r.improvement, 0.0);
+    EXPECT_LE(r.best.objective, r.symmetric.objective);
+}
+
+TEST(QuorumOptimizer, EveryEmittedConfigMeetsEps) {
+    WorkloadProfile w;
+    w.tau = 4.0;
+    const OptimizerParams p = base_params();
+    const OptimizerResult r = optimize_quorums(p, w);
+    EXPECT_LE(r.best.eps_bound, p.eps);
+    EXPECT_LE(r.symmetric.eps_bound, p.eps);
+    ASSERT_FALSE(r.frontier.empty());
+    for (const CandidateConfig& c : r.frontier) {
+        EXPECT_LE(c.eps_bound, p.eps);
+    }
+}
+
+// b > 0 switches the sizing to the masking product bound: advertise sizes
+// must exceed b, the bound must still hold, and the optimizer must still
+// weakly beat the masking-symmetric baseline.
+TEST(QuorumOptimizer, MaskingBudgetInteraction) {
+    OptimizerParams p = base_params(400, 0.05);
+    p.b = 3;
+    WorkloadProfile w;
+    w.tau = 6.0;
+    const OptimizerResult r = optimize_quorums(p, w);
+    EXPECT_GT(r.best.advertise, p.b);
+    EXPECT_LE(r.best.eps_bound, p.eps);
+    EXPECT_LE(r.best.objective, r.symmetric.objective);
+    EXPECT_LE(masking_failure_bound(r.best.advertise, r.best.lookup, p.n,
+                                    p.b),
+              p.eps);
+    // Masking inflates quorums: the b = 3 optimum must be strictly larger
+    // than the b = 0 optimum for the same workload.
+    OptimizerParams plain = p;
+    plain.b = 0;
+    const OptimizerResult r0 = optimize_quorums(plain, w);
+    EXPECT_GT(r.best.advertise * r.best.lookup,
+              r0.best.advertise * r0.best.lookup);
+}
+
+TEST(QuorumOptimizer, FrontierIsMonotoneAndContainsBest) {
+    WorkloadProfile w;
+    w.tau = 3.0;
+    // With equal per-message costs, messages and load are proportional
+    // and the frontier collapses to a point; asymmetric costs split the
+    // Lemma 5.6 message optimum from the load optimum into a real curve.
+    w.cost_advertise = 3.0;
+    w.cost_lookup = 1.0;
+    const OptimizerParams p = base_params();
+    const OptimizerResult r = optimize_quorums(p, w);
+    ASSERT_GE(r.frontier.size(), 2u);
+    for (std::size_t i = 1; i < r.frontier.size(); ++i) {
+        EXPECT_GE(r.frontier[i].msgs_per_op, r.frontier[i - 1].msgs_per_op);
+        EXPECT_LT(r.frontier[i].load_per_op, r.frontier[i - 1].load_per_op);
+    }
+    // J = msgs + w·n·load is increasing in both coordinates, so the
+    // composite optimum cannot be dominated — some frontier point must
+    // match its objective.
+    bool found = false;
+    for (const CandidateConfig& c : r.frontier) {
+        if (c.objective == r.best.objective) {
+            found = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace pqs::core

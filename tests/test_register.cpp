@@ -56,11 +56,13 @@ struct RegisterFixture : ::testing::Test {
                         std::uint32_t data) {
         bool done = false;
         std::uint32_t version = 0;
-        reg.write(origin, data, [&](bool ok, std::uint32_t v) {
-            EXPECT_TRUE(ok);
-            version = v;
-            done = true;
-        });
+        reg.write(origin, data,
+                  [&](const RegisterService::WriteResult& r) {
+                      EXPECT_TRUE(r.ok);
+                      EXPECT_FALSE(r.overflow);
+                      version = r.version;
+                      done = true;
+                  });
         drive(done);
         return version;
     }
@@ -169,6 +171,44 @@ TEST_F(RegisterFixture, TwoRegistersIndependent) {
     write(b, 2, 22);
     EXPECT_EQ(read(a, 30).value.data, 11u);
     EXPECT_EQ(read(b, 31).value.data, 22u);
+}
+
+// Regression (version exhaustion): a write against a register whose
+// version counter is saturated must surface overflow instead of wrapping
+// to version 0. Pre-fix, write() computed kMaxVersion + 1 == 0 and
+// reported ok — the write packed below every stored value, so readers
+// silently never saw it (and nodes outside the saturated quorum stored a
+// version-0 value that a later refresh could spread).
+TEST_F(RegisterFixture, WriteAtVersionSaturationReportsOverflow) {
+    build(60, 8);
+    RegisterService reg(*biquorum, 100);
+    // Drive the register to the last representable version by direct
+    // injection (2^32 sequential quorum writes are not simulable).
+    for (const util::NodeId id : world->alive_nodes()) {
+        apply_advertise(biquorum->store(id), 100,
+                        pack(Versioned{kMaxVersion, 7}), /*monotonic=*/true);
+    }
+    bool done = false;
+    RegisterService::WriteResult out;
+    reg.write(3, 555, [&](const RegisterService::WriteResult& r) {
+        out = r;
+        done = true;
+    });
+    drive(done);
+    EXPECT_FALSE(out.ok);
+    EXPECT_TRUE(out.overflow);
+    EXPECT_EQ(out.version, kMaxVersion);
+    // The saturated value survives untouched...
+    const auto r = read(reg, 30);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.value.version, kMaxVersion);
+    EXPECT_EQ(r.value.data, 7u);
+    // ...and no node regressed to a wrapped version-0 value.
+    for (const util::NodeId id : world->alive_nodes()) {
+        if (const auto stored = biquorum->store(id).find(100)) {
+            EXPECT_EQ(unpack(*stored).version, kMaxVersion);
+        }
+    }
 }
 
 TEST_F(RegisterFixture, SurvivesModerateChurn) {
