@@ -8,6 +8,10 @@
 #   BENCH_frontier.json  — workload-aware quorum sizing vs the symmetric
 #                          default: analytic Lemma 5.6 frontier + measured
 #                          KV service traffic (pqs.bench_frontier/1)
+#   BENCH_energy.json    — duty-cycle/lease Monte-Carlo vs the closed-form
+#                          timed-quorum bound + end-to-end energy sweep
+#                          (joules/lookup, network lifetime)
+#                          (pqs.bench_energy/1)
 # Run it on the machine whose numbers you want to record (the committed
 # baselines come from the 1-core CI container), then commit the refreshed
 # files together with a README "Performance" note when the numbers move
@@ -28,7 +32,7 @@ MODE="${1:-full}"
 
 cmake -B build -S "$ROOT" >/dev/null
 cmake --build build -j "$JOBS" --target bench_kernel --target bench_scale \
-  --target bench_byzantine --target bench_frontier
+  --target bench_byzantine --target bench_frontier --target bench_energy
 
 case "$MODE" in
   full)
@@ -36,15 +40,17 @@ case "$MODE" in
     ./build/bench/bench_scale --out BENCH_scale.json
     ./build/bench/bench_byzantine --out BENCH_byzantine.json
     ./build/bench/bench_frontier --out BENCH_frontier.json
+    ./build/bench/bench_energy --out BENCH_energy.json
     ;;
   smoke)
     ./build/bench/bench_kernel --smoke --out BENCH_kernel.json
     ./build/bench/bench_scale --smoke --out BENCH_scale.json
     ./build/bench/bench_byzantine --smoke --out BENCH_byzantine.json
     ./build/bench/bench_frontier --smoke --out BENCH_frontier.json
+    ./build/bench/bench_energy --smoke --out BENCH_energy.json
     ;;
   *) echo "usage: scripts/bench.sh [full|smoke]" >&2; exit 2 ;;
 esac
 
 python3 scripts/check_bench_json.py BENCH_kernel.json BENCH_scale.json \
-  BENCH_byzantine.json BENCH_frontier.json
+  BENCH_byzantine.json BENCH_frontier.json BENCH_energy.json

@@ -9,13 +9,14 @@
 #      self-test (test_lint_fixtures), and its unit tests
 #      (pqs_lint_unittests)
 #   3. bench JSON schema gate: the committed BENCH_kernel.json,
-#      BENCH_scale.json, BENCH_byzantine.json and BENCH_frontier.json
-#      baselines plus fresh `--smoke` emissions of all four benches must
-#      satisfy scripts/check_bench_json.py (schemas pqs.bench_kernel/1,
-#      pqs.bench_scale/1, pqs.bench_byzantine/1 and pqs.bench_frontier/1
-#      — the byzantine check enforces measured masking-failure <=
-#      closed-form bound; the frontier check fails if the workload-aware
-#      optimizer loses to symmetric sizing)
+#      BENCH_scale.json, BENCH_byzantine.json, BENCH_frontier.json and
+#      BENCH_energy.json baselines plus fresh `--smoke` emissions of all
+#      five benches must satisfy scripts/check_bench_json.py (schemas
+#      pqs.bench_kernel/1, pqs.bench_scale/1, pqs.bench_byzantine/1,
+#      pqs.bench_frontier/1 and pqs.bench_energy/1 — the byzantine and
+#      energy checks enforce measured failure rates <= their closed-form
+#      bounds; the frontier check fails if the workload-aware optimizer
+#      loses to symmetric sizing)
 #   4. trace JSON schema gate: a fresh `trace_demo --smoke` emission must
 #      satisfy scripts/check_trace_json.py (chrome://tracing-loadable,
 #      with a lookup span nesting packet-hop events)
@@ -52,14 +53,16 @@ python3 tools/pqs_lint/test_pqs_lint.py
 
 step "3/6 bench JSON schema gate (committed baselines + fresh smoke runs)"
 # The ctest pass above already ran bench_kernel --smoke, bench_scale
-# --smoke, bench_byzantine --smoke and bench_frontier --smoke; validate
-# their emissions alongside the committed baselines.
+# --smoke, bench_byzantine --smoke, bench_frontier --smoke and
+# bench_energy --smoke; validate their emissions alongside the committed
+# baselines.
 python3 scripts/check_bench_json.py BENCH_kernel.json BENCH_scale.json \
-    BENCH_byzantine.json BENCH_frontier.json \
+    BENCH_byzantine.json BENCH_frontier.json BENCH_energy.json \
     build-check/bench/bench_kernel_smoke.json \
     build-check/bench/bench_scale_smoke.json \
     build-check/bench/bench_byzantine_smoke.json \
-    build-check/bench/bench_frontier_smoke.json
+    build-check/bench/bench_frontier_smoke.json \
+    build-check/bench/bench_energy_smoke.json
 
 step "4/6 trace JSON schema gate (fresh trace_demo --smoke emission)"
 build-check/examples/trace_demo --smoke --out build-check/trace_smoke

@@ -42,6 +42,22 @@ pqs.bench_frontier/1 (BENCH_frontier.json):
     workload-aware sizing must beat symmetric on the wire, not just on
     paper), and the quorum cache must not inflate messages.
 
+pqs.bench_energy/1 (BENCH_energy.json):
+  - mode in {smoke, full}; non-empty mc.sweep and e2e.duty_sweep lists;
+  - every mc point: duty in (0, 1], coverage in [0, 1], bound in (0, 1],
+    and measured_rate <= bound + ci_halfwidth (the measured duty-cycled /
+    leased miss rate must track the closed-form timed-quorum bound at
+    EVERY point — divergence fails CI);
+  - the duty = 1, no-lease mc point exists (the Lemma 5.2 reduction
+    anchor);
+  - every e2e point: availability in [0, 1] and >= 1 - bound -
+    routing_slack, joules_per_lookup > 0, sleep_transitions > 0 iff
+    duty < 1;
+  - e2e.lifetime: depletions > 0 and time_to_half_depletion_s > 0 (the
+    finite-battery run must actually deplete);
+  - e2e.lease: lease_expirations > 0 and availability strictly below the
+    no-lease companion (expiring values must cost something).
+
 A broken bench emitter (or a hand-edited baseline) fails scripts/check.sh
 instead of silently corrupting the bench trajectory.
 
@@ -383,8 +399,137 @@ def check_frontier(path, doc):
     return errors
 
 
+def check_energy(path, doc):
+    errors = 0
+    if doc.get("mode") not in ("smoke", "full"):
+        errors += fail(path, "mode must be 'smoke' or 'full' (got %r)"
+                       % doc.get("mode"))
+
+    mc = doc.get("mc")
+    if not isinstance(mc, dict):
+        return errors + fail(path, "mc must be an object")
+    sweep = mc.get("sweep")
+    if not isinstance(sweep, list) or not sweep:
+        return errors + fail(path, "mc.sweep must be a non-empty list")
+    trials = mc.get("trials")
+    if not isinstance(trials, int) or trials <= 0:
+        errors += fail(path, "mc.trials must be a positive integer")
+    saw_anchor = False
+    for i, pt in enumerate(sweep):
+        where = "mc.sweep[%d]" % i
+        if not isinstance(pt, dict):
+            errors += fail(path, where + " is not an object")
+            continue
+        duty = pt.get("duty")
+        coverage = pt.get("coverage")
+        bound = pt.get("bound")
+        measured = pt.get("measured_rate")
+        ci = pt.get("ci_halfwidth")
+        if not isinstance(duty, (int, float)) or not 0 < duty <= 1:
+            errors += fail(path, where + ".duty must be in (0, 1]")
+            continue
+        if not isinstance(coverage, (int, float)) or not 0 <= coverage <= 1:
+            errors += fail(path, where + ".coverage must be in [0, 1]")
+            continue
+        saw_anchor = saw_anchor or (duty == 1 and coverage == 1)
+        if not isinstance(bound, (int, float)) or not 0 < bound <= 1:
+            errors += fail(path, where + ".bound must be in (0, 1]")
+            continue
+        if (not isinstance(measured, (int, float))
+                or not isinstance(ci, (int, float))
+                or measured < 0 or ci <= 0):
+            errors += fail(path, where + " needs measured_rate >= 0 and "
+                           "ci_halfwidth > 0")
+            continue
+        if measured > bound + ci:
+            errors += fail(path, "%s: measured miss rate %g exceeds the "
+                           "closed-form timed-quorum bound %g (+%g CI) — "
+                           "the theory and the measurement diverged"
+                           % (where, measured, bound, ci))
+    if not saw_anchor:
+        errors += fail(path, "mc.sweep has no duty = 1, no-lease point "
+                       "(the Lemma 5.2 reduction anchor)")
+
+    e2e = doc.get("e2e")
+    if not isinstance(e2e, dict):
+        return errors + fail(path, "e2e must be an object")
+    slack = e2e.get("routing_slack")
+    if not isinstance(slack, (int, float)) or not 0 <= slack < 1:
+        return errors + fail(path, "e2e.routing_slack must be in [0, 1)")
+    duty_sweep = e2e.get("duty_sweep")
+    if not isinstance(duty_sweep, list) or not duty_sweep:
+        return errors + fail(path, "e2e.duty_sweep must be a non-empty "
+                             "list")
+    for i, pt in enumerate(duty_sweep):
+        where = "e2e.duty_sweep[%d]" % i
+        if not isinstance(pt, dict):
+            errors += fail(path, where + " is not an object")
+            continue
+        duty = pt.get("duty")
+        bound = pt.get("bound")
+        avail = pt.get("availability")
+        if not isinstance(duty, (int, float)) or not 0 < duty <= 1:
+            errors += fail(path, where + ".duty must be in (0, 1]")
+            continue
+        if not isinstance(bound, (int, float)) or not 0 < bound <= 1:
+            errors += fail(path, where + ".bound must be in (0, 1]")
+            continue
+        if not isinstance(avail, (int, float)) or not 0 <= avail <= 1:
+            errors += fail(path, where + ".availability must be in [0, 1]")
+            continue
+        if avail < 1 - bound - slack:
+            errors += fail(path, "%s: availability %g fell below "
+                           "1 - bound (%g) - routing_slack (%g) — the "
+                           "duty-cycled run diverged from the closed form"
+                           % (where, avail, bound, slack))
+        jpl = pt.get("joules_per_lookup")
+        if not isinstance(jpl, (int, float)) or jpl <= 0:
+            errors += fail(path, where + ".joules_per_lookup must be a "
+                           "positive number")
+        sleeps = pt.get("sleep_transitions")
+        if not isinstance(sleeps, (int, float)) or sleeps < 0:
+            errors += fail(path, where + ".sleep_transitions must be "
+                           ">= 0")
+        elif duty < 1 and sleeps == 0:
+            errors += fail(path, where + ": duty < 1 but no node ever "
+                           "slept")
+        elif duty == 1 and sleeps != 0:
+            errors += fail(path, where + ": duty = 1 but nodes slept")
+
+    lifetime = e2e.get("lifetime")
+    if not isinstance(lifetime, dict):
+        errors += fail(path, "e2e.lifetime must be an object")
+    else:
+        for key in ("battery_j", "depletions", "time_to_half_depletion_s"):
+            value = lifetime.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                errors += fail(path, "e2e.lifetime.%s must be a positive "
+                               "number (got %r)" % (key, value))
+
+    lease = e2e.get("lease")
+    if not isinstance(lease, dict):
+        errors += fail(path, "e2e.lease must be an object")
+    else:
+        exp = lease.get("lease_expirations")
+        if not isinstance(exp, (int, float)) or exp <= 0:
+            errors += fail(path, "e2e.lease.lease_expirations must be > 0 "
+                           "— no lease ever expired")
+        a = lease.get("availability")
+        b = lease.get("availability_no_lease")
+        if (not isinstance(a, (int, float)) or not isinstance(b, (int, float))
+                or not 0 <= a <= 1 or not 0 <= b <= 1):
+            errors += fail(path, "e2e.lease availabilities must be in "
+                           "[0, 1]")
+        elif a >= b:
+            errors += fail(path, "e2e.lease: availability %g with "
+                           "expiring values is not below the no-lease "
+                           "companion %g — leases were inert" % (a, b))
+    return errors
+
+
 SCHEMAS = {
     "pqs.bench_kernel/1": check_kernel,
+    "pqs.bench_energy/1": check_energy,
     "pqs.bench_scale/1": check_scale,
     "pqs.bench_byzantine/1": check_byzantine,
     "pqs.bench_frontier/1": check_frontier,

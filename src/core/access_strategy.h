@@ -8,6 +8,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "core/lease.h"
 #include "core/load_accountant.h"
 #include "core/metrics.h"
 #include "core/quorum_spec.h"
@@ -53,19 +54,44 @@ struct ServiceContext {
     ReplyPathRouter* reply_router = nullptr;
     sim::Time op_timeout = 30 * sim::kSecond;
     RetryPolicy retry;
+    // Timed quorums: every stored value lives `value_lease` from its last
+    // (re-)advertise, then its holder evicts it. <= 0 disables leases —
+    // no expiry events are ever scheduled, keeping existing experiments'
+    // event streams untouched.
+    sim::Time value_lease = 0;
     std::vector<LocalStore> stores;
     // §3 "Load" / MRW: per-node quorum-service counts and the top-level
     // access count, from which the L(S) = max access probability estimate
     // falls out (see core/load_accountant.h).
     LoadAccountant load;
+    LeaseManager leases;
 
-    explicit ServiceContext(net::World& w) : world(w) {}
+    explicit ServiceContext(net::World& w)
+        : world(w), leases(w.simulator(), &stores) {
+        leases.set_expire_counter(&w.app_stats().lease_expirations);
+    }
 
     LocalStore& store(util::NodeId id) {
         if (id >= stores.size()) {
             stores.resize(id + 1);
         }
         return stores[id];
+    }
+
+    // Advertise-path store: honors the monotonic policy and (re-)arms the
+    // value's lease. Every holder-side store funnels through here so a
+    // leased value cannot survive past its deadline anywhere.
+    void store_value(util::NodeId at, util::Key key, Value value,
+                     bool monotonic) {
+        apply_advertise(store(at), key, value, monotonic);
+        leases.arm(at, key, value_lease);
+    }
+
+    // Bystander cache fill (biquorum relays, §7.1): leased like any other
+    // copy — an expired value must disappear from caches too.
+    void cache_value(util::NodeId at, util::Key key, Value value) {
+        store(at).store_bystander(key, value);
+        leases.arm(at, key, value_lease);
     }
 
     void count_load(util::NodeId id) {

@@ -72,7 +72,7 @@ BiquorumSystem::BiquorumSystem(net::World& world, BiquorumSpec spec,
         });
     // §7.1 caching: reply relays keep bystander copies of mappings.
     router_.set_cache([this](util::NodeId at, util::Key key, Value value) {
-        ctx_.store(at).store_bystander(key, value);
+        ctx_.cache_value(at, key, value);
     });
 
     for (util::NodeId id = 0; id < world.node_count(); ++id) {
@@ -102,7 +102,7 @@ void BiquorumSystem::attach_node(util::NodeId id) {
                         packet.data().app);
                 if (req && req->strategy_tag == kAdvertiseTag &&
                     req->kind == AccessKind::kAdvertise) {
-                    ctx_.store(id).store_bystander(req->key, req->value);
+                    ctx_.cache_value(id, req->key, req->value);
                 }
                 return false;  // never consumes the packet
             });

@@ -108,8 +108,8 @@ void FloodingStrategy::handle_flood(util::NodeId id, util::NodeId prev,
     if (msg->kind == AccessKind::kAdvertise) {
         if (msg->join_probability >= 1.0 ||
             rng_.bernoulli(msg->join_probability)) {
-            apply_advertise(store, msg->key, msg->value,
-                            config_.monotonic_store);
+            ctx_.store_value(id, msg->key, msg->value,
+                             config_.monotonic_store);
             ++msg->tracker->joined;
         }
     } else if (const std::optional<Value> found = store.find(msg->key)) {

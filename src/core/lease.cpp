@@ -1,0 +1,37 @@
+#include "core/lease.h"
+
+namespace pqs::core {
+
+void LeaseManager::arm(util::NodeId holder, util::Key key, sim::Time lease) {
+    if (lease <= 0) {
+        return;
+    }
+    const auto slot = std::make_pair(holder, key);
+    if (const auto it = pending_.find(slot); it != pending_.end()) {
+        // Re-advertise extends the lease: the old deadline is dead.
+        simulator_.cancel(it->second);
+        pending_.erase(it);
+    }
+    pending_[slot] = simulator_.schedule_in(
+        lease, [this, holder, key] { expire(holder, key); });
+}
+
+void LeaseManager::expire(util::NodeId holder, util::Key key) {
+    pending_.erase(std::make_pair(holder, key));
+    if (stores_ != nullptr && holder < stores_->size()) {
+        (*stores_)[holder].erase(key);
+    }
+    ++expirations_;
+    if (expire_counter_ != nullptr) {
+        ++*expire_counter_;
+    }
+}
+
+void LeaseManager::cancel_all() {
+    for (const auto& [slot, event] : pending_) {
+        simulator_.cancel(event);
+    }
+    pending_.clear();
+}
+
+}  // namespace pqs::core

@@ -1,0 +1,68 @@
+// Timed / leased quorums (Gramoli–Raynal, PAPERS.md): every value an
+// advertise quorum stores carries a lease Δ. When the lease runs out the
+// holder evicts the entry — on the simulator's calendar event tier, since
+// leases are typically far-future relative to packet events — so a value
+// whose owner stopped refreshing it disappears from the system instead of
+// going silently stale. Re-advertising (including the QuorumRefresher's
+// periodic refresh) extends the lease, which turns the §6.1 refresh
+// analysis into an explicit consistency knob: theory.h's
+// timed_quorum_miss_bound gives ε as a function of Δ, the refresh
+// interval and the duty cycle.
+//
+// Lifetime: every expiry event captures `this`; the manager tracks each
+// pending event id and cancels all of them in its destructor, so tearing
+// down a LocationService mid-run never leaves the simulator holding
+// callbacks into freed stores (the event-lifetime bug class pqs_lint
+// checks for).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/store.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+#include "util/ids.h"
+
+namespace pqs::core {
+
+class LeaseManager {
+public:
+    // `stores` is the owning service's per-node store vector; the pointer
+    // stays valid across element reallocation (only elements move).
+    LeaseManager(sim::Simulator& simulator, std::vector<LocalStore>* stores)
+        : simulator_(simulator), stores_(stores) {}
+    ~LeaseManager() { cancel_all(); }
+    LeaseManager(const LeaseManager&) = delete;
+    LeaseManager& operator=(const LeaseManager&) = delete;
+
+    // Arms (or extends) the expiry for (holder, key): the value dies
+    // `lease` from now unless re-advertised first. lease <= 0 is a no-op.
+    void arm(util::NodeId holder, util::Key key, sim::Time lease);
+
+    // Cancels every pending expiry without evicting anything.
+    void cancel_all();
+
+    // Optional external counter (the world's app-stats block) bumped on
+    // every expiry alongside the local count.
+    void set_expire_counter(std::uint64_t* counter) {
+        expire_counter_ = counter;
+    }
+
+    std::uint64_t expirations() const { return expirations_; }
+    std::size_t pending() const { return pending_.size(); }
+
+private:
+    void expire(util::NodeId holder, util::Key key);
+
+    sim::Simulator& simulator_;
+    std::vector<LocalStore>* stores_;
+    // Ordered map keeps teardown iteration deterministic.
+    std::map<std::pair<util::NodeId, util::Key>, sim::EventId> pending_;
+    std::uint64_t expirations_ = 0;
+    std::uint64_t* expire_counter_ = nullptr;
+};
+
+}  // namespace pqs::core

@@ -85,6 +85,23 @@ void QuorumRefresher::start_node(util::NodeId node) {
 }
 
 void QuorumRefresher::tick(util::NodeId node) {
+    sim::Simulator& simulator = service_.world().simulator();
+    // A duty-cycled owner caught asleep must DEFER, not refresh: its radio
+    // is off, so every advertise the refresh issues would silently fail
+    // while still counting as performed and firing on_refresh_ (evicting
+    // svc-layer caches for a refresh that never left the node). Retry on
+    // a short fuse so the refresh lands soon after the node wakes instead
+    // of slipping a whole interval. Checking awake() — not alive() — is
+    // the point: asleep is not crashed.
+    if (service_.world().alive(node) && !service_.world().awake(node)) {
+        ++deferred_;
+        ++service_.world().app_stats().refreshes_deferred;
+        const sim::Time retry =
+            std::max<sim::Time>(interval_ / 10, sim::kMillisecond);
+        timers_[node] =
+            simulator.schedule_in(retry, [this, node] { tick(node); });
+        return;
+    }
     // Transient death skips the refresh work but keeps the chain alive so
     // a recovered node resumes refreshing; the idle tick costs one
     // liveness check per interval.
@@ -95,8 +112,8 @@ void QuorumRefresher::tick(util::NodeId node) {
             on_refresh_(node);
         }
     }
-    timers_[node] = service_.world().simulator().schedule_in(
-        interval_, [this, node] { tick(node); });
+    timers_[node] =
+        simulator.schedule_in(interval_, [this, node] { tick(node); });
 }
 
 namespace {

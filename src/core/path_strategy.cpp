@@ -170,7 +170,7 @@ void PathStrategy::visit(util::NodeId at,
 
     LocalStore& store = ctx_.store(at);
     if (m->kind == AccessKind::kAdvertise) {
-        apply_advertise(store, m->key, m->value, config_.monotonic_store);
+        ctx_.store_value(at, m->key, m->value, config_.monotonic_store);
     } else if (!m->replied) {
         if (const std::optional<Value> found = store.find(m->key)) {
             m->tracker->hit = true;
@@ -199,7 +199,11 @@ void PathStrategy::forward(util::NodeId at,
                            std::shared_ptr<const WalkMsg> msg,
                            int salvage_left,
                            std::vector<util::NodeId> excluded_hops) {
-    if (!ctx_.world.alive(at)) {
+    // awake(), not alive(): a walk stranded on a node whose radio went to
+    // sleep cannot take another hop — without this the forward below fails
+    // silently and the tracker never reaches terminal(), hanging the op
+    // until its timeout instead of accounting the death.
+    if (!ctx_.world.awake(at)) {
         obs::record(msg->trace, obs::EventKind::kWalkDied, at);
         msg->tracker->died = true;
         msg->tracker->terminal();

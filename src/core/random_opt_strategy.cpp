@@ -32,7 +32,7 @@ bool RandomOptStrategy::act_on_request(util::NodeId id,
     obs::record(req.trace, obs::EventKind::kQuorumMemberReached, id);
     if (req.kind == AccessKind::kAdvertise) {
         // Every traversed node joins the advertise quorum (§4.5).
-        apply_advertise(store, req.key, req.value, config_.monotonic_store);
+        ctx_.store_value(id, req.key, req.value, config_.monotonic_store);
         return false;
     }
     const std::optional<Value> found = store.find(req.key);

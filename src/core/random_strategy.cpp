@@ -77,8 +77,8 @@ void RandomStrategy::attach_node(util::NodeId id) {
                 obs::record(req->trace, obs::EventKind::kQuorumMemberReached,
                             id);
                 if (req->kind == AccessKind::kAdvertise) {
-                    apply_advertise(store, req->key, req->value,
-                                    config_.monotonic_store);
+                    ctx_.store_value(id, req->key, req->value,
+                                     config_.monotonic_store);
                     return true;
                 }
                 const std::optional<Value> found = store.find(req->key);
@@ -426,7 +426,9 @@ void RandomStrategy::sampling_visit(
 void RandomStrategy::sampling_forward(
     util::NodeId at, std::shared_ptr<const SamplingWalkMsg> msg,
     int salvage_left) {
-    if (!ctx_.world.alive(at)) {
+    // awake(), not alive(): an asleep node's radio cannot forward either —
+    // the walk terminates where it stands, same as on a crashed node.
+    if (!ctx_.world.awake(at)) {
         sampling_terminal(at, std::move(msg));  // walk dies where it stands
         return;
     }
@@ -474,7 +476,7 @@ void RandomStrategy::sampling_terminal(
     ctx_.count_load(at);
     obs::record(msg->trace, obs::EventKind::kQuorumMemberReached, at);
     if (msg->kind == AccessKind::kAdvertise) {
-        store.store_owner(msg->key, msg->value);
+        ctx_.store_value(at, msg->key, msg->value, /*monotonic=*/false);
     } else if (const std::optional<Value> found = store.find(msg->key)) {
         if (msg->probe) {
             msg->probe->intersected = true;

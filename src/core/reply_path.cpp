@@ -71,7 +71,13 @@ void ReplyPathRouter::forward(util::NodeId at,
         }
         return;
     }
-    if (!world_.alive(at)) {
+    // awake(), not alive(): a duty-cycled relay that fell asleep holding
+    // the reply cannot transmit it — its radio is off. Forging ahead would
+    // burn a doomed unicast per remaining hop (each send from the sleeping
+    // node fails, each failure triggers salvage from the same sleeping
+    // node) before the reply died anyway. Drop it here so the loss is
+    // censored into the op's timeout accounting, same as a crashed relay.
+    if (!world_.awake(at)) {
         obs::record(msg->trace, obs::EventKind::kReplyDropped, at);
         if (msg->tracker) {
             msg->tracker->mark_dropped();
@@ -152,7 +158,7 @@ void ReplyPathRouter::repair(util::NodeId at,
     // msg->hops already excludes the hop whose unicast failed... except it
     // does include all *remaining* nodes after that hop: hops[hop_index] is
     // the next candidate target.
-    if (!world_.alive(at)) {
+    if (!world_.awake(at)) {  // asleep == cannot transmit; see forward()
         obs::record(msg->trace, obs::EventKind::kReplyDropped, at);
         if (msg->tracker) {
             msg->tracker->mark_dropped();

@@ -138,6 +138,7 @@ ScenarioResult run_scenario(const ScenarioParams& params) {
     service.biquorum().context().op_timeout = params.op_timeout;
     service.biquorum().context().retry = RetryPolicy{
         params.op_max_attempts, params.op_retry_backoff, 2.0};
+    service.biquorum().context().value_lease = params.value_lease;
 
     // Byzantine adversary: nothing below exists at b == 0 (no allocations,
     // no RNG, no spawn listener), so the classic run is bit-identical to a
@@ -347,6 +348,8 @@ ScenarioResult run_scenario(const ScenarioParams& params) {
     }
 
     const PhaseCounters before_lkp = snapshot(world);
+    const double energy_before_lkp =
+        world.energy() != nullptr ? world.energy()->consumed_j() : 0.0;
     std::size_t hits = 0;
     std::size_t intersections = 0;
     std::size_t reply_drops = 0;
@@ -364,7 +367,11 @@ ScenarioResult run_scenario(const ScenarioParams& params) {
                         : (keys.empty() ? 1 : keys[rng.index(keys.size())]);
                 const util::NodeId origin =
                     lookers[rng.index(lookers.size())];
-                if (!world.alive(origin)) {
+                // awake(): a duty-cycled client initiates work when its
+                // radio is on — a sleeping origin is skipped like a dead
+                // one, so availability measures the quorum system rather
+                // than the client's own duty cycle.
+                if (!world.awake(origin)) {
                     next();
                     return;
                 }
@@ -487,6 +494,23 @@ ScenarioResult run_scenario(const ScenarioParams& params) {
     result.sim_events =
         static_cast<double>(world.simulator().events_processed());
     result.kernel = world.kernel_stats();
+    result.energy_sleep_transitions =
+        static_cast<double>(result.kernel.energy_sleep_transitions);
+    result.energy_depletions =
+        static_cast<double>(result.kernel.energy_depletions);
+    result.lease_expirations =
+        static_cast<double>(result.kernel.lease_expirations);
+    result.refreshes_deferred =
+        static_cast<double>(result.kernel.refreshes_deferred);
+    if (world.energy() != nullptr) {
+        result.energy_consumed_j = world.energy()->consumed_j();
+        result.joules_per_lookup =
+            (result.energy_consumed_j - energy_before_lkp) / n_lkp;
+        result.time_to_first_partition_s =
+            world.time_to_first_partition_s();
+        result.time_to_half_depletion_s =
+            world.time_to_half_depletion_s();
+    }
     result.arena_high_water =
         static_cast<double>(world.arena_high_water());
     result.totals = world.metrics();
@@ -529,6 +553,14 @@ namespace {
     X(live_joins)                 \
     X(live_recoveries)            \
     X(live_refreshes)             \
+    X(energy_consumed_j)          \
+    X(joules_per_lookup)          \
+    X(energy_depletions)          \
+    X(energy_sleep_transitions)   \
+    X(time_to_first_partition_s)  \
+    X(time_to_half_depletion_s)   \
+    X(lease_expirations)          \
+    X(refreshes_deferred)         \
     X(sim_events)                 \
     X(arena_high_water)
 

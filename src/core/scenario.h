@@ -105,6 +105,14 @@ struct ScenarioParams {
     // Re-derive the lookup quorum size from n(t) after churn (§6.1 case b).
     bool adjust_lookup_to_network = false;
 
+    // Timed quorums: every value a holder stores carries this lease and
+    // is evicted when it runs out unless re-advertised (refreshes extend
+    // it). 0 disables expiry — the historical behavior, with no expiry
+    // events scheduled at all. Pair with live.refresh to measure the
+    // ε(Δ, refresh rate, duty cycle) trade of theory.h's
+    // timed_quorum_miss_bound.
+    sim::Time value_lease = 0;
+
     // Continuous churn during the lookup phase (replaces the step churn
     // above when enabled).
     LiveChurnParams live;
@@ -161,6 +169,19 @@ struct ScenarioResult {
     double live_joins = 0.0;
     double live_recoveries = 0.0;
     double live_refreshes = 0.0;
+
+    // Energy / duty-cycle accounting (all zero when world.energy is off).
+    double energy_consumed_j = 0.0;  // joules drawn over the run, all nodes
+    double joules_per_lookup = 0.0;  // lookup-phase draw / lookup count
+    double energy_depletions = 0.0;  // batteries that ran dry (nodes died)
+    double energy_sleep_transitions = 0.0;
+    // Network lifetime marks; -1.0 = never reached during the run.
+    double time_to_first_partition_s = 0.0;
+    double time_to_half_depletion_s = 0.0;
+    // Timed-quorum accounting (zero when value_lease == 0).
+    double lease_expirations = 0.0;   // stored values evicted by lease
+    double refreshes_deferred = 0.0;  // refresher ticks that found the
+                                      // owner asleep and rescheduled
 
     // Time-bucketed live-phase outcomes (empty unless live.enabled).
     std::vector<LiveSample> live_samples;

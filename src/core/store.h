@@ -38,6 +38,13 @@ public:
     bool is_owner(util::Key key) const { return owners_.contains(key); }
     bool has(util::Key key) const { return find(key).has_value(); }
 
+    // Lease expiry (timed quorums): the key's entry — owner or bystander
+    // — is dropped as if it had never been advertised.
+    void erase(util::Key key) {
+        owners_.erase(key);
+        bystanders_.erase(key);
+    }
+
     // Memory-pressure relief: bystander entries are expendable (§7.1).
     void clear_bystanders() { bystanders_.clear(); }
     void clear() {

@@ -208,6 +208,39 @@ double degraded_miss_bound(double eps0, double f, ChurnKind kind,
     throw std::logic_error("unknown churn kind");
 }
 
+double duty_cycled_miss_bound(std::size_t qa, std::size_t ql, std::size_t n,
+                              double duty) {
+    if (n == 0) {
+        throw std::invalid_argument("n must be > 0");
+    }
+    const double d = std::clamp(duty, 0.0, 1.0);
+    if (d >= 1.0) {
+        // Bit-exact reduction: the mixture form equals exp(-qa·ql/n)
+        // only up to FP rounding, so delegate (masking_* b=0 pattern).
+        return nonintersection_upper_bound(qa, ql, n);
+    }
+    const double hit_one =
+        1.0 - std::exp(-static_cast<double>(ql) / static_cast<double>(n));
+    return std::pow(1.0 - d * hit_one, static_cast<double>(qa));
+}
+
+double lease_coverage(double lease_s, double refresh_interval_s) {
+    if (lease_s <= 0.0) {
+        return 1.0;  // no expiry: the value outlives any refresh gap
+    }
+    if (refresh_interval_s <= 0.0) {
+        return 0.0;  // finite lease, never refreshed
+    }
+    return std::min(1.0, lease_s / refresh_interval_s);
+}
+
+double timed_quorum_miss_bound(std::size_t qa, std::size_t ql, std::size_t n,
+                               double duty, double lease_s,
+                               double refresh_interval_s) {
+    const double c = lease_coverage(lease_s, refresh_interval_s);
+    return (1.0 - c) + c * duty_cycled_miss_bound(qa, ql, n, duty);
+}
+
 std::size_t fault_tolerance(std::size_t n, std::size_t q) {
     if (q == 0 || q > n) {
         throw std::invalid_argument("need 0 < q <= n");

@@ -113,6 +113,44 @@ enum class LookupSizing { kFixed, kAdjustedToNetworkSize };
 double degraded_miss_bound(double eps0, double f, ChurnKind kind,
                            LookupSizing sizing);
 
+// ---------- Timed quorums & duty-cycled radios ----------
+// (Gramoli–Raynal timed quorum systems; GeoQuorum's energy-constrained
+// deployments. ε as a function of lease Δ, refresh rate and duty cycle.)
+
+// Upper bound on the miss probability when every node independently
+// spends fraction `duty` of each cycle awake (random phases): a holder
+// that is asleep at lookup time neither receives nor answers the probe.
+// With A ~ Bin(|Qa|, duty) awake holders and Pr[miss | A] <=
+// exp(-A|Ql|/n) (Lemma 5.2 applied to the awake sub-quorum), taking the
+// binomial expectation gives
+//
+//     E[exp(-A|Ql|/n)] = (1 - duty·(1 - e^{-|Ql|/n}))^{|Qa|}.
+//
+// Note the naive exp(-|Qa||Ql|·duty/n) — the eps0^duty curve — is NOT a
+// valid upper bound: by convexity e^{-d·t} <= 1 - d + d·e^{-t}, so the
+// mixture form above dominates it. At duty == 1 this delegates to
+// nonintersection_upper_bound for a bit-exact reduction.
+double duty_cycled_miss_bound(std::size_t qa, std::size_t ql, std::size_t n,
+                              double duty);
+
+// Steady-state fraction of time a leased value is live: values expire Δ
+// (lease_s) after each advertise, and the owner re-advertises every R
+// (refresh_interval_s) seconds, so each refresh window of length R is
+// covered for min(Δ, R) of it: c = min(1, Δ/R). lease_s <= 0 means no
+// expiry (c = 1); a finite lease with refresh_interval_s <= 0 is never
+// refreshed (c -> 0 asymptotically).
+double lease_coverage(double lease_s, double refresh_interval_s);
+
+// ε(Δ, R, duty): the refresher re-advertises the *whole* quorum at once,
+// so lease validity is fully correlated across holders — with
+// probability 1-c the value has expired everywhere (certain miss), else
+// the duty-cycle bound applies:
+//
+//     ε = (1 - c) + c · duty_cycled_miss_bound(qa, ql, n, duty).
+double timed_quorum_miss_bound(std::size_t qa, std::size_t ql, std::size_t n,
+                               double duty, double lease_s,
+                               double refresh_interval_s);
+
 // ---------- Failure resilience (§3, after Malkhi et al.) ----------
 
 // Fault tolerance of a probabilistic quorum system with quorums of size q:

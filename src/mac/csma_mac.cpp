@@ -88,6 +88,9 @@ void CsmaMac::transmit_head() {
     obs::record(head.frame.trace, obs::EventKind::kMacTx, self_,
                 head.frame.bytes);
     channel_.transmit(self_, head.frame, duration);
+    if (tx_airtime_) {
+        tx_airtime_(sim::to_seconds(duration));
+    }
     const std::uint64_t gen = generation_;
     // pqs-lint: fire-and-forget(generation check orphans the tx-done event
     // after shutdown(), which the destructor runs; stale timers are no-ops)
@@ -162,6 +165,9 @@ void CsmaMac::send_ack(util::NodeId to, std::uint32_t mac_seq) {
     simulator_.schedule_in(params_.sifs, [this, gen, ack, duration] {
         if (gen == generation_) {
             channel_.transmit(self_, ack, duration);
+            if (tx_airtime_) {
+                tx_airtime_(sim::to_seconds(duration));
+            }
         }
     });
 }

@@ -64,6 +64,15 @@ public:
         promiscuous_ = std::move(handler);
     }
 
+    // Airtime this MAC spends transmitting (data frames and acks),
+    // reported as it is committed to the channel; the energy model
+    // charges it at the tx power draw. Null by default — an unset
+    // listener costs one pointer test per transmission.
+    using TxAirtimeListener = std::function<void(double seconds)>;
+    void set_tx_airtime_listener(TxAirtimeListener listener) {
+        tx_airtime_ = std::move(listener);
+    }
+
     // Drops all queued frames (node failure); pending callbacks are not
     // invoked — the node is gone.
     void shutdown();
@@ -98,6 +107,7 @@ private:
     util::Rng rng_;
     MacRxHandler rx_;
     MacRxHandler promiscuous_;
+    TxAirtimeListener tx_airtime_;
 
     std::deque<Pending> queue_;
     bool busy_ = false;          // a send attempt is in progress

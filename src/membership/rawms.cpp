@@ -63,7 +63,13 @@ void RawmsMembership::schedule_next_launch(util::NodeId origin) {
     // whole run; the body re-checks alive(origin) before launching)
     world_.simulator().schedule_in(delay, [this, origin] {
         if (world_.alive(origin)) {
-            launch_walk(origin);
+            // Launch only while the radio is on: a walk from a sleeping
+            // node dies on its first hop. Either way keep the launch chain
+            // alive — asleep is not crashed, and the node resumes
+            // refreshing its view after it wakes.
+            if (world_.awake(origin)) {
+                launch_walk(origin);
+            }
             schedule_next_launch(origin);
         }
     });
@@ -79,7 +85,7 @@ void RawmsMembership::launch_walk(util::NodeId origin) {
 void RawmsMembership::forward(util::NodeId at,
                               std::shared_ptr<const WalkMsg> msg,
                               int salvage_left) {
-    if (!world_.alive(at)) {
+    if (!world_.awake(at)) {  // dead or radio-off: the walk ends here
         return;
     }
     net::NodeStack& stack = world_.stack(at);

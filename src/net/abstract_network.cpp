@@ -34,8 +34,13 @@ void AbstractLink::unicast(PacketPtr p, LinkTxCallback done) {
     const util::NodeId from = p->link_src;
     const util::NodeId to = p->link_dst;
     const sim::Time delay = hop_delay();
+    // An asleep sender's radio is off: its pending timers may still call
+    // unicast, but nothing goes on the air (and nothing is charged).
+    if (world_.awake(from)) {
+        world_.charge_tx_bytes(from, p->size_bytes());
+    }
 
-    if (params_.promiscuous && world_.alive(from)) {
+    if (params_.promiscuous && world_.awake(from)) {
         // Everyone in radio range of the sender hears the transmission.
         // Snapshot into a recycled buffer — same grid query (and counter
         // trace) as physical_neighbors, minus the per-call vector.
@@ -48,7 +53,9 @@ void AbstractLink::unicast(PacketPtr p, LinkTxCallback done) {
             delay,
             [this, p, to, listeners = std::move(listeners)]() mutable {
                 for (const util::NodeId listener : *listeners) {
-                    if (listener != to && world_.alive(listener)) {
+                    // awake, not alive: sleeping radios overhear nothing.
+                    if (listener != to && world_.awake(listener)) {
+                        world_.charge_rx_bytes(listener, p->size_bytes());
                         world_.overhear(listener, p);
                     }
                 }
@@ -60,12 +67,14 @@ void AbstractLink::unicast(PacketPtr p, LinkTxCallback done) {
     // liveness are re-evaluated at delivery time, per the airtime model)
     world_.simulator().schedule_in(delay, [this, p, from, to,
                                            done = std::move(done)]() mutable {
-        // Evaluate deliverability at delivery time: mobility or failures
-        // during the airtime window count against the hop. Injected faults
+        // Evaluate deliverability at delivery time: mobility, failures or
+        // sleep transitions during the airtime window count against the
+        // hop (an asleep receiver misses the probe and sends no ack, so
+        // the sender sees the same failure as a crash). Injected faults
         // draw randomness only while armed, so fault-free runs keep their
         // exact RNG stream (golden fingerprints).
         bool reachable =
-            world_.alive(from) && world_.alive(to) &&
+            world_.awake(from) && world_.awake(to) &&
             geom::distance(world_.position(from), world_.position(to)) <=
                 world_.range() &&
             !rng_.bernoulli(params_.unicast_loss);
@@ -73,6 +82,7 @@ void AbstractLink::unicast(PacketPtr p, LinkTxCallback done) {
             reachable = false;
         }
         if (reachable) {
+            world_.charge_rx_bytes(to, p->size_bytes());
             world_.deliver(to, p);
             if (faults_.duplicate > 0.0 &&
                 rng_.bernoulli(faults_.duplicate)) {
@@ -97,9 +107,10 @@ void AbstractLink::unicast(PacketPtr p, LinkTxCallback done) {
 void AbstractLink::broadcast(PacketPtr p) {
     world_.metrics().count("net." + packet_category(*p) + ".tx");
     const util::NodeId from = p->link_src;
-    if (!world_.alive(from)) {
+    if (!world_.awake(from)) {
         return;
     }
+    world_.charge_tx_bytes(from, p->size_bytes());
     const sim::Time delay = hop_delay();
     // Snapshot receivers at send time (into a recycled buffer); they must
     // still be in range and alive at delivery time.
@@ -111,12 +122,12 @@ void AbstractLink::broadcast(PacketPtr p) {
     world_.simulator().schedule_in(
         delay,
         [this, p, from, receivers = std::move(receivers)]() mutable {
-            if (!world_.alive(from)) {
+            if (!world_.awake(from)) {
                 release_ids(std::move(receivers));
                 return;
             }
             for (const util::NodeId to : *receivers) {
-                if (world_.alive(to) &&
+                if (world_.awake(to) &&
                     geom::distance(world_.position(from),
                                    world_.position(to)) <= world_.range() &&
                     !rng_.bernoulli(params_.broadcast_loss)) {
@@ -124,6 +135,7 @@ void AbstractLink::broadcast(PacketPtr p) {
                         rng_.bernoulli(faults_.drop)) {
                         continue;
                     }
+                    world_.charge_rx_bytes(to, p->size_bytes());
                     world_.deliver(to, p);
                     if (faults_.duplicate > 0.0 &&
                         rng_.bernoulli(faults_.duplicate)) {
@@ -142,7 +154,8 @@ void AbstractLink::inject_duplicate(const PacketPtr& p, util::NodeId to) {
     // pqs-lint: fire-and-forget(injected duplicate; the body re-checks the
     // receiver is still alive, and the link is World-owned for the run)
     world_.simulator().schedule_in(hop_delay(), [this, p, to] {
-        if (world_.alive(to)) {
+        if (world_.awake(to)) {
+            world_.charge_rx_bytes(to, p->size_bytes());
             world_.deliver(to, p);
         }
     });

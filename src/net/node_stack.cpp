@@ -20,6 +20,7 @@ void NodeStack::start() {
         world_.simulator().cancel(heartbeat_timer_);
     }
     running_ = true;
+    suspended_ = false;
     // Desynchronize heartbeats across nodes within the first cycle.
     const auto cycle = static_cast<std::uint64_t>(world_.params().heartbeat);
     heartbeat_timer_ = world_.simulator().schedule_in(
@@ -29,7 +30,7 @@ void NodeStack::start() {
 
 void NodeStack::heartbeat() {
     heartbeat_timer_ = sim::kInvalidEvent;
-    if (!running_) {
+    if (!running_ || suspended_) {
         return;
     }
     link_broadcast(make_hello(world_.packet_pool(), id_));
@@ -39,6 +40,7 @@ void NodeStack::heartbeat() {
 
 void NodeStack::shutdown() {
     running_ = false;
+    suspended_ = false;
     if (heartbeat_timer_ != sim::kInvalidEvent) {
         world_.simulator().cancel(heartbeat_timer_);
         heartbeat_timer_ = sim::kInvalidEvent;
@@ -46,6 +48,30 @@ void NodeStack::shutdown() {
     app_handlers_.clear();
     snoop_handlers_.clear();
     overhear_handlers_.clear();
+}
+
+void NodeStack::suspend() {
+    if (!running_ || suspended_) {
+        return;
+    }
+    suspended_ = true;
+    if (heartbeat_timer_ != sim::kInvalidEvent) {
+        world_.simulator().cancel(heartbeat_timer_);
+        heartbeat_timer_ = sim::kInvalidEvent;
+    }
+}
+
+void NodeStack::resume() {
+    if (!running_ || !suspended_) {
+        return;
+    }
+    suspended_ = false;
+    // Announce the wake-up soon, jittered so co-waking nodes do not
+    // synchronize their hellos (same desync rationale as start()).
+    const auto cycle = static_cast<std::uint64_t>(world_.params().heartbeat);
+    heartbeat_timer_ = world_.simulator().schedule_in(
+        static_cast<sim::Time>(rng_.uniform_u64(cycle / 4 + 1)),
+        [this] { heartbeat(); });
 }
 
 void NodeStack::on_overhear(const PacketPtr& p) {

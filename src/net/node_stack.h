@@ -93,6 +93,15 @@ public:
     void shutdown();
     bool running() const { return running_; }
 
+    // Duty-cycle sleep: pauses the heartbeat loop but — unlike
+    // shutdown() — keeps every installed app/snoop/overhear handler, so
+    // the node wakes with its protocol state (and stored values) intact.
+    // No spawn listeners fire on resume(); services must not reinstall
+    // handlers for a node that merely slept.
+    void suspend();
+    void resume();
+    bool suspended() const { return suspended_; }
+
     // Used by Aodv (and strategies) to emit link packets.
     void link_unicast(PacketPtr p, LinkTxCallback done);
     void link_broadcast(PacketPtr p);
@@ -111,6 +120,7 @@ private:
     std::vector<SnoopHandler> snoop_handlers_;
     std::vector<OverhearHandler> overhear_handlers_;
     bool running_ = false;
+    bool suspended_ = false;
     // Pending heartbeat event, cancelled on shutdown so a revived node's
     // restart() can't race a stale [this] callback from its previous life.
     sim::EventId heartbeat_timer_ = sim::kInvalidEvent;

@@ -25,7 +25,9 @@ public:
 private:
     void send(PacketPtr p, LinkTxCallback done) {
         const util::NodeId src = p->link_src;
-        if (!world_.alive(src) || src >= world_.macs_.size() ||
+        // awake, not alive: an asleep node's pending timers may still try
+        // to transmit, but its radio is off.
+        if (!world_.awake(src) || src >= world_.macs_.size() ||
             world_.macs_[src] == nullptr) {
             if (done) {
                 done(false);
@@ -71,8 +73,21 @@ World::World(WorldParams params)
         }
     }
     alive_.assign(params_.n, true);
+    asleep_.assign(params_.n, false);
+    initial_population_ = params_.n;
     for (util::NodeId id = 0; id < params_.n; ++id) {
         grid_->insert(id, positions_[id]);
+    }
+
+    if (params_.energy.enabled) {
+        sim::EnergyHooks hooks;
+        hooks.sleep_one = [this](util::NodeId id) { sleep_node(id); };
+        hooks.wake_one = [this](util::NodeId id) { wake_node(id); };
+        hooks.deplete_one = [this](util::NodeId id) { on_depletion(id); };
+        hooks.population = [this] { return node_count(); };
+        hooks.alive = [this](util::NodeId id) { return alive(id); };
+        energy_ = std::make_unique<sim::EnergyModel>(
+            simulator_, params_.energy, std::move(hooks), rng_.fork());
     }
 
     if (params_.mobile) {
@@ -135,6 +150,22 @@ void World::create_node_internals(util::NodeId id) {
                 overhear(id, std::static_pointer_cast<const Packet>(
                                  frame.payload));
             });
+        if (energy_) {
+            macs_[id]->set_tx_airtime_listener([this, id](double seconds) {
+                energy_->charge_tx_seconds(id, seconds);
+            });
+            radios_[id]->set_energy_listener(
+                [this, id](const phy::Frame& frame) {
+                    const bool slow_rate =
+                        frame.is_ack || frame.dst == phy::kBroadcastId;
+                    const double bps = slow_rate ? params_.mac.broadcast_bps
+                                                 : params_.mac.unicast_bps;
+                    const double seconds =
+                        sim::to_seconds(params_.mac.preamble) +
+                        static_cast<double>(frame.bytes) * 8.0 / bps;
+                    energy_->charge_rx_seconds(id, seconds);
+                });
+        }
     }
     stacks_.resize(std::max<std::size_t>(stacks_.size(), id + 1));
     stacks_[id] = arena_.create<NodeStack>(*this, id, rng_.fork());
@@ -149,6 +180,34 @@ std::vector<util::NodeId> World::alive_nodes() const {
 }
 
 bool World::alive(util::NodeId id) const { return alive_.test(id); }
+
+// pqs-hot: consulted on every delivery/overhear; two bit tests.
+bool World::awake(util::NodeId id) const {
+    return alive_.test(id) && !asleep_.test(id);
+}
+
+void World::sleep_node(util::NodeId id) {
+    if (!alive(id) || asleep_.test(id)) {
+        return;
+    }
+    // The node stays in the grid: it is physically present (a neighbor
+    // for membership views and route caches that will now silently fail)
+    // — only its radio is off.
+    asleep_.set(id);
+    stacks_[id]->suspend();
+}
+
+bool World::wake_node(util::NodeId id) {
+    // Refusing dead nodes is load-bearing: a wake timer scheduled before
+    // a mid-sleep battery depletion (or crash) must not resurrect the
+    // node — that is revive_node's job, with its spawn-listener refire.
+    if (!alive(id) || !asleep_.test(id)) {
+        return false;
+    }
+    asleep_.reset(id);
+    stacks_[id]->resume();
+    return true;
+}
 
 geom::Vec2 World::position(util::NodeId id) const {
     if (lazy_mobility_) {
@@ -307,6 +366,50 @@ void World::start() {
             mobility_->start_node(*this, id, rng_);
         }
     }
+    if (energy_) {
+        energy_->start();
+    }
+}
+
+void World::on_depletion(util::NodeId id) {
+    fail_node(id);
+    const double now_s = sim::to_seconds(simulator_.now());
+    if (half_depletion_s_ < 0.0 && energy_ &&
+        energy_->depletions() * 2 >= initial_population_) {
+        half_depletion_s_ = now_s;
+    }
+    if (first_partition_s_ < 0.0 && !alive_subgraph_connected()) {
+        first_partition_s_ = now_s;
+    }
+}
+
+bool World::alive_subgraph_connected() const {
+    // BFS over the alive unit-disk graph; dead nodes are skipped rather
+    // than treated as isolated vertices. Only runs on depletion events.
+    const std::size_t alive_n = alive_.count();
+    if (alive_n <= 1) {
+        return false;  // an empty or single-node network is partitioned
+    }
+    util::NodeId seed_node = alive_.select(0);
+    std::vector<char> seen(node_count(), 0);
+    std::vector<util::NodeId> frontier{seed_node};
+    seen[seed_node] = 1;
+    std::size_t reached = 1;
+    std::vector<util::NodeId> near;
+    while (!frontier.empty()) {
+        const util::NodeId v = frontier.back();
+        frontier.pop_back();
+        near.clear();
+        nodes_within(position(v), params_.range, near, v);
+        for (const util::NodeId u : near) {
+            if (!seen[u] && alive(u)) {
+                seen[u] = 1;
+                ++reached;
+                frontier.push_back(u);
+            }
+        }
+    }
+    return reached == alive_n;
 }
 
 void World::fail_node(util::NodeId id) {
@@ -318,6 +421,7 @@ void World::fail_node(util::NodeId id) {
         end_motion(id);
     }
     alive_.reset(id);
+    asleep_.reset(id);  // dead overrides asleep
     grid_->remove(id);
     stacks_[id]->shutdown();
     if (params_.fidelity == Fidelity::kFull) {
@@ -325,6 +429,9 @@ void World::fail_node(util::NodeId id) {
         channel_->detach(id);
     }
     link_->on_node_failed(id);
+    if (energy_) {
+        energy_->on_node_failed(id);
+    }
 }
 
 bool World::revive_node(util::NodeId id) {
@@ -350,6 +457,7 @@ util::NodeId World::spawn_node() {
     positions_.push_back(
         geom::Vec2{rng_.uniform(0.0, side_), rng_.uniform(0.0, side_)});
     alive_.push_back(true);
+    asleep_.push_back(false);
     if (lazy_mobility_) {
         motion_.resize(positions_.size());
     }
@@ -367,14 +475,16 @@ util::NodeId World::spawn_node() {
 }
 
 void World::deliver(util::NodeId to, PacketPtr p) {
-    if (!alive(to)) {
+    // awake, not alive: sleeping nodes miss quorum probes — they neither
+    // receive nor acknowledge, though they keep their stored values.
+    if (!awake(to)) {
         return;
     }
     stacks_[to]->on_receive(std::move(p));
 }
 
 void World::overhear(util::NodeId listener, PacketPtr p) {
-    if (!alive(listener)) {
+    if (!awake(listener)) {
         return;
     }
     stacks_[listener]->on_overhear(p);

@@ -16,6 +16,7 @@
 #include "net/link.h"
 #include "net/packet.h"
 #include "phy/channel.h"
+#include "sim/energy_model.h"
 #include "sim/simulator.h"
 #include "util/alive_set.h"
 #include "util/arena.h"
@@ -51,6 +52,10 @@ struct WorldParams {
     // hello-driven table (no staleness; useful in unit tests).
     bool oracle_neighbors = false;
 
+    // Battery + duty-cycle model; enabled=false adds no events, RNG
+    // draws or allocations (golden fingerprints stay byte-identical).
+    sim::EnergyModelParams energy;
+
     AbstractLinkParams abstract_link;
     phy::PropagationParams propagation;
     phy::RadioThresholds thresholds;
@@ -82,6 +87,10 @@ public:
         stats.packet_pool_reuses = packet_pool_.reuses();
         stats.alive_snapshots = alive_snapshots_;
         stats += app_stats_;
+        if (energy_) {
+            stats.energy_sleep_transitions = energy_->sleep_transitions();
+            stats.energy_depletions = energy_->depletions();
+        }
         return stats;
     }
 
@@ -110,6 +119,25 @@ public:
     // kernel_stats().alive_snapshots — keep it out of per-op hot paths.
     std::vector<util::NodeId> alive_nodes() const;
     bool alive(util::NodeId id) const override;
+    // --- three-state liveness (alive / asleep / dead) ---
+    // awake = alive with the radio on. Sleeping nodes (duty cycling) keep
+    // their positions, stores and handlers but neither receive, overhear
+    // nor acknowledge anything; dead nodes lost their handlers too. With
+    // no energy model every alive node is awake, so awake() == alive().
+    bool awake(util::NodeId id) const override;
+    bool asleep(util::NodeId id) const { return asleep_.test(id); }
+    std::size_t asleep_count() const { return asleep_.count(); }
+    std::size_t awake_count() const {
+        return alive_.count() - asleep_.count();
+    }
+    // Radio off: cancels the heartbeat loop, keeps everything else.
+    void sleep_node(util::NodeId id);
+    // Radio back on. Unlike revive_node this does NOT re-run start() or
+    // fire spawn listeners — the node never lost its handlers, so firing
+    // them would install duplicates (the sleep-is-not-crash bug). Returns
+    // false for dead nodes: a pending wake timer must never resurrect a
+    // node whose battery depleted mid-sleep.
+    bool wake_node(util::NodeId id);
     geom::Vec2 position(util::NodeId id) const override;
     void set_position(util::NodeId id, geom::Vec2 pos) override;
     // Closed-form motion (waypoint.lazy): position(id) is computed from
@@ -153,6 +181,27 @@ public:
     void add_spawn_listener(std::function<void(util::NodeId)> listener) {
         spawn_listeners_.push_back(std::move(listener));
     }
+
+    // --- energy (null when params.energy.enabled is false) ---
+    const sim::EnergyModel* energy() const { return energy_.get(); }
+    // Per-byte airtime charges from the abstract link; one null check
+    // and out when the model is disabled.
+    void charge_tx_bytes(util::NodeId id, std::size_t bytes) {
+        if (energy_) {
+            energy_->charge_tx_bytes(id, bytes);
+        }
+    }
+    void charge_rx_bytes(util::NodeId id, std::size_t bytes) {
+        if (energy_) {
+            energy_->charge_rx_bytes(id, bytes);
+        }
+    }
+    // Network-lifetime marks, in seconds of simulated time; < 0 when the
+    // mark was never reached. First partition = the alive unit-disk graph
+    // first went disconnected on a battery depletion; half depletion =
+    // half the initial population depleted.
+    double time_to_first_partition_s() const { return first_partition_s_; }
+    double time_to_half_depletion_s() const { return half_depletion_s_; }
 
     // --- link receive path (called by link implementations) ---
     void deliver(util::NodeId to, PacketPtr p);
@@ -199,6 +248,10 @@ private:
     // SoA node state, indexed by NodeId.
     std::vector<geom::Vec2> positions_;  // last committed, incl. dead nodes
     util::AliveSet alive_;
+    // Duty-cycle sleep bits; a set bit implies the alive bit is also set
+    // (fail_node clears both). Always sized — testing it is one load —
+    // but only the energy model ever sets bits.
+    util::AliveSet asleep_;
     std::unique_ptr<geom::SpatialGrid> grid_;  // alive nodes only
     bool lazy_mobility_ = false;         // params_.mobile && waypoint.lazy
     std::vector<MotionState> motion_;    // sized only in lazy mode
@@ -220,6 +273,15 @@ private:
     mutable std::uint64_t alive_snapshots_ = 0;
     util::KernelStats app_stats_;
     ReplyTamper* tamper_ = nullptr;
+
+    // Battery/duty-cycle model; constructed (and a child RNG forked) only
+    // when params.energy.enabled.
+    std::unique_ptr<sim::EnergyModel> energy_;
+    std::size_t initial_population_ = 0;
+    double first_partition_s_ = -1.0;
+    double half_depletion_s_ = -1.0;
+    void on_depletion(util::NodeId id);
+    bool alive_subgraph_connected() const;
 
     friend class MacLink;
 };

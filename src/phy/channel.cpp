@@ -34,7 +34,9 @@ void Channel::transmit(util::NodeId src, Frame frame, sim::Time duration) {
     positions_.nodes_within(origin, cutoff_m_, listeners, src);
     for (const util::NodeId id : listeners) {
         const auto it = radios_.find(id);
-        if (it == radios_.end() || !positions_.alive(id)) {
+        // awake, not alive: a sleeping radio hears nothing (it neither
+        // receives nor interferes-locks on quorum probes).
+        if (it == radios_.end() || !positions_.awake(id)) {
             continue;
         }
         const double d = geom::distance(origin, positions_.position(id));

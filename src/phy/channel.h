@@ -24,6 +24,10 @@ public:
     virtual ~PositionProvider() = default;
     virtual geom::Vec2 position(util::NodeId id) const = 0;
     virtual bool alive(util::NodeId id) const = 0;
+    // Alive with the radio powered on; a duty-cycled node that is asleep
+    // is alive but not awake, and hears nothing. Defaults to alive for
+    // providers without a sleep state.
+    virtual bool awake(util::NodeId id) const { return alive(id); }
     virtual void nodes_within(geom::Vec2 center, double radius,
                               std::vector<util::NodeId>& out,
                               util::NodeId exclude) const = 0;

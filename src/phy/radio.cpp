@@ -73,6 +73,9 @@ void Radio::frame_end(std::uint64_t frame_id) {
     if (locked_ && frame_id == locked_frame_) {
         const bool ok = !locked_corrupted_ && !transmitting_;
         locked_ = false;
+        if (energy_) {
+            energy_(arrival.frame);  // the receive chain ran either way
+        }
         if (ok) {
             ++frames_received_;
             if (handler_) {

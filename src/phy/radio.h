@@ -40,6 +40,15 @@ public:
 
     void set_rx_handler(RxHandler handler) { handler_ = std::move(handler); }
 
+    // Invoked once per frame the radio finished demodulating (received or
+    // corrupted — the receive chain ran either way); the energy model
+    // reconstructs airtime from the frame and charges the rx draw. Null
+    // by default: one pointer test per frame end.
+    using EnergyListener = std::function<void(const Frame&)>;
+    void set_energy_listener(EnergyListener listener) {
+        energy_ = std::move(listener);
+    }
+
     bool transmitting() const { return transmitting_; }
     // Channel busy for carrier sensing: we are transmitting or the total
     // in-flight power reaches the carrier-sense threshold.
@@ -64,6 +73,7 @@ private:
 
     RadioThresholds thresholds_;
     RxHandler handler_;
+    EnergyListener energy_;
     bool transmitting_ = false;
 
     struct Arrival {

@@ -1,0 +1,231 @@
+#include "sim/energy_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace pqs::sim {
+
+EnergyModel::EnergyModel(Simulator& simulator, EnergyModelParams params,
+                         EnergyHooks hooks, util::Rng rng)
+    : simulator_(simulator),
+      params_(params),
+      hooks_(std::move(hooks)),
+      rng_(rng) {
+    const double duty = std::clamp(params_.duty, 0.0, 1.0);
+    awake_span_ = static_cast<Time>(
+        duty * static_cast<double>(std::max<Time>(params_.period, 1)));
+    sleep_span_ = std::max<Time>(params_.period, 1) - awake_span_;
+}
+
+EnergyModel::~EnergyModel() { stop(); }
+
+void EnergyModel::start() {
+    stop();
+    const std::size_t n = hooks_.population ? hooks_.population() : 0;
+    nodes_.assign(n, NodeEnergy{});
+    const Time now = simulator_.now();
+    const auto period = static_cast<std::uint64_t>(
+        std::max<Time>(params_.period, 1));
+    for (util::NodeId id = 0; id < n; ++id) {
+        NodeEnergy& s = nodes_[id];
+        s.last_integrated = now;
+        if (hooks_.alive && !hooks_.alive(id)) {
+            s.dead = true;
+            continue;
+        }
+        if (sleep_span_ <= 0) {
+            // Always awake: the only event is a projected depletion.
+            s.next_toggle = kTimeNever;
+            arm(id);
+            continue;
+        }
+        // Random phase within the cycle; [0, awake_span) starts awake,
+        // the rest starts asleep. Nodes that start asleep go dark right
+        // away — the host sees the same sleep_one it would mid-cycle.
+        const Time phase =
+            static_cast<Time>(rng_.uniform_u64(period));
+        if (awake_span_ > 0 && phase < awake_span_) {
+            s.next_toggle = now + (awake_span_ - phase);
+        } else {
+            s.asleep = true;
+            ++sleeps_;
+            s.next_toggle =
+                awake_span_ > 0 ? now + (params_.period - phase) : kTimeNever;
+            if (hooks_.sleep_one) {
+                hooks_.sleep_one(id);
+            }
+        }
+        arm(id);
+    }
+}
+
+void EnergyModel::stop() {
+    for (NodeEnergy& s : nodes_) {
+        if (s.timer != kInvalidEvent) {
+            simulator_.cancel(s.timer);
+            s.timer = kInvalidEvent;
+        }
+    }
+}
+
+void EnergyModel::integrate(NodeEnergy& s) {
+    const Time now = simulator_.now();
+    if (now > s.last_integrated) {
+        s.consumed_j +=
+            to_seconds(now - s.last_integrated) * baseline_w(s);
+        s.last_integrated = now;
+    }
+}
+
+void EnergyModel::charge(util::NodeId id, double joules) {
+    if (id >= nodes_.size() || nodes_[id].dead) {
+        return;
+    }
+    NodeEnergy& s = nodes_[id];
+    integrate(s);
+    s.consumed_j += joules;
+    if (depleted(s)) {
+        deplete(id);
+    }
+}
+
+void EnergyModel::charge_tx_seconds(util::NodeId id, double seconds) {
+    charge(id, seconds * params_.p_tx_w);
+}
+
+void EnergyModel::charge_rx_seconds(util::NodeId id, double seconds) {
+    charge(id, seconds * params_.p_rx_w);
+}
+
+void EnergyModel::charge_tx_bytes(util::NodeId id, std::size_t bytes) {
+    charge_tx_seconds(id, static_cast<double>(bytes) * 8.0 /
+                              std::max(params_.bitrate_bps, 1.0));
+}
+
+void EnergyModel::charge_rx_bytes(util::NodeId id, std::size_t bytes) {
+    charge_rx_seconds(id, static_cast<double>(bytes) * 8.0 /
+                              std::max(params_.bitrate_bps, 1.0));
+}
+
+void EnergyModel::on_node_failed(util::NodeId id) {
+    if (id >= nodes_.size() || nodes_[id].dead) {
+        return;
+    }
+    NodeEnergy& s = nodes_[id];
+    integrate(s);
+    s.dead = true;
+    if (s.timer != kInvalidEvent) {
+        simulator_.cancel(s.timer);
+        s.timer = kInvalidEvent;
+    }
+}
+
+void EnergyModel::deplete(util::NodeId id) {
+    NodeEnergy& s = nodes_[id];
+    PQS_DCHECK(!s.dead, "deplete on a dead node");
+    s.consumed_j = params_.battery_j;  // the meter stops at empty
+    s.dead = true;
+    if (s.timer != kInvalidEvent) {
+        simulator_.cancel(s.timer);
+        s.timer = kInvalidEvent;
+    }
+    ++depletions_;
+    if (hooks_.deplete_one) {
+        // Re-enters on_node_failed via the host's fail path; s.dead above
+        // makes that a no-op.
+        hooks_.deplete_one(id);
+    }
+}
+
+void EnergyModel::arm(util::NodeId id) {
+    NodeEnergy& s = nodes_[id];
+    if (s.dead) {
+        return;
+    }
+    if (s.timer != kInvalidEvent) {
+        simulator_.cancel(s.timer);
+        s.timer = kInvalidEvent;
+    }
+    Time when = s.next_toggle;
+    if (finite_battery()) {
+        const double w = baseline_w(s);
+        if (w > 0.0) {
+            const double secs =
+                std::max(0.0, params_.battery_j - s.consumed_j) / w;
+            // +1 ns lands strictly past the crossing so the integration
+            // at the timer sees the battery at (or below) zero.
+            const Time at = simulator_.now() + from_seconds(secs) + 1;
+            when = std::min(when, at);
+        }
+    }
+    if (when == kTimeNever) {
+        return;
+    }
+    s.timer = simulator_.schedule_at(when, [this, id] { on_timer(id); });
+}
+
+void EnergyModel::on_timer(util::NodeId id) {
+    NodeEnergy& s = nodes_[id];
+    s.timer = kInvalidEvent;
+    integrate(s);
+    if (depleted(s)) {
+        deplete(id);
+        return;
+    }
+    if (s.next_toggle != kTimeNever && simulator_.now() >= s.next_toggle) {
+        s.asleep = !s.asleep;
+        if (s.asleep) {
+            ++sleeps_;
+            s.next_toggle = simulator_.now() + sleep_span_;
+            if (hooks_.sleep_one) {
+                hooks_.sleep_one(id);
+            }
+        } else {
+            s.next_toggle = simulator_.now() + awake_span_;
+            if (hooks_.wake_one) {
+                hooks_.wake_one(id);
+            }
+        }
+        if (s.dead) {
+            return;  // the host killed the node from inside the hook
+        }
+    }
+    arm(id);
+}
+
+double EnergyModel::consumed_j() const {
+    const Time now = simulator_.now();
+    double total = 0.0;
+    for (const NodeEnergy& s : nodes_) {
+        total += s.consumed_j;
+        if (!s.dead && now > s.last_integrated) {
+            total += to_seconds(now - s.last_integrated) * baseline_w(s);
+        }
+    }
+    return total;
+}
+
+double EnergyModel::remaining_j(util::NodeId id) const {
+    if (!finite_battery()) {
+        return std::numeric_limits<double>::infinity();
+    }
+    if (id >= nodes_.size()) {
+        return 0.0;
+    }
+    const NodeEnergy& s = nodes_[id];
+    double consumed = s.consumed_j;
+    const Time now = simulator_.now();
+    if (!s.dead && now > s.last_integrated) {
+        consumed += to_seconds(now - s.last_integrated) * baseline_w(s);
+    }
+    return std::max(0.0, params_.battery_j - consumed);
+}
+
+bool EnergyModel::asleep(util::NodeId id) const {
+    return id < nodes_.size() && nodes_[id].asleep && !nodes_[id].dead;
+}
+
+}  // namespace pqs::sim

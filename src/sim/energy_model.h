@@ -1,0 +1,155 @@
+// Per-node battery and radio duty-cycle model (GeoQuorum / power-saving
+// asynchronous quorum setting): each node repeats a fixed-period schedule
+// — awake for `duty` of the period, asleep for the rest — with a random
+// per-node phase so sleep windows are desynchronized. A sleeping node's
+// radio is off: it neither receives nor acknowledges quorum probes, but
+// it keeps its stored values and handlers and resumes with them on wake
+// (unlike a crash, which clears both). Batteries drain lazily from a
+// piecewise-constant baseline (idle draw while awake, sleep draw while
+// asleep) plus explicit per-transmission / per-reception airtime charges
+// from the MAC/PHY; a battery reaching zero is a *permanent* death,
+// reported through the deplete hook (the host wires it to fail_node).
+//
+// Layering: like FaultPlan, the model lives below the network layer — it
+// knows nodes only as opaque ids manipulated through host hooks, so the
+// same engine drives a full net::World or a unit-test double. All
+// randomness (the phase draws) comes from the util::Rng passed in, so
+// runs stay bit-identical per seed — and a disabled model draws nothing,
+// schedules nothing and allocates nothing, keeping golden fingerprints
+// byte-identical with duty cycling off.
+//
+// Lifetime: every event the model schedules captures `this`; each node's
+// pending timer id is tracked and cancelled in stop() / the destructor,
+// so a model destroyed before its simulator never leaves dangling
+// callbacks behind (the event-lifetime bug class pqs_lint checks for).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+#include "util/ids.h"
+#include "util/rng.h"
+
+namespace pqs::sim {
+
+struct EnergyModelParams {
+    bool enabled = false;
+
+    // Duty-cycle schedule. duty >= 1 never sleeps (battery accounting
+    // only); duty <= 0 sleeps forever after the initial phase.
+    Time period = 1 * kSecond;
+    double duty = 1.0;
+
+    // Initial charge in joules; <= 0 models an ideal (infinite) battery,
+    // so depletion never fires and only consumption is tracked.
+    double battery_j = 0.0;
+
+    // Per-state power draw in watts (CC2420-class defaults). Baseline
+    // integration uses idle/sleep; tx/rx airtime charges are added on
+    // top of the baseline (the transceiver's extra draw over listening).
+    double p_tx_w = 0.0525;
+    double p_rx_w = 0.0564;
+    double p_idle_w = 0.0564;
+    double p_sleep_w = 0.00006;
+
+    // Airtime model for the abstract link (no MAC framing): a packet of
+    // B bytes occupies the radio for 8B / bitrate seconds.
+    double bitrate_bps = 250'000.0;
+};
+
+// Callbacks into the hosting network.
+struct EnergyHooks {
+    // Radio off: the node stops hearing probes. Required when duty < 1.
+    std::function<void(util::NodeId)> sleep_one;
+    // Radio back on; the node resumes with its stores intact.
+    std::function<void(util::NodeId)> wake_one;
+    // Battery empty: crash the node permanently. Required when
+    // battery_j > 0.
+    std::function<void(util::NodeId)> deplete_one;
+    // Number of managed nodes; ids in [0, population()) are scheduled at
+    // start(). Late joiners are not duty-cycled (documented limitation).
+    std::function<std::size_t()> population;
+    // Liveness probe so externally crashed nodes stop being charged.
+    std::function<bool(util::NodeId)> alive;
+};
+
+class EnergyModel {
+public:
+    EnergyModel(Simulator& simulator, EnergyModelParams params,
+                EnergyHooks hooks, util::Rng rng);
+    ~EnergyModel();
+    EnergyModel(const EnergyModel&) = delete;
+    EnergyModel& operator=(const EnergyModel&) = delete;
+
+    // Draws per-node phases and schedules the first toggles. Idempotent
+    // via stop(); call after the host's stacks are running.
+    void start();
+    // Cancels every pending toggle/depletion timer.
+    void stop();
+
+    // Airtime charges from the link layers. A dead or unmanaged id is
+    // ignored; a charge that empties the battery depletes immediately.
+    void charge_tx_seconds(util::NodeId id, double seconds);
+    void charge_rx_seconds(util::NodeId id, double seconds);
+    void charge_tx_bytes(util::NodeId id, std::size_t bytes);
+    void charge_rx_bytes(util::NodeId id, std::size_t bytes);
+
+    // Host notification that `id` crashed for non-energy reasons: freeze
+    // its meter and cancel its timers. Idempotent.
+    void on_node_failed(util::NodeId id);
+
+    const EnergyModelParams& params() const { return params_; }
+    bool finite_battery() const { return params_.battery_j > 0.0; }
+    // Joules drawn so far (integrated up to now), summed over all nodes.
+    double consumed_j() const;
+    // Remaining charge; +infinity for an ideal battery, 0 when depleted.
+    double remaining_j(util::NodeId id) const;
+    bool asleep(util::NodeId id) const;
+
+    std::uint64_t sleep_transitions() const { return sleeps_; }
+    std::uint64_t depletions() const { return depletions_; }
+
+private:
+    struct NodeEnergy {
+        double consumed_j = 0.0;
+        Time last_integrated = 0;
+        Time next_toggle = kTimeNever;
+        EventId timer = kInvalidEvent;
+        bool asleep = false;
+        bool dead = false;
+    };
+
+    double baseline_w(const NodeEnergy& s) const {
+        return s.asleep ? params_.p_sleep_w : params_.p_idle_w;
+    }
+    // Accrues baseline draw since the last integration point.
+    void integrate(NodeEnergy& s);
+    // Charges `joules` now and depletes if the battery hit zero.
+    void charge(util::NodeId id, double joules);
+    bool depleted(const NodeEnergy& s) const {
+        return finite_battery() && s.consumed_j >= params_.battery_j;
+    }
+    void deplete(util::NodeId id);
+    // (Re)schedules the node's single timer at the earlier of its next
+    // schedule toggle and its projected baseline depletion.
+    void arm(util::NodeId id);
+    void on_timer(util::NodeId id);
+
+    Simulator& simulator_;
+    EnergyModelParams params_;
+    EnergyHooks hooks_;
+    util::Rng rng_;
+
+    Time awake_span_ = 0;
+    Time sleep_span_ = 0;
+    std::vector<NodeEnergy> nodes_;
+
+    std::uint64_t sleeps_ = 0;
+    std::uint64_t depletions_ = 0;
+};
+
+}  // namespace pqs::sim

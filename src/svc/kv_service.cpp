@@ -23,6 +23,7 @@ KvService::KvService(core::LocationService& location, Params params)
 }
 
 KvService::~KvService() {
+    drop_cache_leases();
     if (flush_timer_ != sim::kInvalidEvent) {
         loc_.world().simulator().cancel(flush_timer_);
     }
@@ -65,6 +66,7 @@ void KvService::read(util::NodeId origin, util::Key key, ReadCallback done) {
         }
         if (params_.cache_quorums && r.ok && !r.responders.empty()) {
             cache_[key] = r.responders;
+            arm_cache_lease(key);
         }
         if (done) {
             done(out);
@@ -175,6 +177,7 @@ void KvService::on_node_refreshed(util::NodeId node) {
     // cold lookup.
     cache_invalidations_ += cache_.size();
     cache_.clear();
+    drop_cache_leases();
 }
 
 void KvService::set_lookup_quorum_size(std::size_t size) {
@@ -182,13 +185,46 @@ void KvService::set_lookup_quorum_size(std::size_t size) {
     if (params_.cache_invalidation && !cache_.empty()) {
         cache_invalidations_ += cache_.size();
         cache_.clear();
+        drop_cache_leases();
     }
 }
 
 void KvService::evict(util::Key key) {
+    if (const auto it = cache_lease_timers_.find(key);
+        it != cache_lease_timers_.end()) {
+        loc_.world().simulator().cancel(it->second);
+        cache_lease_timers_.erase(it);
+    }
     if (cache_.erase(key) > 0) {
         ++cache_invalidations_;
     }
+}
+
+void KvService::arm_cache_lease(util::Key key) {
+    if (params_.cache_lease <= 0) {
+        return;
+    }
+    if (const auto it = cache_lease_timers_.find(key);
+        it != cache_lease_timers_.end()) {
+        // Re-cache extends the lease: the old deadline is dead.
+        loc_.world().simulator().cancel(it->second);
+        cache_lease_timers_.erase(it);
+    }
+    cache_lease_timers_[key] = loc_.world().simulator().schedule_in(
+        params_.cache_lease, [this, key] {
+            cache_lease_timers_.erase(key);
+            if (cache_.erase(key) > 0) {
+                ++cache_lease_expirations_;
+                ++cache_invalidations_;
+            }
+        });
+}
+
+void KvService::drop_cache_leases() {
+    for (const auto& [key, event] : cache_lease_timers_) {
+        loc_.world().simulator().cancel(event);
+    }
+    cache_lease_timers_.clear();
 }
 
 }  // namespace pqs::svc

@@ -59,6 +59,13 @@ struct KvParams {
     // Coalesce phase-2 advertises per key and flush every window;
     // 0 disables batching (each write advertises immediately).
     sim::Time batch_window = 0;
+    // Timed cached quorums: a cached lookup quorum expires this long
+    // after it was recorded (re-caching extends it; <= 0 never expires).
+    // Under duty-cycling a cached set silently rots as members sleep or
+    // deplete, so bounding its age bounds the staleness a directed read
+    // can hit — the svc-layer face of the lease Δ in
+    // core::timed_quorum_miss_bound.
+    sim::Time cache_lease = 0;
 };
 
 class KvService {
@@ -98,6 +105,9 @@ public:
     std::uint64_t cache_hits() const { return cache_hits_; }
     std::uint64_t cache_misses() const { return cache_misses_; }
     std::uint64_t cache_invalidations() const { return cache_invalidations_; }
+    std::uint64_t cache_lease_expirations() const {
+        return cache_lease_expirations_;
+    }
     std::uint64_t batched_writes() const { return batched_writes_; }
     std::uint64_t batch_flushes() const { return batch_flushes_; }
 
@@ -106,6 +116,8 @@ private:
                       std::uint32_t version, WriteCallback done);
     void flush_batch();
     void evict(util::Key key);
+    void arm_cache_lease(util::Key key);
+    void drop_cache_leases();
 
     core::LocationService& loc_;
     Params params_;
@@ -115,6 +127,11 @@ private:
     std::uint64_t cache_hits_ = 0;
     std::uint64_t cache_misses_ = 0;
     std::uint64_t cache_invalidations_ = 0;
+    // Pending cache-lease expiries; ordered so teardown cancellation is
+    // deterministic. Every event captures `this` — the destructor cancels
+    // them all (event-lifetime discipline).
+    std::map<util::Key, sim::EventId> cache_lease_timers_;
+    std::uint64_t cache_lease_expirations_ = 0;
 
     // Pending batched advertises. std::map so the flush issues accesses
     // in sorted key order — unordered iteration would consume RNG draws

@@ -34,7 +34,11 @@ namespace pqs::util {
     X(packet_pool_reuses) /* packet blocks recycled from the pool */     \
     X(alive_snapshots)   /* alive_nodes()/neighbor vector copies */       \
     X(quorum_loads_counted) /* per-node access-load increments (MRW) */   \
-    X(byzantine_tampers) /* replies dropped/forged by the adversary */
+    X(byzantine_tampers) /* replies dropped/forged by the adversary */    \
+    X(energy_sleep_transitions) /* duty-cycle sleep entries */            \
+    X(energy_depletions) /* batteries that hit zero (permanent death) */  \
+    X(lease_expirations) /* leased values evicted at their deadline */    \
+    X(refreshes_deferred) /* refresher ticks deferred: owner asleep */
 
 struct KernelStats {
 #define PQS_KERNEL_STATS_DECL(field) std::uint64_t field = 0;

@@ -1,0 +1,36 @@
+// Fixture: the duty-cycle variant of the dangling-event class. A
+// sleep/wake scheduler re-arms the next edge of the cycle from inside
+// each edge's callback — an endless chain of armed EventIds. Discarding
+// the id (or skipping the destructor cancel) means tearing the model
+// down mid-cycle (scenario end, node death) leaves the next wake edge
+// pointed at freed per-node state.
+namespace sim {
+using EventId = long;
+struct Simulator {
+    EventId schedule_at(long when, void (*fn)());
+    EventId schedule_in(long delay, void (*fn)());
+    bool cancel(EventId id);
+};
+}  // namespace sim
+
+void toggle_radio();
+
+class DutyCycler {
+public:
+    explicit DutyCycler(sim::Simulator& simulator)
+        : simulator_(simulator) {}
+    // No destructor: a node that dies asleep keeps its wake edge armed
+    // against a destroyed cycler.
+    void schedule_wake_edge(long awake_for) {
+        wake_timer_ = simulator_.schedule_at(awake_for, &toggle_radio);  // expect-lint: event-lifetime
+    }
+
+private:
+    sim::Simulator& simulator_;
+    sim::EventId wake_timer_ = 0;
+};
+
+void sleep_and_forget(sim::Simulator& simulator) {
+    // Discarded id for the sleep edge: nothing can ever disarm it.
+    simulator.schedule_in(250, &toggle_radio);  // expect-lint: event-lifetime
+}

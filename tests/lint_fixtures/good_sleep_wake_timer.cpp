@@ -1,0 +1,37 @@
+// Fixture: the compliant duty-cycle scheduler — each sleep/wake edge is
+// re-armed through the same member slot, and the destructor disarms it,
+// so destroying the model mid-cycle (scenario end, battery depletion
+// killing the node) retires the pending edge instead of firing it into
+// freed per-node state.
+namespace sim {
+using EventId = long;
+struct Simulator {
+    EventId schedule_at(long when, void (*fn)());
+    bool cancel(EventId id);
+};
+}  // namespace sim
+
+void toggle_radio();
+
+class DutyCycler {
+public:
+    explicit DutyCycler(sim::Simulator& simulator)
+        : simulator_(simulator) {}
+    ~DutyCycler() { stop(); }
+
+    void schedule_wake_edge(long awake_for) {
+        stop();  // one pending edge at a time
+        wake_timer_ = simulator_.schedule_at(awake_for, &toggle_radio);
+    }
+
+    void stop() {
+        if (wake_timer_ != 0) {
+            simulator_.cancel(wake_timer_);
+            wake_timer_ = 0;
+        }
+    }
+
+private:
+    sim::Simulator& simulator_;
+    sim::EventId wake_timer_ = 0;
+};
